@@ -1,0 +1,57 @@
+"""Ablation A4 — cache geometry vs. the value of consecutive execution.
+
+Pure cache/WCET computation (no controller design): sweeps the miss
+penalty and the cache size and reports each application's guaranteed
+WCET reduction plus the size of the idle-feasible schedule space.  The
+cache-reuse benefit should grow with the miss penalty and collapse when
+the cache cannot hold a program image.
+"""
+
+import pytest
+
+from repro.apps import build_case_study
+from repro.cache import CacheConfig
+from repro.sched import enumerate_idle_feasible
+
+
+@pytest.mark.benchmark(group="ablation-cache")
+def test_miss_penalty_sweep(benchmark):
+    def run():
+        rows = []
+        for miss in (20, 100, 300):
+            case = build_case_study(CacheConfig(miss_cycles=miss))
+            reductions = [app.wcets.reduction_cycles for app in case.apps]
+            space = enumerate_idle_feasible(case.apps, case.clock)
+            rows.append((miss, reductions, len(space)))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print("miss cycles | guaranteed reductions (cycles) | feasible schedules")
+    for miss, reductions, n_feasible in rows:
+        print(f"{miss:11d} | {reductions!s:30s} | {n_feasible}")
+    # Reuse benefit scales with the miss penalty.
+    assert rows[0][1][0] < rows[1][1][0] < rows[2][1][0]
+
+
+@pytest.mark.benchmark(group="ablation-cache")
+def test_cache_size_sweep(benchmark):
+    def run():
+        rows = []
+        for n_sets in (32, 64, 128, 256):
+            case = build_case_study(CacheConfig(n_sets=n_sets))
+            reductions = [app.wcets.reduction_cycles for app in case.apps]
+            rows.append((n_sets, reductions))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print("cache lines | guaranteed reductions (cycles)")
+    for n_sets, reductions in rows:
+        print(f"{n_sets:11d} | {reductions}")
+    by_size = {n: r for n, r in rows}
+    # The paper's 128-line cache holds each image fully; 32 lines do not.
+    assert all(r > 0 for r in by_size[128])
+    assert all(small <= big for small, big in zip(by_size[32], by_size[128]))
+    # Growing beyond the largest image adds nothing.
+    assert by_size[256] == by_size[128]

@@ -1,0 +1,54 @@
+"""Ablation A5 — direct-gain PSO vs. the paper-literal pole-space engine.
+
+Compares the default engine (PSO directly over the stacked gains) with
+the paper's described search (PSO over lifted pole locations + extended-
+Ackermann coefficient matching) on one application and timing.
+"""
+
+import time
+from dataclasses import replace
+
+import pytest
+
+from repro.control.design import design_controller
+from repro.sched import PeriodicSchedule, derive_timing
+
+
+@pytest.mark.benchmark(group="ablation-engine")
+def test_direct_vs_pole_space(benchmark, case_study, design_options):
+    timing = derive_timing(
+        PeriodicSchedule.of(3, 2, 3),
+        [app.wcets for app in case_study.apps],
+        case_study.clock,
+    ).for_app(1)  # C2: m = 2 — the smallest non-trivial lifted case
+    app = case_study.apps[1]
+
+    def run():
+        rows = []
+        for engine in ("hybrid", "poles"):
+            started = time.perf_counter()
+            design = design_controller(
+                app.plant, list(timing.periods), list(timing.delays),
+                app.spec, replace(design_options, engine=engine, restarts=1),
+            )
+            rows.append(
+                (engine, design.settling, design.u_peak, time.perf_counter() - started)
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print("engine | settling | u_peak | wall time")
+    for engine, settling, u_peak, wall in rows:
+        print(f"{engine:6s} | {settling * 1e3:6.2f} ms | {u_peak:5.2f} | {wall:6.2f} s")
+    # The production engine must always deliver a feasible design; the
+    # paper-literal pole-space engine's feasibility at a given budget is
+    # the ablation's *finding* (unreachable pole sets and the nonlinear
+    # gain solve make it budget-hungry), so it is reported, not asserted.
+    hybrid_row = rows[0]
+    assert hybrid_row[1] < app.spec.deadline
+    assert hybrid_row[2] <= app.spec.u_max + 1e-9
+    poles_row = rows[1]
+    if poles_row[1] >= app.spec.deadline:
+        print("NOTE: pole-space engine found no deadline-meeting design "
+              "at this budget (see DESIGN.md §5.6)")

@@ -1,0 +1,26 @@
+"""Benchmark E4 — regenerate paper Figure 6 (output responses).
+
+Produces the six trajectories (three applications x two schedules),
+renders them as ASCII plots and writes CSV series for external plotting.
+"""
+
+import pytest
+
+from repro.experiments import fig6
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_regeneration(benchmark, case_study, design_options, tmp_path):
+    result = benchmark.pedantic(
+        lambda: fig6.run(case_study, design_options), rounds=1, iterations=1
+    )
+    assert [s.app_name for s in result.series] == ["C1", "C2", "C3"]
+    for series in result.series:
+        # Both responses reach the reference's neighbourhood.
+        assert abs(series.outputs_rr[-1] - series.reference) < 0.1 * abs(series.reference)
+        assert abs(series.outputs_ca[-1] - series.reference) < 0.1 * abs(series.reference)
+    paths = result.write_csv(tmp_path)
+    assert len(paths) == 3
+    print()
+    print(result.render())
+    print(f"CSV series: {[str(p) for p in paths]}")

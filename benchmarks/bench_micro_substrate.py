@@ -1,0 +1,57 @@
+"""Micro-benchmarks of the substrates (many-round pytest-benchmark
+targets): cache simulation throughput, abstract analysis, discretization
+and the batched tracking simulator."""
+
+import numpy as np
+import pytest
+
+from repro.cache import CacheConfig, InstructionCache
+from repro.control import build_simulation_plan, simulate_tracking
+from repro.control.lifted import build_segments, feedforward_gains, lifted_closed_loop
+
+
+@pytest.mark.benchmark(group="micro")
+def test_cache_trace_throughput(benchmark, case_study):
+    program = case_study.programs[0]
+    trace = list(program.trace())
+
+    def replay():
+        cache = InstructionCache(case_study.cache_config)
+        return cache.run_trace(trace)
+
+    cycles = benchmark(replay)
+    assert cycles == 18151
+
+
+@pytest.mark.benchmark(group="micro")
+def test_lifted_build_throughput(benchmark, case_study):
+    app = case_study.apps[0]
+    periods = [907.55e-6, 452.15e-6, 2490.25e-6]
+    delays = [907.55e-6, 452.15e-6, 452.15e-6]
+    segments = build_segments(app.plant.a, app.plant.b, periods, delays)
+    gains = np.array([[-3.0, -0.01]] * 3)
+    feedforward = feedforward_gains(app.plant.c, segments, gains)
+
+    a_hol, _g = benchmark(lambda: lifted_closed_loop(segments, gains, feedforward))
+    assert a_hol.shape == (6, 6)
+
+
+@pytest.mark.benchmark(group="micro")
+def test_batched_tracking_throughput(benchmark, case_study):
+    """One swarm-sized batch simulation — the design loop's hot path."""
+    app = case_study.apps[2]
+    periods = [749.15e-6, 234.35e-6, 2866.45e-6]
+    delays = [749.15e-6, 234.35e-6, 234.35e-6]
+    plan = build_simulation_plan(app.plant.a, app.plant.b, app.plant.c, periods, delays)
+    rng = np.random.default_rng(0)
+    gains = rng.normal(scale=[3.0, 0.01], size=(32, 3, 2)) * -1.0
+    feedforward = np.ones((32, 3))
+    x0, u0 = app.plant.equilibrium(0.0)
+
+    result = benchmark(
+        lambda: simulate_tracking(
+            plan, gains, feedforward, r=app.spec.r, x0=x0, u0=u0,
+            horizon=0.04, band=app.spec.band,
+        )
+    )
+    assert result.settling.shape == (32,)

@@ -1,0 +1,49 @@
+"""Benchmark E1 — regenerate paper Table I (WCETs with/without reuse).
+
+The WCET analysis is pure computation (no controller design), so this
+benchmark runs at full fidelity and also serves as a performance target
+for the static-analysis substrate.
+"""
+
+import pytest
+
+from repro.experiments import table1
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_regeneration(benchmark):
+    result = benchmark(table1.run)
+    assert result.max_deviation_us == pytest.approx(0.0)
+    assert result.methods_agree
+    print()
+    print(result.render())
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_static_analysis_only(benchmark, case_study):
+    """Throughput of the must/may analysis on the three real programs."""
+    from repro.wcet import analyze_task_wcets
+
+    def analyze_all():
+        return [
+            analyze_task_wcets(p, case_study.cache_config, "static")
+            for p in case_study.programs
+        ]
+
+    wcets = benchmark(analyze_all)
+    assert [w.cold_cycles for w in wcets] == [18151, 12905, 14983]
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_concrete_replay_only(benchmark, case_study):
+    """Throughput of exact trace replay on the three real programs."""
+    from repro.wcet import analyze_task_wcets
+
+    def analyze_all():
+        return [
+            analyze_task_wcets(p, case_study.cache_config, "concrete")
+            for p in case_study.programs
+        ]
+
+    wcets = benchmark(analyze_all)
+    assert [w.warm_cycles for w in wcets] == [9043, 3500, 4687]

@@ -1,0 +1,17 @@
+"""Benchmark E2 — regenerate paper Table II (application parameters).
+
+Trivially cheap; kept as a benchmark so every paper artifact has a
+``pytest benchmarks/`` target.
+"""
+
+import pytest
+
+from repro.experiments import table2
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_regeneration(benchmark):
+    result = benchmark(table2.run)
+    assert result.matches_paper
+    print()
+    print(result.render())

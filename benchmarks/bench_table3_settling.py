@@ -1,0 +1,24 @@
+"""Benchmark E3 — regenerate paper Table III (settling comparison).
+
+Runs the holistic design for (1,1,1) and (3,2,3) and reports per-app
+settling times and improvements next to the paper's row.  One round —
+each run is a complete co-design evaluation ("seconds to hours" per
+schedule on the paper's machine).
+"""
+
+import pytest
+
+from repro.experiments import table3
+
+
+@pytest.mark.benchmark(group="table3")
+def test_table3_regeneration(benchmark, case_study, design_options):
+    result = benchmark.pedantic(
+        lambda: table3.run(case_study, design_options), rounds=1, iterations=1
+    )
+    assert result.rr_feasible
+    assert result.ca_feasible
+    # The headline claim: the cache-aware schedule wins overall.
+    assert result.overall_ca > result.overall_rr
+    print()
+    print(result.render())

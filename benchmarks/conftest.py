@@ -1,0 +1,40 @@
+"""Shared fixtures for the benchmark harness.
+
+Heavy benchmarks (controller design in the loop) default to the
+``quick`` profile so the whole suite stays minutes, not hours; set
+``REPRO_PROFILE=standard`` or ``full`` to regenerate the EXPERIMENTS.md
+numbers.  Cheap benchmarks (pure cache/WCET/timing) always run at full
+fidelity — their numbers are profile-independent.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.apps import build_case_study
+from repro.experiments.profiles import PROFILES
+
+
+def bench_profile() -> str:
+    """Profile for design-heavy benchmarks (defaults to quick)."""
+    return os.environ.get("REPRO_PROFILE", "quick")
+
+
+@pytest.fixture(scope="session")
+def design_options():
+    """Design options for the selected benchmark profile."""
+    return PROFILES[bench_profile()]
+
+
+@pytest.fixture(scope="session")
+def case_study():
+    """The case study, built once per benchmark session."""
+    return build_case_study()
+
+
+@pytest.fixture(scope="session")
+def shared_evaluator(case_study, design_options):
+    """One memoizing evaluator shared by the design-heavy benchmarks."""
+    return case_study.evaluator(design_options)

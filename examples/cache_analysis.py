@@ -1,0 +1,74 @@
+"""Cache/WCET substrate walkthrough.
+
+Builds a custom control program with the fluent builder, analyzes it
+with both the exact trace replay and the static must/may analysis, and
+demonstrates the cross-application eviction check the paper's
+cold-cache assumption rests on.
+
+Run:  python examples/cache_analysis.py
+"""
+
+from repro import CacheConfig, Clock
+from repro.cache import FlashLayout, InstructionCache
+from repro.program import ProgramBuilder
+from repro.wcet import analyze_task_wcets, simulate_worst_case
+
+
+def main() -> None:
+    config = CacheConfig()  # the paper's 128 x 16 B cache
+    clock = Clock(20e6)
+
+    # A PI controller with saturation handling and a filter loop.
+    program = (
+        ProgramBuilder("pi_controller")
+        .block("sense", 40)
+        .loop(12, lambda body: body.block("filter_tap", 18))
+        .branch(
+            lambda arm: arm.block("anti_windup", 14),
+            lambda arm: arm.block("integrate", 22),
+        )
+        .block("actuate", 16)
+        .build(base=0)
+    )
+
+    print(f"program image: {program.static_instructions} instructions, "
+          f"{len(program.footprint_lines(config))} cache lines")
+
+    concrete = simulate_worst_case(program, config)
+    print(f"exact worst path: {concrete.cycles} cycles "
+          f"({clock.cycles_to_us(concrete.cycles):.2f} us), "
+          f"{concrete.misses} misses, decisions {concrete.decisions}")
+
+    wcets = analyze_task_wcets(program, config, "static")
+    print(f"static bounds  : cold {wcets.cold_cycles} cycles, "
+          f"warm {wcets.warm_cycles} cycles, "
+          f"guaranteed reduction {wcets.reduction_cycles} cycles")
+
+    # Cross-application eviction: place a second program and check
+    # whether running it destroys the first one's cache contents.
+    layout = FlashLayout(config)
+    layout.allocate("pi_controller", program.size_bytes)
+    rival = (
+        ProgramBuilder("rival")
+        .block("main", 4 * config.n_sets)  # touches every cache set
+        .build()
+    )
+    region = layout.allocate("rival", rival.size_bytes)
+    rival.place(region.base)
+
+    cache = InstructionCache(config)
+    cache.run_trace(program.trace())
+    resident_before = len(
+        cache.resident_lines() & program.footprint_lines(config)
+    )
+    cache.run_trace(rival.trace())
+    resident_after = len(
+        cache.resident_lines() & program.footprint_lines(config)
+    )
+    print(f"own lines cached after run: {resident_before}; "
+          f"after the rival ran: {resident_after} "
+          f"(cold-cache assumption {'holds' if resident_after == 0 else 'is conservative'})")
+
+
+if __name__ == "__main__":
+    main()

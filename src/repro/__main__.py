@@ -1,0 +1,147 @@
+"""Top-level CLI: ``python -m repro <command>``.
+
+Commands
+--------
+``info``
+    Case-study summary: Table I WCETs, Table II parameters, space size.
+``evaluate --schedule 3,2,3``
+    Evaluate one periodic schedule (timing, per-app settling, P_all).
+``search [--method hybrid|exhaustive|annealing] [--starts 4,2,2 1,2,1]``
+    Run a schedule-space search and print the result.
+``timeline --schedule 2,2,2``
+    Render the schedule's timing diagram (paper Figs. 2/4).
+
+The controller-design budget follows ``REPRO_PROFILE``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .apps import build_case_study
+from .core.report import format_seconds_ms, render_table
+from .experiments.profiles import current_profile, design_options_for_profile
+from .sched import PeriodicSchedule, enumerate_idle_feasible
+from .units import Clock
+from .viz import render_schedule_timeline
+
+
+def _parse_schedule(text: str) -> PeriodicSchedule:
+    try:
+        counts = tuple(int(part) for part in text.split(","))
+        return PeriodicSchedule(counts)
+    except Exception as exc:
+        raise SystemExit(f"invalid schedule {text!r}: {exc}") from exc
+
+
+def cmd_info(_args: argparse.Namespace) -> None:
+    case = build_case_study()
+    clock = Clock(20e6)
+    rows = []
+    for app in case.apps:
+        rows.append(
+            [
+                app.name,
+                f"{clock.cycles_to_us(app.wcets.cold_cycles):.2f} us",
+                f"{clock.cycles_to_us(app.wcets.warm_cycles):.2f} us",
+                f"{app.weight:.1f}",
+                f"{app.spec.deadline * 1e3:.1f} ms",
+                f"{app.max_idle * 1e3:.1f} ms",
+            ]
+        )
+    print(
+        render_table(
+            ["App", "cold WCET", "warm WCET", "weight", "deadline", "max idle"],
+            rows,
+            title="DATE'18 case study",
+        )
+    )
+    space = enumerate_idle_feasible(case.apps, case.clock)
+    print(f"\nidle-feasible periodic schedules: {len(space)}")
+    print(f"design profile: {current_profile()}")
+
+
+def cmd_evaluate(args: argparse.Namespace) -> None:
+    schedule = _parse_schedule(args.schedule)
+    case = build_case_study()
+    evaluator = case.evaluator(design_options_for_profile())
+    evaluation = evaluator.evaluate(schedule)
+    rows = []
+    for app_eval, app in zip(evaluation.apps, case.apps):
+        periods = ", ".join(f"{h * 1e6:.2f}" for h in app_eval.timing.periods)
+        rows.append(
+            [
+                app_eval.app_name,
+                f"[{periods}] us",
+                format_seconds_ms(app_eval.settling, 2),
+                f"{app_eval.performance:.3f}",
+                "yes" if app_eval.settling <= app.spec.deadline else "NO",
+            ]
+        )
+    print(
+        render_table(
+            ["App", "sampling periods", "settling", "P_i", "deadline met"],
+            rows,
+            title=f"schedule {schedule}",
+        )
+    )
+    print(f"\nP_all = {evaluation.overall:.4f}  feasible: {evaluation.feasible}")
+
+
+def cmd_search(args: argparse.Namespace) -> None:
+    case = build_case_study()
+    from .core.codesign import CodesignProblem
+
+    problem = CodesignProblem(case.apps, case.clock, design_options_for_profile())
+    starts = [_parse_schedule(s) for s in args.starts] if args.starts else None
+    result = problem.optimize(method=args.method, starts=starts)
+    print(f"method: {result.method}")
+    for trace in result.search.traces:
+        path = " -> ".join(str(s) for s, _v in trace.path)
+        print(f"  from {trace.start}: {trace.n_evaluations} evaluations; {path}")
+    print(f"best: {result.best_schedule}  P_all = {result.best_overall:.4f}")
+
+
+def cmd_timeline(args: argparse.Namespace) -> None:
+    schedule = _parse_schedule(args.schedule)
+    case = build_case_study()
+    print(
+        render_schedule_timeline(
+            schedule, [app.wcets for app in case.apps], case.clock
+        )
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Cache-aware task scheduling for maximizing control performance.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("info", help="case-study summary")
+
+    evaluate = sub.add_parser("evaluate", help="evaluate one schedule")
+    evaluate.add_argument("--schedule", required=True, help="e.g. 3,2,3")
+
+    search = sub.add_parser("search", help="schedule-space search")
+    search.add_argument(
+        "--method", default="hybrid", choices=["hybrid", "exhaustive", "annealing"]
+    )
+    search.add_argument("--starts", nargs="*", help="e.g. --starts 4,2,2 1,2,1")
+
+    timeline = sub.add_parser("timeline", help="render a schedule timeline")
+    timeline.add_argument("--schedule", required=True, help="e.g. 2,2,2")
+
+    args = parser.parse_args(argv)
+    {
+        "info": cmd_info,
+        "evaluate": cmd_evaluate,
+        "search": cmd_search,
+        "timeline": cmd_timeline,
+    }[args.command](args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

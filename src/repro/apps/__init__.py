@@ -1,0 +1,41 @@
+"""The paper's automotive case study (Section V).
+
+Three feedback-control applications share one microcontroller:
+
+* ``C1`` — position control of a servo motor (steer-by-wire, [16]);
+* ``C2`` — speed control of a DC motor (EV cruise control, [17]);
+* ``C3`` — clamp-force control of the Siemens electronic wedge brake
+  (brake-by-wire, [18]).
+
+The paper gives the applications' timing data (Table I), constraint
+parameters (Table II) and responses (Fig. 6) but not the plant matrices;
+:mod:`repro.apps.motors` and :mod:`repro.apps.brake` provide
+physically-structured models whose constants are calibrated so the
+round-robin baseline lands where the paper's does (see DESIGN.md §3).
+:mod:`repro.apps.programs` rebuilds the control programs' instruction
+images so that the cache analysis reproduces Table I exactly.
+"""
+
+from .motors import servo_position_plant, dc_motor_speed_plant
+from .brake import wedge_brake_plant
+from .programs import build_case_study_programs, program_parameters
+from .casestudy import (
+    CaseStudy,
+    PAPER_TABLE1_US,
+    PAPER_TABLE2,
+    PAPER_TABLE3,
+    build_case_study,
+)
+
+__all__ = [
+    "CaseStudy",
+    "PAPER_TABLE1_US",
+    "PAPER_TABLE2",
+    "PAPER_TABLE3",
+    "build_case_study",
+    "build_case_study_programs",
+    "dc_motor_speed_plant",
+    "program_parameters",
+    "servo_position_plant",
+    "wedge_brake_plant",
+]

@@ -1,0 +1,69 @@
+"""Servo-position (C1) and DC-motor-speed (C2) plant models.
+
+The paper does not publish plant matrices.  Both applications are
+modelled with the shared resonant template of
+:mod:`repro.apps.resonant`:
+
+* **C1** — a steer-by-wire rack: the servo drives the steering rack
+  against the tire self-aligning stiffness, a classic lightly-damped
+  mode (~35 Hz here).  Output is the rack angle [rad].
+* **C2** — an EV traction motor with driveline-shaft compliance: the
+  well-known driveline oscillation mode (~45 Hz).  Output is the
+  rotational speed [rounds/s]; the tracking scenario is a spin-up from
+  standstill to the 110 round/s cruise set-point.
+
+Constants were calibrated with ``tools/calibrate_plants.py`` so that the
+round-robin baseline is feasible and the delay-limited damping regime —
+the regime in which cache reuse helps control, per the paper's thesis —
+is active.  The honest (high-budget, multi-restart) optimization gap
+between round-robin and the (3,2,3) schedule at these constants is
++23 % (C1) and +8 % (C2); see EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from ..control.lti import LtiPlant
+from .resonant import resonant_plant
+
+#: C1 steering-rack resonance [rad/s] (tire self-aligning stiffness).
+SERVO_NATURAL_FREQUENCY = 220.0
+#: C1 damping ratio of the rack/column mode.
+SERVO_DAMPING = 0.15
+#: C1 output gain: rack angle [rad] per unit normalized position.
+SERVO_OUTPUT_GAIN = 1.0
+#: C1 input gain [normalized accel per V]; sized so holding the 0.2 rad
+#: reference takes 4 V of the 12 V budget.
+SERVO_INPUT_GAIN = SERVO_NATURAL_FREQUENCY ** 2 * 0.2 / 4.0
+
+#: C2 driveline resonance [rad/s].
+DRIVELINE_NATURAL_FREQUENCY = 280.0
+#: C2 damping ratio of the driveline mode.
+DRIVELINE_DAMPING = 0.08
+#: C2 output gain: speed [round/s] per unit normalized driveline state.
+DRIVELINE_OUTPUT_GAIN = 550.0
+#: C2 input gain; sized so holding 110 round/s takes 6 V of 12 V.
+DRIVELINE_INPUT_GAIN = DRIVELINE_NATURAL_FREQUENCY ** 2 * (110.0 / 550.0) / 6.0
+
+
+def servo_position_plant(
+    natural_frequency: float = SERVO_NATURAL_FREQUENCY,
+    damping: float = SERVO_DAMPING,
+    output_gain: float = SERVO_OUTPUT_GAIN,
+    input_gain: float = SERVO_INPUT_GAIN,
+) -> LtiPlant:
+    """C1: position control of a steer-by-wire servo rack."""
+    return resonant_plant(
+        "servo_position", natural_frequency, damping, output_gain, input_gain
+    )
+
+
+def dc_motor_speed_plant(
+    natural_frequency: float = DRIVELINE_NATURAL_FREQUENCY,
+    damping: float = DRIVELINE_DAMPING,
+    output_gain: float = DRIVELINE_OUTPUT_GAIN,
+    input_gain: float = DRIVELINE_INPUT_GAIN,
+) -> LtiPlant:
+    """C2: speed control of a DC traction motor with driveline compliance."""
+    return resonant_plant(
+        "dc_motor_speed", natural_frequency, damping, output_gain, input_gain
+    )

@@ -1,0 +1,66 @@
+"""Shared resonant second-order plant template.
+
+All three case-study plants are lightly-damped second-order systems
+
+``x1' = x2``, ``x2' = -wn^2 x1 - 2 zeta wn x2 + g u``, ``y = c x1``
+
+— the canonical model of a motor driving a compliant mechanical stage
+(steering rack on tire self-aligning stiffness, EV driveline shaft,
+brake wedge/caliper).  The regime matters for the paper's claim: with
+light damping, active vibration damping is limited by the sensing-to-
+actuation delay, which is exactly what cache-aware scheduling reduces
+(warm tasks have roughly half the cold WCET).  See DESIGN.md §3 and
+``tools/calibrate_plants.py`` for how the constants were chosen.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..control.lti import LtiPlant
+from ..errors import ConfigurationError
+
+
+def resonant_plant(
+    name: str,
+    natural_frequency: float,
+    damping: float,
+    output_gain: float,
+    input_gain: float,
+) -> LtiPlant:
+    """Build the canonical lightly-damped second-order plant.
+
+    Parameters
+    ----------
+    name:
+        Plant identifier.
+    natural_frequency:
+        Undamped natural frequency ``wn`` in rad/s.
+    damping:
+        Damping ratio ``zeta`` (dimensionless).
+    output_gain:
+        Measured output per unit of the normalized position state.
+    input_gain:
+        Acceleration of the normalized position state per input unit.
+    """
+    if natural_frequency <= 0 or damping < 0 or input_gain == 0:
+        raise ConfigurationError(
+            f"plant {name!r}: need wn > 0, zeta >= 0, input_gain != 0"
+        )
+    a = np.array(
+        [
+            [0.0, 1.0],
+            [-natural_frequency ** 2, -2.0 * damping * natural_frequency],
+        ]
+    )
+    b = np.array([0.0, input_gain])
+    c = np.array([output_gain, 0.0])
+    return LtiPlant(name, a, b, c)
+
+
+def equilibrium_input(
+    natural_frequency: float, output_gain: float, input_gain: float, y_ref: float
+) -> float:
+    """Steady input holding the output at ``y_ref`` (for headroom checks)."""
+    x1 = y_ref / output_gain
+    return natural_frequency ** 2 * x1 / input_gain

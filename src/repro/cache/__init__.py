@@ -1,0 +1,34 @@
+"""Instruction-cache substrate.
+
+Implements the memory-hierarchy model of Section II-B of the paper: a
+single on-chip instruction cache in front of flash memory, with a fixed
+hit latency and a fixed miss penalty.  The package provides
+
+* :class:`~repro.cache.config.CacheConfig` — geometry and timing of the
+  cache (the case study uses 128 lines of 16 bytes, 1-cycle hits and
+  100-cycle misses at 20 MHz);
+* :class:`~repro.cache.icache.InstructionCache` — an exact, replayable
+  simulator used as ground truth;
+* :mod:`~repro.cache.abstract` — Ferdinand-style must/may abstract cache
+  states used by the static WCET analysis;
+* :class:`~repro.cache.memory.FlashLayout` — placement of program images
+  in flash, which determines cache-set mapping and cross-application
+  conflicts.
+"""
+
+from .config import CacheConfig, ReplacementPolicy
+from .icache import AccessOutcome, CacheStats, InstructionCache
+from .abstract import MayCache, MustCache
+from .memory import FlashLayout, MemoryRegion
+
+__all__ = [
+    "AccessOutcome",
+    "CacheConfig",
+    "CacheStats",
+    "FlashLayout",
+    "InstructionCache",
+    "MayCache",
+    "MemoryRegion",
+    "MustCache",
+    "ReplacementPolicy",
+]

@@ -1,0 +1,182 @@
+"""Abstract cache domains for static WCET analysis (LRU).
+
+Implements the classic must/may abstract interpretation of
+Ferdinand & Wilhelm, which the paper cites through its WCET references
+([12], [13]): an abstract cache state maps resident memory lines to an
+*age bound* within their cache set.
+
+* **Must cache** — lines guaranteed to be cached; ages are *upper* bounds.
+  Join (at CFG merge points) intersects the lines and keeps the maximum
+  age.  A fetch of a line in the must cache is a guaranteed hit
+  ("always hit").
+* **May cache** — lines possibly cached; ages are *lower* bounds.  Join
+  unions the lines and keeps the minimum age.  A fetch of a line absent
+  from the may cache is a guaranteed miss ("always miss").
+
+Both domains support the standard LRU update.  The test suite checks the
+soundness relation against the concrete simulator: every concrete cache
+state reachable by some trace is between must and may.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .config import CacheConfig, ReplacementPolicy
+from ..errors import AnalysisError
+
+
+def _check_lru(config: CacheConfig) -> None:
+    if config.policy is not ReplacementPolicy.LRU:
+        raise AnalysisError(
+            "must/may abstract analysis is only sound for LRU replacement; "
+            f"got {config.policy}"
+        )
+
+
+@dataclass
+class MustCache:
+    """Must-cache abstract state: line -> maximal LRU age (0 is youngest).
+
+    A line present with age ``a`` is guaranteed to be within the ``a+1``
+    most-recently-used lines of its set, hence resident.
+    """
+
+    config: CacheConfig
+    ages: dict[int, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        _check_lru(self.config)
+
+    @classmethod
+    def cold(cls, config: CacheConfig) -> "MustCache":
+        """The empty (cold-cache / unknown-contents) must state."""
+        return cls(config)
+
+    def copy(self) -> "MustCache":
+        return MustCache(self.config, dict(self.ages))
+
+    def contains(self, line: int) -> bool:
+        """Whether ``line`` is guaranteed resident."""
+        return line in self.ages
+
+    def lines(self) -> set[int]:
+        """All guaranteed-resident lines."""
+        return set(self.ages)
+
+    def update(self, line: int) -> None:
+        """LRU must-update for an access to ``line``."""
+        assoc = self.config.associativity
+        target_set = self.config.set_of_line(line)
+        old_age = self.ages.get(line, assoc)
+        for other, age in list(self.ages.items()):
+            if other == line or self.config.set_of_line(other) != target_set:
+                continue
+            if age < old_age:
+                new_age = age + 1
+                if new_age >= assoc:
+                    del self.ages[other]
+                else:
+                    self.ages[other] = new_age
+        self.ages[line] = 0
+
+    def join(self, other: "MustCache") -> "MustCache":
+        """Control-flow merge: intersect lines, keep the *older* age bound."""
+        joined: dict[int, int] = {}
+        for line, age in self.ages.items():
+            if line in other.ages:
+                joined[line] = max(age, other.ages[line])
+        return MustCache(self.config, joined)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MustCache):
+            return NotImplemented
+        return self.config == other.config and self.ages == other.ages
+
+
+@dataclass
+class MayCache:
+    """May-cache abstract state: line -> minimal LRU age (0 is youngest).
+
+    A line absent from the may cache is guaranteed *not* resident.
+    """
+
+    config: CacheConfig
+    ages: dict[int, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        _check_lru(self.config)
+
+    @classmethod
+    def cold(cls, config: CacheConfig) -> "MayCache":
+        """The may state of a definitely-empty cache (nothing resident)."""
+        return cls(config)
+
+    @classmethod
+    def unknown(cls, config: CacheConfig) -> "MayCache":
+        """A may state in which residency information is absent.
+
+        Used when the prior cache contents are arbitrary (e.g. after other
+        applications ran): nothing can be classified "always miss".  We
+        model it with a sentinel flag rather than enumerating all lines.
+        """
+        state = cls(config)
+        state._top = True
+        return state
+
+    _top: bool = field(default=False, repr=False)
+
+    def copy(self) -> "MayCache":
+        clone = MayCache(self.config, dict(self.ages))
+        clone._top = self._top
+        return clone
+
+    @property
+    def is_top(self) -> bool:
+        """Whether this state carries no "definitely absent" information."""
+        return self._top
+
+    def contains(self, line: int) -> bool:
+        """Whether ``line`` may be resident."""
+        return self._top or line in self.ages
+
+    def lines(self) -> set[int]:
+        """All possibly-resident lines (meaningless when :attr:`is_top`)."""
+        return set(self.ages)
+
+    def update(self, line: int) -> None:
+        """LRU may-update for an access to ``line``."""
+        assoc = self.config.associativity
+        target_set = self.config.set_of_line(line)
+        old_age = self.ages.get(line, assoc)
+        for other, age in list(self.ages.items()):
+            if other == line or self.config.set_of_line(other) != target_set:
+                continue
+            if age <= old_age:
+                new_age = age + 1
+                if new_age >= assoc:
+                    del self.ages[other]
+                else:
+                    self.ages[other] = new_age
+        self.ages[line] = 0
+
+    def join(self, other: "MayCache") -> "MayCache":
+        """Control-flow merge: union lines, keep the *younger* age bound."""
+        joined = dict(self.ages)
+        for line, age in other.ages.items():
+            if line in joined:
+                joined[line] = min(joined[line], age)
+            else:
+                joined[line] = age
+        result = MayCache(self.config, joined)
+        result._top = self._top or other._top
+        return result
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MayCache):
+            return NotImplemented
+        return (
+            self.config == other.config
+            and self.ages == other.ages
+            and self._top == other._top
+        )

@@ -1,0 +1,103 @@
+"""Cache geometry and timing configuration."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+
+class ReplacementPolicy(enum.Enum):
+    """Replacement policy of a set-associative cache.
+
+    ``LRU`` is the policy assumed by the must/may abstract analysis;
+    ``FIFO`` is provided for ablation studies.  For direct-mapped caches
+    (associativity 1) the two coincide.
+    """
+
+    LRU = "lru"
+    FIFO = "fifo"
+
+
+def _is_power_of_two(value: int) -> bool:
+    return value > 0 and (value & (value - 1)) == 0
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and timing of an instruction cache.
+
+    The defaults mirror the experimental configuration of the paper's
+    Section V: 128 cache lines of 16 bytes on a 20 MHz microcontroller,
+    with a 1-cycle hit and a 100-cycle miss.
+
+    Parameters
+    ----------
+    n_sets:
+        Number of cache sets.
+    associativity:
+        Number of ways (lines per set).  ``1`` means direct-mapped.
+    line_size:
+        Cache-line size in bytes.
+    hit_cycles:
+        Clock cycles to fetch an instruction on a cache hit.
+    miss_cycles:
+        Clock cycles to fetch an instruction on a cache miss (includes the
+        line refill from flash).
+    policy:
+        Replacement policy; irrelevant when ``associativity == 1``.
+    """
+
+    n_sets: int = 128
+    associativity: int = 1
+    line_size: int = 16
+    hit_cycles: int = 1
+    miss_cycles: int = 100
+    policy: ReplacementPolicy = ReplacementPolicy.LRU
+
+    def __post_init__(self) -> None:
+        if not _is_power_of_two(self.n_sets):
+            raise ConfigurationError(f"n_sets must be a power of two, got {self.n_sets}")
+        if not _is_power_of_two(self.line_size):
+            raise ConfigurationError(
+                f"line_size must be a power of two, got {self.line_size}"
+            )
+        if self.associativity < 1:
+            raise ConfigurationError(
+                f"associativity must be >= 1, got {self.associativity}"
+            )
+        if self.hit_cycles < 0 or self.miss_cycles < self.hit_cycles:
+            raise ConfigurationError(
+                "timing must satisfy 0 <= hit_cycles <= miss_cycles, got "
+                f"hit={self.hit_cycles} miss={self.miss_cycles}"
+            )
+
+    @property
+    def n_lines(self) -> int:
+        """Total number of cache lines."""
+        return self.n_sets * self.associativity
+
+    @property
+    def size_bytes(self) -> int:
+        """Total cache capacity in bytes."""
+        return self.n_lines * self.line_size
+
+    @property
+    def miss_penalty(self) -> int:
+        """Extra cycles a miss costs over a hit."""
+        return self.miss_cycles - self.hit_cycles
+
+    def line_of(self, address: int) -> int:
+        """Return the memory-line index containing byte ``address``."""
+        if address < 0:
+            raise ConfigurationError(f"address must be non-negative, got {address}")
+        return address // self.line_size
+
+    def set_of_line(self, line: int) -> int:
+        """Return the cache set a memory line maps to."""
+        return line % self.n_sets
+
+    def set_of(self, address: int) -> int:
+        """Return the cache set a byte address maps to."""
+        return self.set_of_line(self.line_of(address))

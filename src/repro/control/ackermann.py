@@ -1,0 +1,90 @@
+"""SISO pole placement via Ackermann's formula (paper Section III).
+
+For the closed loop ``x[k+1] = (A + B K) x[k]`` with a *row* gain ``K``
+(the paper's convention ``u = K x + F r``), Ackermann's formula places
+the eigenvalues of ``A + B K`` at the desired locations:
+
+``K = -e_l^T  Ctrb(A, B)^{-1}  phi(A)``
+
+where ``phi`` is the desired characteristic polynomial and ``e_l`` the
+last unit vector.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ControlError
+
+
+def controllability_matrix(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Kalman controllability matrix ``[B, AB, ..., A^{l-1} B]``."""
+    a = np.atleast_2d(np.asarray(a, dtype=float))
+    b = np.asarray(b, dtype=float).reshape(-1)
+    order = a.shape[0]
+    columns = np.empty((order, order))
+    column = b.copy()
+    for i in range(order):
+        columns[:, i] = column
+        column = a @ column
+    return columns
+
+
+def _real_characteristic_coefficients(poles: np.ndarray) -> np.ndarray:
+    """Coefficients of ``prod (z - p_i)``; poles must be conjugate-closed."""
+    coefficients = np.poly(np.asarray(poles, dtype=complex))
+    if np.abs(coefficients.imag).max() > 1e-8 * max(1.0, np.abs(coefficients).max()):
+        raise ControlError(
+            "desired poles must be closed under complex conjugation; "
+            f"got {poles}"
+        )
+    return coefficients.real
+
+
+def place_poles_siso(
+    a: np.ndarray,
+    b: np.ndarray,
+    poles: np.ndarray,
+    rcond: float = 1e-12,
+) -> np.ndarray:
+    """Row gain ``K`` such that ``eig(A + B K)`` equals ``poles``.
+
+    Parameters
+    ----------
+    a, b:
+        System matrix ``(l, l)`` and input vector ``(l,)``.
+    poles:
+        ``l`` desired eigenvalues, closed under conjugation.
+    rcond:
+        Conditioning threshold for the controllability matrix.
+
+    Raises
+    ------
+    ControlError
+        If the pair is (numerically) uncontrollable or the pole list has
+        the wrong length / is not conjugate-closed.
+    """
+    a = np.atleast_2d(np.asarray(a, dtype=float))
+    b = np.asarray(b, dtype=float).reshape(-1)
+    order = a.shape[0]
+    poles = np.asarray(poles, dtype=complex).reshape(-1)
+    if poles.shape != (order,):
+        raise ControlError(
+            f"need exactly {order} poles for an order-{order} system, "
+            f"got {poles.shape[0]}"
+        )
+    ctrb = controllability_matrix(a, b)
+    scale = np.abs(ctrb).max()
+    if scale == 0 or 1.0 / np.linalg.cond(ctrb) < rcond:
+        raise ControlError("pair (A, B) is numerically uncontrollable")
+    coefficients = _real_characteristic_coefficients(poles)
+    # phi(A) = A^l + c_1 A^{l-1} + ... + c_l I
+    phi = np.zeros_like(a)
+    power = np.eye(order)
+    for coefficient in coefficients[::-1]:
+        phi += coefficient * power
+        power = power @ a
+    last_row = np.zeros(order)
+    last_row[-1] = 1.0
+    k_row = np.linalg.solve(ctrb.T, last_row)
+    return -(k_row @ phi)

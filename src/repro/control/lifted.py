@@ -1,0 +1,232 @@
+"""Holistic lifted closed loop (paper Section III, generalized).
+
+For an application that executes ``m`` consecutive tasks per schedule
+hyperperiod, the sampled closed loop switches between ``m`` segment
+dynamics.  Collecting the states at the ``m`` sampling instants of one
+hyperperiod into ``z_t = (x_{t,1}, ..., x_{t,m})`` yields a single LTI
+recursion ``z_t = A_hol z_{t-1} + G r`` — the paper's eq. (16) is the
+``m = 2`` instance.  All ``m·l`` eigenvalues of ``A_hol`` are shaped by
+the per-task gains ``K_1..K_m``.
+
+For ``m = 1`` the previous input is not determined by any basis state,
+so the lift augments it: ``z = (x, u_prev)`` with ``l + 1`` eigenvalues.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ControlError
+from .discretize import zoh, zoh_delayed
+
+
+@dataclass(frozen=True)
+class Segment:
+    """Discretized dynamics of one inter-sample segment.
+
+    ``x_next = ad @ x + b1 * u_prev + b2 * u_curr`` where ``u_prev`` is
+    the input computed at the *previous* sampling instant and ``u_curr``
+    the one computed at the segment's own start.  For segments whose
+    sensing-to-actuation delay equals the period, ``b2`` is zero.
+    """
+
+    h: float
+    tau: float
+    ad: np.ndarray
+    b1: np.ndarray
+    b2: np.ndarray
+
+    @property
+    def has_inner_actuation(self) -> bool:
+        """Whether the segment's own input acts before the segment ends."""
+        return bool(np.any(self.b2 != 0.0))
+
+
+def build_segments(
+    a: np.ndarray,
+    b: np.ndarray,
+    periods: list[float],
+    delays: list[float],
+) -> list[Segment]:
+    """Discretize one hyperperiod of an application's timing pattern.
+
+    Parameters
+    ----------
+    a, b:
+        Continuous-time plant matrices.
+    periods:
+        Sampling periods ``h_i(1..m)`` of the schedule (paper eq. (6)).
+    delays:
+        Sensing-to-actuation delays ``tau_i(1..m)`` (paper eq. (8)); each
+        must satisfy ``0 < tau <= h``.
+    """
+    if len(periods) != len(delays) or not periods:
+        raise ControlError(
+            f"periods and delays must be equal-length and non-empty, "
+            f"got {len(periods)} and {len(delays)}"
+        )
+    segments = []
+    for h, tau in zip(periods, delays):
+        if not 0 < tau <= h:
+            raise ControlError(f"invalid segment timing: tau={tau}, h={h}")
+        ad, b1, b2 = zoh_delayed(a, b, h, tau)
+        segments.append(Segment(h, tau, ad, b1, b2))
+    return segments
+
+
+def feedforward_gain(
+    c: np.ndarray, segment: Segment, k_row: np.ndarray
+) -> float:
+    """Static feedforward gain of one segment (paper eq. (11)/(17)).
+
+    ``F = 1 / (C (I - A - B K)^{-1} B)`` with ``A = e^{A_c h}`` and
+    ``B = Gamma(h) = b1 + b2`` of the segment.
+    """
+    b_full = segment.b1 + segment.b2
+    order = segment.ad.shape[0]
+    m = np.eye(order) - segment.ad - np.outer(b_full, k_row)
+    try:
+        solved = np.linalg.solve(m, b_full)
+    except np.linalg.LinAlgError as exc:
+        raise ControlError("segment closed loop has a pole at z = 1") from exc
+    denominator = float(c @ solved)
+    if abs(denominator) < 1e-12:
+        raise ControlError("segment closed loop has zero DC gain")
+    return 1.0 / denominator
+
+
+def feedforward_gains(
+    c: np.ndarray, segments: list[Segment], gains: np.ndarray
+) -> np.ndarray:
+    """Per-task feedforward gains ``F_1..F_m`` (paper eq. (17))."""
+    gains = np.atleast_2d(np.asarray(gains, dtype=float))
+    return np.array(
+        [feedforward_gain(c, seg, gains[j]) for j, seg in enumerate(segments)]
+    )
+
+
+def lifted_closed_loop(
+    segments: list[Segment],
+    gains: np.ndarray,
+    feedforward: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Build ``(A_hol, G)`` with ``z_t = A_hol z_{t-1} + G r``.
+
+    Parameters
+    ----------
+    segments:
+        The ``m`` segment dynamics of one hyperperiod, in order.
+    gains:
+        Row gains ``K_j``, shape ``(m, l)``.
+    feedforward:
+        Scalars ``F_j``, shape ``(m,)``.
+
+    Returns
+    -------
+    (A_hol, G):
+        For ``m >= 2``: shape ``(m·l, m·l)`` and ``(m·l,)``, basis
+        ``z = (x_1, ..., x_m)`` (states at the m sampling instants).
+        For ``m == 1``: shape ``(l+1, l+1)`` and ``(l+1,)``, basis
+        ``z = (x, u_prev)``.
+    """
+    m = len(segments)
+    gains = np.atleast_2d(np.asarray(gains, dtype=float))
+    feedforward = np.asarray(feedforward, dtype=float).reshape(-1)
+    if gains.shape[0] != m or feedforward.shape != (m,):
+        raise ControlError(
+            f"need {m} gain rows and feedforward scalars, "
+            f"got {gains.shape} and {feedforward.shape}"
+        )
+    order = segments[0].ad.shape[0]
+
+    if m == 1:
+        seg = segments[0]
+        k_row = gains[0]
+        a_hol = np.zeros((order + 1, order + 1))
+        a_hol[:order, :order] = seg.ad + np.outer(seg.b2, k_row)
+        a_hol[:order, order] = seg.b1
+        a_hol[order, :order] = k_row
+        g = np.zeros(order + 1)
+        g[:order] = seg.b2 * feedforward[0]
+        g[order] = feedforward[0]
+        return a_hol, g
+
+    dim = m * order
+
+    def block(j: int) -> slice:
+        return slice(j * order, (j + 1) * order)
+
+    # Linear expressions over the basis z_{t-1} = (x_{t-1,1..m}) plus r.
+    # expr = (coeff matrix (order, dim), r vector (order,))
+    basis: list[tuple[np.ndarray, np.ndarray]] = []
+    for j in range(m):
+        coeff = np.zeros((order, dim))
+        coeff[:, block(j)] = np.eye(order)
+        basis.append((coeff, np.zeros(order)))
+
+    def input_expr(j: int, x_expr: tuple[np.ndarray, np.ndarray]):
+        """u_{.,j} = K_j x + F_j r as (row over basis, scalar on r)."""
+        coeff, rvec = x_expr
+        return gains[j] @ coeff, gains[j] @ rvec + feedforward[j]
+
+    u_prev_hp = [input_expr(j, basis[j]) for j in range(m)]
+
+    new_exprs: list[tuple[np.ndarray, np.ndarray]] = []
+    # Segment m (the long one) carries x_{t-1,m} into x_{t,1}: the input
+    # u_{t-1,m-1} is active until tau_m, then u_{t-1,m}.
+    seg_long = segments[m - 1]
+    coeff_m, rvec_m = basis[m - 1]
+    u_before = u_prev_hp[m - 2]
+    u_after = u_prev_hp[m - 1]
+    coeff = (
+        seg_long.ad @ coeff_m
+        + np.outer(seg_long.b1, u_before[0])
+        + np.outer(seg_long.b2, u_after[0])
+    )
+    rvec = (
+        seg_long.ad @ rvec_m
+        + seg_long.b1 * u_before[1]
+        + seg_long.b2 * u_after[1]
+    )
+    new_exprs.append((coeff, rvec))
+
+    # Segments 1..m-1 propagate within hyperperiod t.  Segment j maps
+    # x_{t,j} to x_{t,j+1}; the active input is u_{t-1,m} for j = 1 and
+    # u_{t,j-1} for j >= 2.  (b2 of these segments is zero: tau == h.)
+    new_inputs: list[tuple[np.ndarray, float]] = [input_expr(0, new_exprs[0])]
+    for j in range(m - 1):
+        seg = segments[j]
+        coeff_j, rvec_j = new_exprs[j]
+        active = u_prev_hp[m - 1] if j == 0 else new_inputs[j - 1]
+        coeff = seg.ad @ coeff_j + np.outer(seg.b1, active[0])
+        rvec = seg.ad @ rvec_j + seg.b1 * active[1]
+        if seg.has_inner_actuation:
+            own = new_inputs[j]
+            coeff += np.outer(seg.b2, own[0])
+            rvec += seg.b2 * own[1]
+        new_exprs.append((coeff, rvec))
+        if j + 1 < m:
+            new_inputs.append(input_expr(j + 1, new_exprs[j + 1]))
+
+    a_hol = np.zeros((dim, dim))
+    g = np.zeros(dim)
+    for j, (coeff, rvec) in enumerate(new_exprs):
+        a_hol[block(j), :] = coeff
+        g[block(j)] = rvec
+    return a_hol, g
+
+
+def spectral_radius(matrix: np.ndarray) -> float:
+    """Largest eigenvalue magnitude (stability iff < 1)."""
+    return float(np.abs(np.linalg.eigvals(matrix)).max())
+
+
+def lifted_steady_state(a_hol: np.ndarray, g: np.ndarray, r: float) -> np.ndarray:
+    """Fixed point ``z* = (I - A_hol)^{-1} G r`` of the lifted recursion."""
+    dim = a_hol.shape[0]
+    try:
+        return np.linalg.solve(np.eye(dim) - a_hol, g * r)
+    except np.linalg.LinAlgError as exc:
+        raise ControlError("lifted closed loop has a pole at z = 1") from exc

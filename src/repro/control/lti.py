@@ -1,0 +1,98 @@
+"""Continuous-time SISO LTI plant model (paper Section II-A).
+
+The plant is given in state-space form ``dx/dt = A x + B u``,
+``y = C x``; the discrete-time model of eq. (1) is obtained by ZOH
+discretization at the (possibly non-uniform) sampling periods the
+schedule induces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ControlError
+
+
+@dataclass(frozen=True)
+class LtiPlant:
+    """A continuous-time single-input single-output LTI plant.
+
+    Parameters
+    ----------
+    name:
+        Identifier used in reports.
+    a:
+        System matrix, shape ``(l, l)``.
+    b:
+        Input vector, shape ``(l,)``.
+    c:
+        Output (measurement) vector, shape ``(l,)``.
+    """
+
+    name: str
+    a: np.ndarray
+    b: np.ndarray
+    c: np.ndarray
+
+    def __post_init__(self) -> None:
+        a = np.atleast_2d(np.asarray(self.a, dtype=float))
+        b = np.asarray(self.b, dtype=float).reshape(-1)
+        c = np.asarray(self.c, dtype=float).reshape(-1)
+        if a.shape[0] != a.shape[1]:
+            raise ControlError(f"plant {self.name!r}: A must be square, got {a.shape}")
+        order = a.shape[0]
+        if b.shape != (order,) or c.shape != (order,):
+            raise ControlError(
+                f"plant {self.name!r}: B and C must have {order} entries, "
+                f"got B{b.shape} C{c.shape}"
+            )
+        object.__setattr__(self, "a", a)
+        object.__setattr__(self, "b", b)
+        object.__setattr__(self, "c", c)
+
+    @property
+    def order(self) -> int:
+        """Number of states ``l``."""
+        return self.a.shape[0]
+
+    def is_controllable(self, tol: float = 1e-9) -> bool:
+        """Kalman rank test of the pair ``(A, B)``."""
+        from .ackermann import controllability_matrix
+
+        ctrb = controllability_matrix(self.a, self.b)
+        return bool(np.linalg.matrix_rank(ctrb, tol=tol * max(1.0, np.abs(ctrb).max())) == self.order)
+
+    def equilibrium(self, y_ref: float) -> tuple[np.ndarray, float]:
+        """State/input pair holding the output at ``y_ref``.
+
+        Solves ``A x + B u = 0``, ``C x = y_ref``.  Raises
+        :class:`ControlError` when the plant has a transmission zero at
+        the origin (no such equilibrium exists).
+        """
+        order = self.order
+        lhs = np.zeros((order + 1, order + 1))
+        lhs[:order, :order] = self.a
+        lhs[:order, order] = self.b
+        lhs[order, :order] = self.c
+        rhs = np.zeros(order + 1)
+        rhs[order] = y_ref
+        try:
+            solution = np.linalg.solve(lhs, rhs)
+        except np.linalg.LinAlgError as exc:
+            raise ControlError(
+                f"plant {self.name!r} has no unique equilibrium for y={y_ref}"
+            ) from exc
+        return solution[:order], float(solution[order])
+
+    def dc_gain(self) -> float:
+        """Steady-state gain ``-C A^{-1} B`` (infinite for integrators)."""
+        try:
+            return float(-self.c @ np.linalg.solve(self.a, self.b))
+        except np.linalg.LinAlgError:
+            return float("inf")
+
+    def poles(self) -> np.ndarray:
+        """Continuous-time poles (eigenvalues of A)."""
+        return np.linalg.eigvals(self.a)

@@ -1,0 +1,91 @@
+"""Trajectory-based control performance metrics.
+
+The settling-time computation used *inside* design searches is the
+batched one in :mod:`repro.control.simulate`; the functions here operate
+on recorded trajectories and are used for reporting, plotting and
+cross-checks, plus alternative metrics (quadratic cost, overshoot) for
+the extension experiments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ControlError
+
+
+def settling_time_of_trajectory(
+    times: np.ndarray,
+    outputs: np.ndarray,
+    r: float,
+    band: float,
+) -> float:
+    """Last instant the output is outside ``[r - band, r + band]``.
+
+    Returns ``inf`` when the trajectory is still outside the band at its
+    final sample (settling cannot be certified), and ``0.0`` when it
+    never leaves the band.
+    """
+    times = np.asarray(times, dtype=float).reshape(-1)
+    outputs = np.asarray(outputs, dtype=float).reshape(-1)
+    if times.shape != outputs.shape or times.size == 0:
+        raise ControlError("times and outputs must be equal-length and non-empty")
+    violating = np.abs(outputs - r) > band
+    if not violating.any():
+        return 0.0
+    last = float(times[violating].max())
+    if last >= float(times[-1]):
+        return float("inf")
+    return last
+
+
+def overshoot(outputs: np.ndarray, y0: float, r: float) -> float:
+    """Relative overshoot of a step response from ``y0`` to ``r``.
+
+    Defined as ``max(y - r, 0) / |r - y0|`` for an upward step (and
+    symmetrically for a downward step); 0 when the step has zero size.
+    """
+    outputs = np.asarray(outputs, dtype=float).reshape(-1)
+    step = r - y0
+    if step == 0:
+        return 0.0
+    if step > 0:
+        beyond = float(np.max(outputs - r, initial=0.0))
+    else:
+        beyond = float(np.max(r - outputs, initial=0.0))
+    return max(beyond, 0.0) / abs(step)
+
+
+def quadratic_cost(
+    times: np.ndarray,
+    outputs: np.ndarray,
+    r: float,
+    inputs: np.ndarray | None = None,
+    input_weight: float = 0.0,
+) -> float:
+    """Integral quadratic tracking cost ``∫ (y - r)^2 dt (+ rho ∫ u^2 dt)``.
+
+    The paper optimizes settling time and notes it is *harder* than
+    quadratic cost; this metric is provided for comparison experiments.
+    Integration is trapezoidal over the (possibly non-uniform) grid.
+    """
+    times = np.asarray(times, dtype=float).reshape(-1)
+    outputs = np.asarray(outputs, dtype=float).reshape(-1)
+    if times.shape != outputs.shape or times.size < 2:
+        raise ControlError("need at least two samples for the quadratic cost")
+    cost = float(np.trapezoid((outputs - r) ** 2, times))
+    if inputs is not None and input_weight > 0.0:
+        inputs = np.asarray(inputs, dtype=float).reshape(-1)
+        if inputs.shape != times.shape:
+            raise ControlError("inputs must align with times")
+        cost += input_weight * float(np.trapezoid(inputs ** 2, times))
+    return cost
+
+
+def steady_state_error(outputs: np.ndarray, r: float, tail_fraction: float = 0.1) -> float:
+    """Mean absolute error over the trailing ``tail_fraction`` of samples."""
+    outputs = np.asarray(outputs, dtype=float).reshape(-1)
+    if not 0 < tail_fraction <= 1:
+        raise ControlError(f"tail_fraction must be in (0, 1], got {tail_fraction}")
+    tail = max(1, int(round(outputs.size * tail_fraction)))
+    return float(np.mean(np.abs(outputs[-tail:] - r)))

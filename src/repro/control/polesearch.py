@@ -1,0 +1,172 @@
+"""Paper-literal design engine: PSO over lifted pole locations.
+
+Section III of the paper places all ``m·l`` poles of the lifted matrix
+``A_hol`` and computes the feedback gains with a "trivially extended"
+Ackermann formula.  Because the gain structure is block-diagonal
+(``K_j`` only multiplies ``x_j``), arbitrary pole placement is a
+*nonlinear* problem; the natural extension of Ackermann's coefficient
+matching is to solve
+
+``coeffs(char_poly(A_hol(K_1..K_m))) = coeffs(prod (z - p_i))``
+
+for the stacked gains — ``m·l`` polynomial equations in ``m·l``
+unknowns — which we do with Levenberg–Marquardt, warm-started from a
+per-segment Ackermann seed.  The outer PSO then searches the pole
+locations themselves, exactly as the paper describes.
+
+This engine is slower than the default ``hybrid`` engine and exists for
+fidelity and for the A5 ablation (`benchmarks/bench_ablation_engine.py`).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from scipy.optimize import least_squares
+
+from ..errors import ControlError
+from .ackermann import place_poles_siso
+from .lifted import lifted_closed_loop
+from .pso import pso_minimize
+
+
+def characteristic_coefficients(matrix: np.ndarray) -> np.ndarray:
+    """Real coefficients of ``det(zI - matrix)`` (monic, descending)."""
+    return np.poly(matrix).real
+
+
+def poles_from_parameters(params: np.ndarray, dim: int) -> np.ndarray:
+    """Map PSO parameters to ``dim`` poles inside the unit disk.
+
+    Parameters are (magnitude, angle) per complex pair followed by a
+    signed magnitude per leftover real pole.
+    """
+    poles = np.empty(dim, dtype=complex)
+    n_pairs = dim // 2
+    for i in range(n_pairs):
+        magnitude = params[2 * i]
+        angle = params[2 * i + 1]
+        poles[2 * i] = magnitude * complex(math.cos(angle), math.sin(angle))
+        poles[2 * i + 1] = poles[2 * i].conjugate()
+    if dim % 2:
+        poles[-1] = complex(params[-1], 0.0)
+    return poles
+
+
+def gains_for_poles(
+    segments,
+    desired_poles: np.ndarray,
+    seed_gains: np.ndarray,
+    max_nfev: int = 400,
+) -> np.ndarray | None:
+    """Solve the extended-Ackermann matching problem for ``desired_poles``.
+
+    Returns stacked gains ``(m, l)`` whose lifted characteristic
+    polynomial matches the desired one, or ``None`` when the nonlinear
+    solve does not converge to a satisfactory residual.
+    """
+    m = len(segments)
+    order = segments[0].ad.shape[0]
+    target = np.poly(np.asarray(desired_poles, dtype=complex))
+    if np.abs(target.imag).max() > 1e-8:
+        raise ControlError("desired poles must be conjugate-closed")
+    target = target.real
+    zeros_f = np.zeros(m)
+
+    def residual(flat: np.ndarray) -> np.ndarray:
+        gains = flat.reshape(m, order)
+        a_hol, _ = lifted_closed_loop(list(segments), gains, zeros_f)
+        coefficients = characteristic_coefficients(a_hol)
+        return coefficients[1:] - target[1:]
+
+    scale = max(1.0, float(np.abs(target).max()))
+    rng = np.random.default_rng(1)
+    start = seed_gains.reshape(-1).astype(float)
+    for attempt in range(4):
+        # The Jacobian at degenerate seeds (e.g. all-zero gains) can be
+        # singular; deterministic jitter recovers.
+        x0 = start if attempt == 0 else start + rng.normal(
+            scale=0.1 * (1.0 + np.abs(start)), size=start.shape
+        )
+        try:
+            solution = least_squares(residual, x0, method="lm", max_nfev=max_nfev)
+        except Exception:  # LM can fail on pathological Jacobians
+            continue
+        if not np.all(np.isfinite(solution.x)):
+            continue
+        if np.abs(residual(solution.x)).max() <= 1e-6 * scale:
+            return solution.x.reshape(m, order)
+    return None
+
+
+def design_poles_engine(evaluator, options, rng: np.random.Generator):
+    """Run the pole-space PSO engine on a prepared :class:`_GainEvaluator`.
+
+    The lifted dimension is ``m·l`` for ``m >= 2`` and ``l + 1`` for
+    ``m == 1`` (input augmentation); in the latter case only ``l`` gain
+    degrees of freedom exist, so the match is least-squares rather than
+    exact — the simulation-based objective judges the result either way.
+    """
+    from .design import ControllerDesign, _StageA  # late import to avoid a cycle
+
+    m = evaluator.m
+    order = evaluator.order
+    dim = m * order if m >= 2 else order + 1
+
+    # Warm-start gains from a quick stage-A sweep.
+    stage_a = _StageA(evaluator, options)
+    seed_theta = stage_a.default_seeds()[2]
+    seed_gains = stage_a.gains_for(seed_theta)
+    if seed_gains is None:
+        seed_gains = np.zeros((m, order))
+
+    lower = []
+    upper = []
+    for _ in range(dim // 2):
+        lower += [0.01, 0.0]
+        upper += [0.985, math.pi]
+    if dim % 2:
+        lower.append(-0.985)
+        upper.append(0.985)
+    lower = np.array(lower)
+    upper = np.array(upper)
+
+    cache: dict[bytes, np.ndarray | None] = {}
+
+    def gains_of(params: np.ndarray) -> np.ndarray | None:
+        key = params.tobytes()
+        if key not in cache:
+            poles = poles_from_parameters(params, dim)
+            cache[key] = gains_for_poles(evaluator.segments, poles, seed_gains)
+        return cache[key]
+
+    def objective(batch: np.ndarray) -> np.ndarray:
+        stacked = []
+        bad = np.zeros(batch.shape[0], dtype=bool)
+        for p in range(batch.shape[0]):
+            gains = gains_of(batch[p])
+            if gains is None:
+                bad[p] = True
+                stacked.append(np.zeros((m, order)))
+            else:
+                stacked.append(gains)
+        values = evaluator.evaluate(np.stack(stacked))["objective"]
+        values[bad] = 4.0 * evaluator.big
+        return values
+
+    result = pso_minimize(objective, lower, upper, options.stage_a, rng)
+    best_gains = gains_of(result.best_position)
+    if best_gains is None:
+        best_gains = seed_gains
+    final = evaluator.evaluate(best_gains[None])
+    return ControllerDesign(
+        gains=best_gains,
+        feedforward=final["feedforward"][0],
+        settling=float(final["settling"][0]),
+        u_peak=float(final["u_peak"][0]),
+        spectral_radius=float(final["rho"][0]),
+        objective=float(final["objective"][0]),
+        n_evaluations=evaluator.n_evaluations,
+        engine="poles",
+    )

@@ -1,0 +1,26 @@
+"""Co-design facade: applications, performance index and reporting.
+
+This package ties the substrates together into the paper's two-stage
+framework (Section I): given a set of control applications sharing a
+cached microcontroller,
+
+1. for any candidate schedule, a holistic controller design maximizes
+   each application's control performance under the induced timing;
+2. a schedule-space search maximizes the weighted overall performance.
+
+:class:`~repro.core.codesign.CodesignProblem` is the main entry point.
+"""
+
+from .application import ControlApplication
+from .performance import overall_performance, performance_index
+from .codesign import CodesignProblem, CodesignResult
+from .report import render_table
+
+__all__ = [
+    "CodesignProblem",
+    "CodesignResult",
+    "ControlApplication",
+    "overall_performance",
+    "performance_index",
+    "render_table",
+]

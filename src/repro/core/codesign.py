@@ -1,0 +1,156 @@
+"""Two-stage co-design facade (the paper's overall framework).
+
+:class:`CodesignProblem` bundles an application set with a clock and
+design options, exposes schedule evaluation (stage 1: holistic
+controller design per schedule) and schedule optimization (stage 2:
+hybrid / exhaustive / annealing search), and provides the Table-III
+style comparison between two schedules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..control.design import DesignOptions
+from ..errors import SearchError
+from ..sched.annealing import AnnealingOptions, annealing_search
+from ..sched.evaluator import ScheduleEvaluation, ScheduleEvaluator
+from ..sched.exhaustive import exhaustive_search
+from ..sched.feasibility import enumerate_idle_feasible, idle_feasible
+from ..sched.hybrid import HybridOptions, hybrid_search
+from ..sched.results import SearchResult
+from ..sched.schedule import PeriodicSchedule
+from ..units import Clock
+from .application import ControlApplication
+
+
+@dataclass
+class CodesignResult:
+    """Outcome of a schedule optimization."""
+
+    method: str
+    search: SearchResult
+
+    @property
+    def best_schedule(self) -> PeriodicSchedule:
+        """The optimal schedule found."""
+        return self.search.best_schedule
+
+    @property
+    def best_overall(self) -> float:
+        """Overall control performance of the optimum."""
+        return self.search.best_value
+
+
+@dataclass
+class AppComparison:
+    """Per-application row of a Table-III style comparison."""
+
+    app_name: str
+    settling_baseline: float
+    settling_candidate: float
+
+    @property
+    def improvement(self) -> float:
+        """Relative settling-time reduction (the paper's "control
+        performance improvement")."""
+        if self.settling_baseline <= 0:
+            return 0.0
+        return 1.0 - self.settling_candidate / self.settling_baseline
+
+
+class CodesignProblem:
+    """An application set sharing one cached processor."""
+
+    def __init__(
+        self,
+        apps: list[ControlApplication],
+        clock: Clock,
+        design_options: DesignOptions | None = None,
+    ) -> None:
+        self.apps = list(apps)
+        self.clock = clock
+        self.evaluator = ScheduleEvaluator(apps, clock, design_options)
+        self._space: list[PeriodicSchedule] | None = None
+
+    # ------------------------------------------------------------------
+    # Stage 1: evaluation
+    # ------------------------------------------------------------------
+    def evaluate(self, schedule: PeriodicSchedule) -> ScheduleEvaluation:
+        """Overall control performance of one schedule (cached)."""
+        return self.evaluator.evaluate(schedule)
+
+    def idle_feasible(self, schedule: PeriodicSchedule) -> bool:
+        """Max-idle-time constraint, eq. (4)."""
+        return idle_feasible(schedule, self.apps, self.clock)
+
+    def schedule_space(self) -> list[PeriodicSchedule]:
+        """The complete idle-feasible schedule space (cached)."""
+        if self._space is None:
+            self._space = enumerate_idle_feasible(self.apps, self.clock)
+        return self._space
+
+    # ------------------------------------------------------------------
+    # Stage 2: optimization
+    # ------------------------------------------------------------------
+    def optimize(
+        self,
+        method: str = "hybrid",
+        starts: list[PeriodicSchedule] | None = None,
+        n_starts: int = 2,
+        seed: int = 2018,
+        hybrid_options: HybridOptions | None = None,
+        annealing_options: AnnealingOptions | None = None,
+    ) -> CodesignResult:
+        """Find an optimal schedule.
+
+        ``method`` is ``"hybrid"`` (the paper's algorithm, default),
+        ``"exhaustive"`` or ``"annealing"``.  For the hybrid method,
+        ``starts`` overrides the ``n_starts`` random initializations.
+        """
+        if method == "exhaustive":
+            search = exhaustive_search(
+                self.evaluator, schedules=self.schedule_space()
+            )
+        elif method == "hybrid":
+            if starts is None:
+                rng = np.random.default_rng(seed)
+                space = self.schedule_space()
+                if not space:
+                    raise SearchError("the idle-feasible schedule space is empty")
+                indices = rng.choice(len(space), size=min(n_starts, len(space)), replace=False)
+                starts = [space[int(i)] for i in indices]
+            search = hybrid_search(
+                self.evaluator, starts, self.idle_feasible, hybrid_options
+            )
+        elif method == "annealing":
+            if starts is None:
+                rng = np.random.default_rng(seed)
+                space = self.schedule_space()
+                starts = [space[int(rng.integers(0, len(space)))]]
+            search = annealing_search(
+                self.evaluator, starts[0], self.idle_feasible, annealing_options
+            )
+        else:
+            raise SearchError(f"unknown optimization method {method!r}")
+        return CodesignResult(method=method, search=search)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def compare(
+        self, baseline: PeriodicSchedule, candidate: PeriodicSchedule
+    ) -> list[AppComparison]:
+        """Per-application settling comparison (the paper's Table III)."""
+        base_eval = self.evaluate(baseline)
+        cand_eval = self.evaluate(candidate)
+        return [
+            AppComparison(
+                app_name=b.app_name,
+                settling_baseline=b.settling,
+                settling_candidate=c.settling,
+            )
+            for b, c in zip(base_eval.apps, cand_eval.apps)
+        ]

@@ -1,0 +1,51 @@
+"""The paper's control-performance index (Section II-A, eq. (2)).
+
+For application ``i`` with worst-case settling time ``s_i`` and
+normalization reference ``s0_i`` (its settling deadline), the control
+performance is ``P_i = 1 - s_i / s0_i``; the overall performance is the
+weighted sum ``P_all = Σ w_i P_i`` with ``Σ w_i = 1``.  Feasibility
+(eq. (3)) requires ``P_i >= 0`` for every application.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import ConfigurationError
+
+#: Tolerance for the "weights sum to one" check.
+WEIGHT_TOLERANCE = 1e-9
+
+
+def performance_index(settling: float, deadline: float) -> float:
+    """Single-application performance ``P_i = 1 - s_i / s0_i``.
+
+    An unsettled response (``settling = inf``) maps to ``-inf`` so that
+    any comparison and the feasibility check (eq. (3)) behave sensibly.
+    """
+    if deadline <= 0:
+        raise ConfigurationError(f"deadline must be positive, got {deadline}")
+    if not math.isfinite(settling):
+        return -math.inf
+    return 1.0 - settling / deadline
+
+
+def check_weights(weights: list[float]) -> None:
+    """Validate that the weights are positive and sum to one."""
+    if not weights:
+        raise ConfigurationError("need at least one weight")
+    if any(w <= 0 for w in weights):
+        raise ConfigurationError(f"weights must be positive, got {weights}")
+    total = sum(weights)
+    if abs(total - 1.0) > WEIGHT_TOLERANCE:
+        raise ConfigurationError(f"weights must sum to 1, got {total}")
+
+
+def overall_performance(weights: list[float], performances: list[float]) -> float:
+    """Weighted overall performance ``P_all`` (eq. (2))."""
+    if len(weights) != len(performances):
+        raise ConfigurationError(
+            f"got {len(weights)} weights but {len(performances)} performances"
+        )
+    check_weights(weights)
+    return float(sum(w * p for w, p in zip(weights, performances)))

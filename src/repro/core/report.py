@@ -1,0 +1,50 @@
+"""Plain-text table rendering for experiment reports.
+
+The benchmark harness prints the same rows the paper's tables report;
+this module keeps the formatting in one place (no external dependency —
+the environment is offline).
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+
+
+def render_table(
+    headers: list[str],
+    rows: list[list[str]],
+    title: str | None = None,
+) -> str:
+    """Render an ASCII table with one separator under the header row."""
+    if not headers:
+        raise ConfigurationError("table needs at least one column")
+    for row in rows:
+        if len(row) != len(headers):
+            raise ConfigurationError(
+                f"row {row!r} has {len(row)} cells, expected {len(headers)}"
+            )
+    cells = [headers] + [[str(cell) for cell in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+
+    def format_row(row: list[str]) -> str:
+        return " | ".join(cell.ljust(width) for cell, width in zip(row, widths))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(format_row(headers))
+    lines.append("-+-".join("-" * width for width in widths))
+    lines.extend(format_row(row) for row in cells[1:])
+    return "\n".join(lines)
+
+
+def format_seconds_ms(value: float, digits: int = 1) -> str:
+    """Format a duration in milliseconds (``inf`` stays symbolic)."""
+    if value != value or value == float("inf"):  # NaN or inf
+        return "unsettled"
+    return f"{value * 1e3:.{digits}f} ms"
+
+
+def format_percent(value: float, digits: int = 0) -> str:
+    """Format a ratio as a percentage."""
+    return f"{value * 100:.{digits}f}%"

@@ -1,0 +1,44 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish the subsystem that failed.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A component was constructed with inconsistent or invalid parameters."""
+
+
+class CacheError(ReproError):
+    """Invalid cache operation or cache configuration mismatch."""
+
+
+class ProgramError(ReproError):
+    """Ill-formed program model (overlapping blocks, bad CFG, missing bounds)."""
+
+
+class AnalysisError(ReproError):
+    """A WCET or cache analysis could not be completed soundly."""
+
+
+class ControlError(ReproError):
+    """Control-theoretic failure (uncontrollable plant, singular design, ...)."""
+
+
+class DesignInfeasibleError(ControlError):
+    """No controller satisfying the constraints could be found."""
+
+
+class ScheduleError(ReproError):
+    """Invalid schedule description or timing derivation failure."""
+
+
+class SearchError(ReproError):
+    """Schedule-space search failed (empty feasible space, bad start point)."""

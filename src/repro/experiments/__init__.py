@@ -1,0 +1,18 @@
+"""Paper-artifact regeneration (one module per table/figure).
+
+Every experiment module exposes ``run(...)`` returning a result object
+with a ``render()`` method; ``python -m repro.experiments <name>`` runs
+one from the command line.  The mapping to the paper:
+
+========  ============================================================
+``table1``  Table I — WCETs with and without cache reuse
+``table2``  Table II — application parameters
+``table3``  Table III — settling-time comparison (1,1,1) vs (3,2,3)
+``fig6``    Figure 6 — system-output responses under both schedules
+``search``  Section V search statistics — exhaustive vs hybrid
+========  ============================================================
+"""
+
+from .profiles import design_options_for_profile, current_profile
+
+__all__ = ["current_profile", "design_options_for_profile"]

@@ -1,0 +1,58 @@
+"""Command-line entry point: ``python -m repro.experiments <name>``.
+
+Names: ``table1``, ``table2``, ``table3``, ``fig6``, ``search``, ``all``.
+``fig6`` additionally writes CSV files (``--out DIR``, default
+``./fig6_out``).  The design budget follows ``REPRO_PROFILE``
+(quick / standard / full).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import fig6, search, table1, table2, table3
+from .profiles import current_profile
+
+EXPERIMENTS = {
+    "table1": lambda args: table1.run().render(),
+    "table2": lambda args: table2.run().render(),
+    "table3": lambda args: table3.run().render(),
+    "fig6": lambda args: _run_fig6(args),
+    "search": lambda args: search.run().render(),
+}
+
+
+def _run_fig6(args: argparse.Namespace) -> str:
+    result = fig6.run()
+    paths = result.write_csv(args.out)
+    rendered = result.render()
+    return rendered + "\n\nCSV written to: " + ", ".join(str(p) for p in paths)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="which paper artifact to regenerate",
+    )
+    parser.add_argument(
+        "--out",
+        default="fig6_out",
+        help="output directory for fig6 CSV files",
+    )
+    args = parser.parse_args(argv)
+    print(f"[profile: {current_profile()}]")
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        print(EXPERIMENTS[name](args))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

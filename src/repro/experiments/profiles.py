@@ -1,0 +1,54 @@
+"""Evaluation-effort profiles.
+
+Controller design is the expensive inner loop ("seconds to hours" per
+schedule in the paper).  The profile picks the swarm budget:
+
+* ``quick`` — smoke-test budget for unit tests and CI;
+* ``standard`` — the default; stable, honest designs (multi-restart);
+* ``full`` — the budget used for the numbers recorded in EXPERIMENTS.md.
+
+Select via the ``REPRO_PROFILE`` environment variable or pass a profile
+name explicitly to :func:`design_options_for_profile`.
+"""
+
+from __future__ import annotations
+
+import os
+
+from ..control.design import DesignOptions
+from ..control.pso import PsoOptions
+from ..errors import ConfigurationError
+
+PROFILES = {
+    "quick": DesignOptions(
+        restarts=1,
+        stage_a=PsoOptions(12, 12),
+        stage_b=PsoOptions(16, 15),
+    ),
+    "standard": DesignOptions(),
+    "full": DesignOptions(
+        restarts=4,
+        stage_a=PsoOptions(24, 30),
+        stage_b=PsoOptions(32, 40),
+    ),
+}
+
+
+def current_profile() -> str:
+    """Profile selected by ``REPRO_PROFILE`` (default ``standard``)."""
+    profile = os.environ.get("REPRO_PROFILE", "standard")
+    if profile not in PROFILES:
+        raise ConfigurationError(
+            f"unknown REPRO_PROFILE {profile!r}; choose from {sorted(PROFILES)}"
+        )
+    return profile
+
+
+def design_options_for_profile(profile: str | None = None) -> DesignOptions:
+    """Design options for a named profile (or the environment's)."""
+    name = profile or current_profile()
+    if name not in PROFILES:
+        raise ConfigurationError(
+            f"unknown profile {name!r}; choose from {sorted(PROFILES)}"
+        )
+    return PROFILES[name]

@@ -1,0 +1,52 @@
+"""Experiment E2 — paper Table II: application parameters.
+
+Table II is configuration, not measurement; this experiment verifies the
+built case study carries exactly the paper's weights, settling deadlines
+and maximum allowed idle times, and renders them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..apps.casestudy import PAPER_TABLE2, build_case_study
+from ..core.report import render_table
+
+
+@dataclass
+class Table2Result:
+    """Rendered parameters plus the exact-match flag."""
+
+    rows: list[list[str]]
+    matches_paper: bool
+
+    def render(self) -> str:
+        table = render_table(
+            ["Application", "Weight", "Settling deadline", "Max idle time"],
+            self.rows,
+            title="Table II: application parameters",
+        )
+        return table + f"\nmatches paper: {self.matches_paper}"
+
+
+def run() -> Table2Result:
+    """Regenerate Table II from the built case study."""
+    case = build_case_study()
+    rows = []
+    matches = True
+    for app in case.apps:
+        paper_weight, paper_deadline, paper_idle = PAPER_TABLE2[app.name]
+        matches = matches and (
+            app.weight == paper_weight
+            and app.spec.deadline == paper_deadline
+            and app.max_idle == paper_idle
+        )
+        rows.append(
+            [
+                app.name,
+                f"{app.weight:.1f}",
+                f"{app.spec.deadline * 1e3:.1f} ms",
+                f"{app.max_idle * 1e3:.1f} ms",
+            ]
+        )
+    return Table2Result(rows=rows, matches_paper=matches)

@@ -1,0 +1,23 @@
+"""Multi-core extension (paper Section VI).
+
+The paper notes the framework "can be naturally extended to a
+multi-core architecture, where each core has its own cache".  This
+package implements that extension: applications are partitioned across
+cores, each core runs its own periodic schedule against its private
+instruction cache, and the overall control performance is maximized
+over both the partition and the per-core schedules.
+"""
+
+from .partition import (
+    CoreAssignment,
+    MulticoreEvaluation,
+    MulticoreProblem,
+    enumerate_partitions,
+)
+
+__all__ = [
+    "CoreAssignment",
+    "MulticoreEvaluation",
+    "MulticoreProblem",
+    "enumerate_partitions",
+]

@@ -1,0 +1,200 @@
+"""Application partitioning across cores with private caches.
+
+For each partition of the applications onto cores, every core is an
+independent instance of the single-core problem (its own cache, its own
+periodic schedule, smaller interference set Δ), so the single-core
+machinery is reused per core.  Controller designs are cached by
+(application, timing), which different partitions share aggressively —
+an application alone on a core always has the same timing, whatever the
+rest of the partition looks like.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, replace
+from typing import Iterator
+
+from ..control.design import ControllerDesign, DesignOptions, design_controller
+from ..core.application import ControlApplication
+from ..core.performance import performance_index
+from ..errors import ScheduleError, SearchError
+from ..sched.feasibility import enumerate_idle_feasible
+from ..sched.schedule import PeriodicSchedule
+from ..sched.timing import AppTiming, derive_timing
+from ..units import Clock
+
+
+@dataclass(frozen=True)
+class CoreAssignment:
+    """One core's applications (global indices) and its schedule."""
+
+    app_indices: tuple[int, ...]
+    schedule: PeriodicSchedule
+
+
+@dataclass
+class MulticoreEvaluation:
+    """Outcome of evaluating one partition + per-core schedules."""
+
+    cores: tuple[CoreAssignment, ...]
+    settling: dict[int, float]
+    performances: dict[int, float]
+    overall: float
+    feasible: bool
+
+    @property
+    def n_cores_used(self) -> int:
+        """Number of non-empty cores."""
+        return len(self.cores)
+
+
+def enumerate_partitions(n_apps: int, n_cores: int) -> Iterator[tuple[tuple[int, ...], ...]]:
+    """All partitions of ``n_apps`` applications onto <= ``n_cores`` cores.
+
+    Partitions are canonical (each block sorted, blocks ordered by their
+    smallest element) so no partition is produced twice.
+    """
+    if n_apps < 1 or n_cores < 1:
+        raise ScheduleError("need at least one application and one core")
+
+    def recurse(index: int, blocks: list[list[int]]) -> Iterator[tuple[tuple[int, ...], ...]]:
+        if index == n_apps:
+            yield tuple(tuple(block) for block in blocks)
+            return
+        for block in blocks:
+            block.append(index)
+            yield from recurse(index + 1, blocks)
+            block.pop()
+        if len(blocks) < n_cores:
+            blocks.append([index])
+            yield from recurse(index + 1, blocks)
+            blocks.pop()
+
+    yield from recurse(0, [])
+
+
+class MulticoreProblem:
+    """Co-design over partitions and per-core periodic schedules."""
+
+    def __init__(
+        self,
+        apps: list[ControlApplication],
+        clock: Clock,
+        n_cores: int,
+        design_options: DesignOptions | None = None,
+        max_count_per_core: int = 6,
+    ) -> None:
+        if n_cores < 1:
+            raise ScheduleError(f"need at least one core, got {n_cores}")
+        if max_count_per_core < 1:
+            raise ScheduleError(
+                f"max_count_per_core must be >= 1, got {max_count_per_core}"
+            )
+        self.apps = list(apps)
+        self.clock = clock
+        self.n_cores = n_cores
+        self.design_options = design_options or DesignOptions()
+        # A lone application on a core never violates its idle bound
+        # (Delta = 0), so its schedule space is unbounded; burst lengths
+        # are capped where the cache-reuse benefit has long saturated.
+        self.max_count_per_core = max_count_per_core
+        self._design_cache: dict[tuple, ControllerDesign] = {}
+
+    def _design(self, app_index: int, timing: AppTiming) -> ControllerDesign:
+        quantize = lambda values: tuple(round(v * 1e15) for v in values)
+        key = (app_index, quantize(timing.periods), quantize(timing.delays))
+        design = self._design_cache.get(key)
+        if design is None:
+            app = self.apps[app_index]
+            options = replace(
+                self.design_options,
+                seed=self.design_options.seed + 7919 * app_index,
+            )
+            design = design_controller(
+                app.plant,
+                list(timing.periods),
+                list(timing.delays),
+                app.spec,
+                options,
+            )
+            self._design_cache[key] = design
+        return design
+
+    def evaluate_core(
+        self, app_indices: tuple[int, ...], schedule: PeriodicSchedule
+    ) -> tuple[dict[int, float], dict[int, float], bool]:
+        """Evaluate one core; returns (settling, performance, idle_ok)."""
+        core_apps = [self.apps[i] for i in app_indices]
+        timing = derive_timing(schedule, [a.wcets for a in core_apps], self.clock)
+        idle_ok = all(
+            app_timing.max_period <= app.max_idle + 1e-15
+            for app_timing, app in zip(timing.apps, core_apps)
+        )
+        settling: dict[int, float] = {}
+        performances: dict[int, float] = {}
+        for local, global_index in enumerate(app_indices):
+            app = self.apps[global_index]
+            design = self._design(global_index, timing.for_app(local))
+            settled = design.settling if design.satisfies(app.spec) else math.inf
+            settling[global_index] = settled
+            performances[global_index] = performance_index(settled, app.spec.deadline)
+        return settling, performances, idle_ok
+
+    def best_schedule_for_core(
+        self, app_indices: tuple[int, ...]
+    ) -> tuple[PeriodicSchedule, dict[int, float], dict[int, float]] | None:
+        """Exhaustively optimize one core's schedule (weighted objective)."""
+        core_apps = [self.apps[i] for i in app_indices]
+        space = enumerate_idle_feasible(
+            core_apps, self.clock, max_count=self.max_count_per_core
+        )
+        best = None
+        for schedule in space:
+            settling, performances, idle_ok = self.evaluate_core(app_indices, schedule)
+            if not idle_ok or any(p < 0 for p in performances.values()):
+                continue
+            value = sum(
+                self.apps[i].weight * performances[i] for i in app_indices
+            )
+            if best is None or value > best[0]:
+                best = (value, schedule, settling, performances)
+        if best is None:
+            return None
+        return best[1], best[2], best[3]
+
+    def optimize(self) -> MulticoreEvaluation:
+        """Search all partitions; per core, all feasible schedules."""
+        best: MulticoreEvaluation | None = None
+        for partition in enumerate_partitions(len(self.apps), self.n_cores):
+            cores = []
+            settling: dict[int, float] = {}
+            performances: dict[int, float] = {}
+            feasible = True
+            for block in partition:
+                result = self.best_schedule_for_core(block)
+                if result is None:
+                    feasible = False
+                    break
+                schedule, block_settling, block_perf = result
+                cores.append(CoreAssignment(block, schedule))
+                settling.update(block_settling)
+                performances.update(block_perf)
+            if not feasible:
+                continue
+            overall = sum(
+                app.weight * performances[i] for i, app in enumerate(self.apps)
+            )
+            candidate = MulticoreEvaluation(
+                cores=tuple(cores),
+                settling=settling,
+                performances=performances,
+                overall=overall,
+                feasible=True,
+            )
+            if best is None or candidate.overall > best.overall:
+                best = candidate
+        if best is None:
+            raise SearchError("no feasible multicore assignment exists")
+        return best

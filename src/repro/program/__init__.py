@@ -1,0 +1,34 @@
+"""Program model used by the WCET analysis.
+
+Control programs are modelled as *structured* instruction streams: a tree
+of sequences, fixed-bound loops and two-way branches whose leaves are
+basic blocks.  This mirrors the shape of generated automotive control
+code (MISRA-style: no recursion, statically bounded loops) and is exactly
+the class of programs the paper's WCET references handle.
+
+The model provides two complementary views:
+
+* a **layout** view — blocks placed contiguously in flash, which fixes the
+  cache-line/set mapping;
+* an **execution** view — concrete instruction-address traces (for the
+  exact cache simulator) and a structure walk (for the abstract must/may
+  analysis).
+"""
+
+from .blocks import BasicBlock
+from .structure import Branch, Loop, Node, Seq
+from .program import Program
+from .builder import ProgramBuilder
+from .synth import make_control_program, random_program
+
+__all__ = [
+    "BasicBlock",
+    "Branch",
+    "Loop",
+    "Node",
+    "Program",
+    "ProgramBuilder",
+    "Seq",
+    "make_control_program",
+    "random_program",
+]

@@ -1,0 +1,77 @@
+"""Basic blocks: straight-line runs of instructions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ProgramError
+
+
+@dataclass
+class BasicBlock:
+    """A straight-line sequence of ``n_instr`` fixed-size instructions.
+
+    The block's flash address is assigned when the enclosing
+    :class:`~repro.program.program.Program` is placed; until then the
+    block is "unplaced" and produces no addresses.
+
+    Parameters
+    ----------
+    name:
+        Unique (per program) human-readable identifier.
+    n_instr:
+        Number of instructions in the block; must be positive.
+    """
+
+    name: str
+    n_instr: int
+    _base: int | None = field(default=None, repr=False, compare=False)
+    _instr_size: int | None = field(default=None, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.n_instr <= 0:
+            raise ProgramError(
+                f"block {self.name!r} must contain at least one instruction, "
+                f"got {self.n_instr}"
+            )
+
+    @property
+    def placed(self) -> bool:
+        """Whether the block has been assigned a flash address."""
+        return self._base is not None
+
+    @property
+    def base(self) -> int:
+        """First instruction's byte address (requires placement)."""
+        if self._base is None or self._instr_size is None:
+            raise ProgramError(f"block {self.name!r} has not been placed yet")
+        return self._base
+
+    @property
+    def size_bytes(self) -> int:
+        """Byte size of the block (requires placement for instr size)."""
+        if self._instr_size is None:
+            raise ProgramError(f"block {self.name!r} has not been placed yet")
+        return self.n_instr * self._instr_size
+
+    @property
+    def end(self) -> int:
+        """First byte address after the block."""
+        return self.base + self.size_bytes
+
+    def place(self, base: int, instr_size: int) -> None:
+        """Assign the block's flash address and instruction size."""
+        if base < 0 or instr_size <= 0:
+            raise ProgramError(
+                f"invalid placement for block {self.name!r}: "
+                f"base={base} instr_size={instr_size}"
+            )
+        self._base = base
+        self._instr_size = instr_size
+
+    def addresses(self) -> list[int]:
+        """Byte addresses of every instruction, in execution order."""
+        base = self.base
+        step = self._instr_size
+        assert step is not None
+        return [base + k * step for k in range(self.n_instr)]

@@ -1,0 +1,90 @@
+"""Fluent builder for structured programs.
+
+Keeps test and example code readable::
+
+    program = (
+        ProgramBuilder("filter")
+        .block("init", 40)
+        .loop(16, lambda body: body.block("tap", 12))
+        .branch(
+            lambda arm: arm.block("saturate", 8),
+            lambda arm: arm.block("pass", 2),
+        )
+        .block("write_back", 6)
+        .build()
+    )
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..errors import ProgramError
+from .blocks import BasicBlock
+from .program import Program
+from .structure import Branch, Loop, Node, Seq
+
+
+class ProgramBuilder:
+    """Accumulates nodes and produces a :class:`Program`."""
+
+    def __init__(self, name: str, instr_size: int = 4) -> None:
+        self.name = name
+        self.instr_size = instr_size
+        self._children: list[Node] = []
+        self._auto_index = 0
+
+    def _fresh_name(self, prefix: str) -> str:
+        self._auto_index += 1
+        return f"{prefix}_{self._auto_index}"
+
+    def block(self, name: str, n_instr: int) -> "ProgramBuilder":
+        """Append a basic block."""
+        self._children.append(BasicBlock(name, n_instr))
+        return self
+
+    def loop(
+        self,
+        iterations: int,
+        body: "Callable[[ProgramBuilder], ProgramBuilder]",
+    ) -> "ProgramBuilder":
+        """Append a loop whose body is built by ``body``."""
+        inner = ProgramBuilder(self._fresh_name(f"{self.name}.loop"), self.instr_size)
+        inner._auto_index = self._auto_index * 1000
+        body(inner)
+        self._children.append(Loop(inner._as_node(), iterations))
+        return self
+
+    def branch(
+        self,
+        taken: "Callable[[ProgramBuilder], ProgramBuilder] | None",
+        not_taken: "Callable[[ProgramBuilder], ProgramBuilder] | None" = None,
+    ) -> "ProgramBuilder":
+        """Append a branch; either arm callback may be ``None``."""
+
+        def build_arm(
+            arm: "Callable[[ProgramBuilder], ProgramBuilder] | None", tag: str
+        ) -> Node | None:
+            if arm is None:
+                return None
+            inner = ProgramBuilder(self._fresh_name(f"{self.name}.{tag}"), self.instr_size)
+            inner._auto_index = self._auto_index * 1000 + (7 if tag == "t" else 13)
+            arm(inner)
+            return inner._as_node()
+
+        self._children.append(Branch(build_arm(taken, "t"), build_arm(not_taken, "nt")))
+        return self
+
+    def _as_node(self) -> Node:
+        if not self._children:
+            raise ProgramError(f"builder {self.name!r} is empty")
+        if len(self._children) == 1:
+            return self._children[0]
+        return Seq(list(self._children))
+
+    def build(self, base: int | None = None) -> Program:
+        """Produce the program; optionally place it at ``base``."""
+        program = Program(self.name, self._as_node(), self.instr_size)
+        if base is not None:
+            program.place(base)
+        return program

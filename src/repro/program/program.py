@@ -1,0 +1,158 @@
+"""The :class:`Program` container: structure + flash placement."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from ..cache.config import CacheConfig
+from ..errors import ProgramError
+from .blocks import BasicBlock
+from .structure import Branch, Loop, Node, Seq, count_branches, iter_blocks
+
+#: Decides branch directions during trace expansion.  Receives the branch
+#: node and the number of branches decided so far; returns ``True`` for
+#: the taken arm.
+BranchDecider = Callable[[Branch, int], bool]
+
+
+def take_always(branch: Branch, index: int) -> bool:
+    """Branch decider that always follows the taken arm (if present)."""
+    return branch.taken is not None
+
+
+class Program:
+    """A complete, placeable control program.
+
+    Parameters
+    ----------
+    name:
+        Program identifier (also used as the flash region name).
+    root:
+        Structure tree of the program.
+    instr_size:
+        Instruction width in bytes.  The case study uses 4-byte
+        instructions, i.e. 4 instructions per 16-byte cache line.
+    """
+
+    def __init__(self, name: str, root: Node, instr_size: int = 4) -> None:
+        if instr_size <= 0:
+            raise ProgramError(f"instr_size must be positive, got {instr_size}")
+        self.name = name
+        self.root = root
+        self.instr_size = instr_size
+        self._placed = False
+        self._check_unique_block_names()
+
+    def _check_unique_block_names(self) -> None:
+        seen: set[str] = set()
+        for block in iter_blocks(self.root):
+            if block.name in seen:
+                raise ProgramError(
+                    f"duplicate block name {block.name!r} in program {self.name!r}"
+                )
+            seen.add(block.name)
+
+    # ------------------------------------------------------------------
+    # Layout
+    # ------------------------------------------------------------------
+    def place(self, base: int) -> None:
+        """Place all blocks contiguously in flash starting at ``base``."""
+        address = base
+        for block in iter_blocks(self.root):
+            block.place(address, self.instr_size)
+            address += block.n_instr * self.instr_size
+        self._placed = True
+
+    @property
+    def placed(self) -> bool:
+        """Whether :meth:`place` has been called."""
+        return self._placed
+
+    def _require_placed(self) -> None:
+        if not self._placed:
+            raise ProgramError(f"program {self.name!r} has not been placed")
+
+    @property
+    def blocks(self) -> list[BasicBlock]:
+        """All basic blocks in layout order."""
+        return list(iter_blocks(self.root))
+
+    @property
+    def static_instructions(self) -> int:
+        """Total instructions in the image (static count, not executed)."""
+        return sum(block.n_instr for block in self.blocks)
+
+    @property
+    def size_bytes(self) -> int:
+        """Byte size of the program image."""
+        return self.static_instructions * self.instr_size
+
+    @property
+    def base(self) -> int:
+        """Flash base address of the image."""
+        self._require_placed()
+        return self.blocks[0].base
+
+    def footprint_lines(self, config: CacheConfig) -> set[int]:
+        """Memory lines the image occupies under ``config``."""
+        self._require_placed()
+        lines: set[int] = set()
+        for block in self.blocks:
+            first = config.line_of(block.base)
+            last = config.line_of(block.end - 1)
+            lines.update(range(first, last + 1))
+        return lines
+
+    def cache_sets(self, config: CacheConfig) -> set[int]:
+        """Cache sets the image maps to under ``config``."""
+        return {config.set_of_line(line) for line in self.footprint_lines(config)}
+
+    @property
+    def n_branches(self) -> int:
+        """Number of branch nodes (drives path enumeration cost)."""
+        return count_branches(self.root)
+
+    # ------------------------------------------------------------------
+    # Execution view
+    # ------------------------------------------------------------------
+    def trace(self, decider: BranchDecider = take_always) -> Iterator[int]:
+        """Yield instruction byte addresses along one concrete path.
+
+        ``decider`` fixes each branch direction; loops run their full
+        bound (the worst case for a fixed-bound loop).
+        """
+        self._require_placed()
+        counter = [0]
+
+        def walk(node: Node | None) -> Iterator[int]:
+            if node is None:
+                return
+            if isinstance(node, BasicBlock):
+                yield from node.addresses()
+            elif isinstance(node, Seq):
+                for child in node.children:
+                    yield from walk(child)
+            elif isinstance(node, Loop):
+                for _ in range(node.iterations):
+                    yield from walk(node.body)
+            elif isinstance(node, Branch):
+                index = counter[0]
+                counter[0] += 1
+                if decider(node, index):
+                    yield from walk(node.taken)
+                else:
+                    yield from walk(node.not_taken)
+            else:  # pragma: no cover - defensive
+                raise ProgramError(f"unknown node type: {type(node).__name__}")
+
+        yield from walk(self.root)
+
+    def executed_instructions(self, decider: BranchDecider = take_always) -> int:
+        """Number of instructions executed along one concrete path."""
+        return sum(1 for _ in self.trace(decider))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Program({self.name!r}, blocks={len(self.blocks)}, "
+            f"static_instr={self.static_instructions})"
+        )

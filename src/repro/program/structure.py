@@ -1,0 +1,119 @@
+"""Structured control flow: sequences, bounded loops and branches.
+
+The three node types form the AST of a statically analysable program.
+Loop bounds are mandatory (as in any WCET-amenable code base); branches
+carry no probabilities — the worst path is what matters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Union
+
+from ..errors import ProgramError
+from .blocks import BasicBlock
+
+#: Any element of a program structure tree.
+Node = Union[BasicBlock, "Seq", "Loop", "Branch"]
+
+
+@dataclass
+class Seq:
+    """Sequential composition of child nodes."""
+
+    children: list[Node]
+
+    def __post_init__(self) -> None:
+        if not self.children:
+            raise ProgramError("Seq must have at least one child")
+
+
+@dataclass
+class Loop:
+    """A loop executing ``body`` exactly up to ``iterations`` times.
+
+    ``iterations`` is the loop *bound* used for WCET: the worst case
+    executes the body that many times.
+    """
+
+    body: Node
+    iterations: int
+
+    def __post_init__(self) -> None:
+        if self.iterations < 1:
+            raise ProgramError(
+                f"loop bound must be >= 1, got {self.iterations}"
+            )
+
+
+@dataclass
+class Branch:
+    """A two-way branch; the WCET analysis considers both arms.
+
+    Either arm may be ``None`` to model an if-without-else.  At least one
+    arm must be present.
+    """
+
+    taken: Node | None
+    not_taken: Node | None = None
+
+    def __post_init__(self) -> None:
+        if self.taken is None and self.not_taken is None:
+            raise ProgramError("Branch must have at least one arm")
+
+    def arms(self) -> list[Node | None]:
+        """Both arms in a fixed order (``None`` marks an empty arm)."""
+        return [self.taken, self.not_taken]
+
+
+def iter_blocks(node: Node | None) -> Iterator[BasicBlock]:
+    """Yield every basic block in ``node`` in layout (declaration) order.
+
+    Blocks inside loops appear once — layout order is static program
+    order, not execution order.
+    """
+    if node is None:
+        return
+    if isinstance(node, BasicBlock):
+        yield node
+    elif isinstance(node, Seq):
+        for child in node.children:
+            yield from iter_blocks(child)
+    elif isinstance(node, Loop):
+        yield from iter_blocks(node.body)
+    elif isinstance(node, Branch):
+        yield from iter_blocks(node.taken)
+        yield from iter_blocks(node.not_taken)
+    else:  # pragma: no cover - defensive
+        raise ProgramError(f"unknown node type: {type(node).__name__}")
+
+
+def count_branches(node: Node | None) -> int:
+    """Number of :class:`Branch` nodes in the tree (for path enumeration)."""
+    if node is None or isinstance(node, BasicBlock):
+        return 0
+    if isinstance(node, Seq):
+        return sum(count_branches(child) for child in node.children)
+    if isinstance(node, Loop):
+        return count_branches(node.body)
+    if isinstance(node, Branch):
+        return 1 + count_branches(node.taken) + count_branches(node.not_taken)
+    raise ProgramError(f"unknown node type: {type(node).__name__}")
+
+
+def max_path_instructions(node: Node | None) -> int:
+    """Upper bound on executed instructions along any path."""
+    if node is None:
+        return 0
+    if isinstance(node, BasicBlock):
+        return node.n_instr
+    if isinstance(node, Seq):
+        return sum(max_path_instructions(child) for child in node.children)
+    if isinstance(node, Loop):
+        return node.iterations * max_path_instructions(node.body)
+    if isinstance(node, Branch):
+        return max(
+            max_path_instructions(node.taken),
+            max_path_instructions(node.not_taken),
+        )
+    raise ProgramError(f"unknown node type: {type(node).__name__}")

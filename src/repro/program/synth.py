@@ -1,0 +1,94 @@
+"""Synthetic program generation.
+
+Two generators live here:
+
+* :func:`make_control_program` — the canonical *init / main-loop / exit*
+  shape of a sampled-data control task (sensor read and scaling, the
+  filter/solver loop, actuator write-back).  The case-study programs of
+  :mod:`repro.apps.programs` are instances calibrated to Table I.
+* :func:`random_program` — random structure trees for property-based
+  tests of the cache and WCET analyses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ProgramError
+from .blocks import BasicBlock
+from .program import Program
+from .structure import Branch, Loop, Node, Seq
+
+
+def make_control_program(
+    name: str,
+    init_instr: int,
+    body_instr: int,
+    iterations: int,
+    exit_instr: int,
+    instr_size: int = 4,
+) -> Program:
+    """Build the canonical control-task program.
+
+    Structure: ``init`` (sensor acquisition, state load), a main loop of
+    ``iterations`` executions of ``body`` (the numeric kernel), then
+    ``exit`` (actuator write, state store).
+
+    The executed-instruction count is
+    ``init_instr + iterations * body_instr + exit_instr`` and the static
+    image is ``init_instr + body_instr + exit_instr`` instructions.
+    """
+    root = Seq(
+        [
+            BasicBlock(f"{name}.init", init_instr),
+            Loop(BasicBlock(f"{name}.body", body_instr), iterations),
+            BasicBlock(f"{name}.exit", exit_instr),
+        ]
+    )
+    return Program(name, root, instr_size)
+
+
+def random_program(
+    rng: np.random.Generator,
+    max_depth: int = 3,
+    max_children: int = 3,
+    max_block_instr: int = 24,
+    max_loop_iterations: int = 6,
+    instr_size: int = 4,
+    name: str = "random",
+) -> Program:
+    """Generate a random structured program for property-based testing.
+
+    The tree is kept small (worst path a few thousand instructions) so
+    exhaustive path enumeration stays cheap in tests.
+    """
+    if max_depth < 1:
+        raise ProgramError("max_depth must be >= 1")
+    counter = [0]
+
+    def fresh_block() -> BasicBlock:
+        counter[0] += 1
+        n_instr = int(rng.integers(1, max_block_instr + 1))
+        return BasicBlock(f"{name}.b{counter[0]}", n_instr)
+
+    def gen(depth: int) -> Node:
+        if depth >= max_depth:
+            return fresh_block()
+        kind = rng.choice(["block", "seq", "loop", "branch"])
+        if kind == "block":
+            return fresh_block()
+        if kind == "seq":
+            n_children = int(rng.integers(1, max_children + 1))
+            return Seq([gen(depth + 1) for _ in range(n_children)])
+        if kind == "loop":
+            iterations = int(rng.integers(1, max_loop_iterations + 1))
+            return Loop(gen(depth + 1), iterations)
+        arm_shape = rng.integers(0, 3)
+        if arm_shape == 0:
+            return Branch(gen(depth + 1), gen(depth + 1))
+        if arm_shape == 1:
+            return Branch(gen(depth + 1), None)
+        return Branch(None, gen(depth + 1))
+
+    root = Seq([fresh_block(), gen(1), fresh_block()])
+    return Program(name, root, instr_size)

@@ -1,0 +1,94 @@
+"""Simulated-annealing baseline for the schedule search.
+
+The paper motivates its hybrid algorithm by contrasting gradient methods
+(cheap but easily trapped) with simulated annealing (robust but
+evaluation-hungry).  This module provides the SA end of that spectrum so
+the trade-off can be measured (ablation A1/A2 territory).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import SearchError
+from .evaluator import ScheduleEvaluator
+from .results import SearchResult, SearchTrace
+from .schedule import PeriodicSchedule
+
+
+@dataclass(frozen=True)
+class AnnealingOptions:
+    """Standard geometric-cooling SA parameters."""
+
+    initial_temperature: float = 0.05
+    cooling: float = 0.92
+    steps_per_temperature: int = 4
+    n_temperatures: int = 24
+    seed: int = 2018
+
+    def __post_init__(self) -> None:
+        if self.initial_temperature <= 0:
+            raise SearchError("initial temperature must be positive")
+        if not 0 < self.cooling < 1:
+            raise SearchError(f"cooling must be in (0, 1), got {self.cooling}")
+
+
+def annealing_search(
+    evaluator: ScheduleEvaluator,
+    start: PeriodicSchedule,
+    idle_feasible_fn,
+    options: AnnealingOptions | None = None,
+) -> SearchResult:
+    """Simulated annealing from ``start`` (maximizing overall performance)."""
+    options = options or AnnealingOptions()
+    rng = np.random.default_rng(options.seed)
+    if not idle_feasible_fn(start):
+        raise SearchError(f"start schedule {start} violates the idle-time bound")
+
+    requested: set[tuple[int, ...]] = set()
+
+    def value(schedule: PeriodicSchedule) -> float:
+        requested.add(schedule.counts)
+        return evaluator.evaluate(schedule).overall
+
+    trace = SearchTrace(start=start)
+    current = start
+    current_value = value(current)
+    trace.path.append((current, current_value))
+    best_eval = evaluator.evaluate(current) if evaluator.evaluate(current).feasible else None
+
+    temperature = options.initial_temperature
+    for _ in range(options.n_temperatures):
+        for _ in range(options.steps_per_temperature):
+            neighbors = [
+                n for n in current.neighbors() if idle_feasible_fn(n)
+            ]
+            if not neighbors:
+                break
+            candidate = neighbors[int(rng.integers(0, len(neighbors)))]
+            candidate_eval = evaluator.evaluate(candidate)
+            requested.add(candidate.counts)
+            if not candidate_eval.feasible:
+                continue
+            delta = candidate_eval.overall - (
+                current_value if math.isfinite(current_value) else -1e9
+            )
+            if delta >= 0 or rng.random() < math.exp(delta / temperature):
+                current = candidate
+                current_value = candidate_eval.overall
+                trace.path.append((current, current_value))
+                if best_eval is None or candidate_eval.overall > best_eval.overall:
+                    best_eval = candidate_eval
+        temperature *= options.cooling
+
+    if best_eval is None:
+        raise SearchError("annealing never visited a feasible schedule")
+    trace.n_evaluations = len(requested)
+    return SearchResult(
+        best=best_eval,
+        n_evaluations=trace.n_evaluations,
+        traces=[trace],
+    )

@@ -1,0 +1,168 @@
+"""Overall control performance of one schedule (paper eq. (2)).
+
+Evaluating a schedule means: derive its timing, run the holistic
+controller design for every application, measure worst-case settling
+times, convert to performances ``P_i = 1 - s_i / s0_i`` and combine with
+the weights.  This is the expensive inner loop of the schedule search
+("seconds to hours" per schedule on the paper's hardware), so the
+evaluator memoizes aggressively:
+
+* per schedule — repeated requests are free;
+* per (application, timing pattern) — different schedules often induce
+  the same timing for some application, and the controller design only
+  depends on the timing.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+from ..control.design import ControllerDesign, DesignOptions, design_controller
+from ..core.application import ControlApplication
+from ..core.performance import check_weights, performance_index
+from ..errors import ScheduleError
+from ..units import Clock
+from .schedule import PeriodicSchedule
+from .timing import AppTiming, ScheduleTiming, derive_timing
+
+
+@dataclass(frozen=True)
+class AppEvaluation:
+    """Design outcome for one application under one schedule."""
+
+    app_name: str
+    design: ControllerDesign
+    timing: AppTiming
+    settling: float
+    performance: float
+
+    @property
+    def meets_deadline(self) -> bool:
+        """Settling-deadline constraint, eq. (3): ``P_i >= 0``."""
+        return self.performance >= 0.0
+
+
+@dataclass(frozen=True)
+class ScheduleEvaluation:
+    """Complete evaluation of one schedule."""
+
+    schedule: PeriodicSchedule
+    timing: ScheduleTiming
+    apps: tuple[AppEvaluation, ...]
+    overall: float
+    idle_ok: bool
+
+    @property
+    def feasible(self) -> bool:
+        """Idle-time (eq. (4)) and settling-deadline (eq. (3)) feasible."""
+        return self.idle_ok and all(app.meets_deadline for app in self.apps)
+
+
+class ScheduleEvaluator:
+    """Memoizing evaluator of overall control performance."""
+
+    def __init__(
+        self,
+        apps: list[ControlApplication],
+        clock: Clock,
+        design_options: DesignOptions | None = None,
+    ) -> None:
+        if not apps:
+            raise ScheduleError("need at least one application")
+        check_weights([app.weight for app in apps])
+        self.apps = list(apps)
+        self.clock = clock
+        self.design_options = design_options or DesignOptions()
+        self._schedule_cache: dict[tuple[int, ...], ScheduleEvaluation] = {}
+        self._design_cache: dict[tuple, ControllerDesign] = {}
+
+    @property
+    def n_schedule_evaluations(self) -> int:
+        """Number of distinct schedules evaluated so far."""
+        return len(self._schedule_cache)
+
+    @property
+    def n_designs(self) -> int:
+        """Number of distinct (application, timing) designs performed."""
+        return len(self._design_cache)
+
+    def _design_key(self, app_index: int, timing: AppTiming) -> tuple:
+        # Round to femtoseconds: well below any WCET granularity, well
+        # above float noise.
+        quantize = lambda values: tuple(round(v * 1e15) for v in values)
+        return (app_index, quantize(timing.periods), quantize(timing.delays))
+
+    def _design_for(self, app_index: int, timing: AppTiming) -> ControllerDesign:
+        key = self._design_key(app_index, timing)
+        design = self._design_cache.get(key)
+        if design is None:
+            app = self.apps[app_index]
+            # Per-app deterministic seed so results are reproducible and
+            # applications don't share swarm randomness.
+            options = replace(
+                self.design_options,
+                seed=self.design_options.seed + 7919 * app_index,
+            )
+            design = design_controller(
+                app.plant,
+                list(timing.periods),
+                list(timing.delays),
+                app.spec,
+                options,
+            )
+            self._design_cache[key] = design
+        return design
+
+    def evaluate(self, schedule: PeriodicSchedule) -> ScheduleEvaluation:
+        """Evaluate one schedule (cached)."""
+        key = schedule.counts
+        cached = self._schedule_cache.get(key)
+        if cached is not None:
+            return cached
+        if schedule.n_apps != len(self.apps):
+            raise ScheduleError(
+                f"schedule has {schedule.n_apps} apps, problem has {len(self.apps)}"
+            )
+        timing = derive_timing(
+            schedule, [app.wcets for app in self.apps], self.clock
+        )
+        idle_ok = all(
+            app_timing.max_period <= app.max_idle + 1e-15
+            for app_timing, app in zip(timing.apps, self.apps)
+        )
+        evaluations = []
+        for i, app in enumerate(self.apps):
+            app_timing = timing.for_app(i)
+            design = self._design_for(i, app_timing)
+            settling = design.settling if design.satisfies(app.spec) else math.inf
+            performance = performance_index(settling, app.spec.deadline)
+            evaluations.append(
+                AppEvaluation(
+                    app_name=app.name,
+                    design=design,
+                    timing=app_timing,
+                    settling=settling,
+                    performance=performance,
+                )
+            )
+        finite = [e.performance for e in evaluations]
+        if any(not math.isfinite(p) for p in finite):
+            overall = -math.inf
+        else:
+            overall = float(
+                sum(app.weight * e.performance for app, e in zip(self.apps, evaluations))
+            )
+        result = ScheduleEvaluation(
+            schedule=schedule,
+            timing=timing,
+            apps=tuple(evaluations),
+            overall=overall,
+            idle_ok=idle_ok,
+        )
+        self._schedule_cache[key] = result
+        return result
+
+    def is_cached(self, schedule: PeriodicSchedule) -> bool:
+        """Whether ``schedule`` has already been evaluated."""
+        return schedule.counts in self._schedule_cache

@@ -1,0 +1,45 @@
+"""Result containers for schedule-space searches."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .evaluator import ScheduleEvaluation
+from .schedule import PeriodicSchedule
+
+
+@dataclass
+class SearchTrace:
+    """Path of one search run (one start point)."""
+
+    start: PeriodicSchedule
+    path: list[tuple[PeriodicSchedule, float]] = field(default_factory=list)
+    n_evaluations: int = 0
+
+    @property
+    def end(self) -> PeriodicSchedule:
+        """Last schedule the search rested on."""
+        if not self.path:
+            return self.start
+        return self.path[-1][0]
+
+
+@dataclass
+class SearchResult:
+    """Outcome of a schedule-space search (possibly multi-start)."""
+
+    best: ScheduleEvaluation
+    n_evaluations: int
+    traces: list[SearchTrace] = field(default_factory=list)
+    #: Extra statistics, e.g. the exhaustive search's enumeration counts.
+    stats: dict = field(default_factory=dict)
+
+    @property
+    def best_schedule(self) -> PeriodicSchedule:
+        """The best feasible schedule found."""
+        return self.best.schedule
+
+    @property
+    def best_value(self) -> float:
+        """Overall control performance of the best schedule."""
+        return self.best.overall

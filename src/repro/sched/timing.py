@@ -1,0 +1,186 @@
+"""Control timing parameters induced by a schedule (paper Section II-C).
+
+For application ``i`` executing ``m_i`` consecutive tasks per schedule
+period, with cold WCET ``E_i(1)`` and warm (cache-reuse) WCET for later
+positions, the sampling periods are
+
+* ``h_i(j) = E_i(j)``            for ``j < m_i``            (eq. (6) left)
+* ``h_i(m_i) = E_i(m_i) + Δ_i``  with ``Δ_i = Σ_{j≠i} T_j`` (eq. (6)/(7))
+
+and every sensing-to-actuation delay equals the task's WCET,
+``τ_i(j) = E_i(j)`` (eq. (8)).  ``T_j`` is the total execution time of
+application ``j``'s burst: ``E_j(1) + (m_j - 1) E_j(reuse)``.
+
+The interleaved generalization walks the flattened task sequence: a task
+is cold whenever another application ran since its last execution, and
+an application's sampling periods are the gaps between its consecutive
+task start times (wrapped around the period).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ScheduleError
+from ..units import Clock
+from ..wcet.results import TaskWcets
+from .schedule import InterleavedSchedule, PeriodicSchedule
+
+
+@dataclass(frozen=True)
+class AppTiming:
+    """Per-application timing pattern over one schedule hyperperiod.
+
+    ``periods[j]`` and ``delays[j]`` are the sampling period and
+    sensing-to-actuation delay of the application's ``j``-th task (0-based
+    here; the paper's ``h_i(j+1)``/``τ_i(j+1)``).  The pattern is ordered
+    so the *last* period is the longest (the idle gap before the next
+    hyperperiod) — the worst-case tracking scenario starts right after it.
+    """
+
+    app_index: int
+    periods: tuple[float, ...]
+    delays: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.periods) != len(self.delays) or not self.periods:
+            raise ScheduleError("periods and delays must be equal-length, non-empty")
+        for h, tau in zip(self.periods, self.delays):
+            if not 0 < tau <= h:
+                raise ScheduleError(f"invalid timing: tau={tau}, h={h}")
+
+    @property
+    def n_tasks(self) -> int:
+        """Tasks per hyperperiod (the paper's ``m_i``)."""
+        return len(self.periods)
+
+    @property
+    def hyperperiod(self) -> float:
+        """Sum of the sampling periods (= schedule period)."""
+        return sum(self.periods)
+
+    @property
+    def max_period(self) -> float:
+        """Longest sampling period — the idle time of eq. (4)."""
+        return max(self.periods)
+
+
+@dataclass(frozen=True)
+class ScheduleTiming:
+    """Timing of a complete schedule: one :class:`AppTiming` per app."""
+
+    apps: tuple[AppTiming, ...]
+    hyperperiod: float
+
+    def for_app(self, app_index: int) -> AppTiming:
+        """Timing pattern of one application."""
+        return self.apps[app_index]
+
+
+def burst_duration(wcets: TaskWcets, count: int, clock: Clock) -> float:
+    """Execution time ``T`` of ``count`` back-to-back tasks, in seconds."""
+    cycles = sum(wcets.wcet_cycles(position) for position in range(1, count + 1))
+    return clock.cycles_to_seconds(cycles)
+
+
+def _rotate_longest_last(
+    periods: list[float], delays: list[float]
+) -> tuple[tuple[float, ...], tuple[float, ...]]:
+    """Rotate the circular (period, delay) pattern so the longest period
+    is last.
+
+    The execution pattern is circular, so this is pure relabeling; it
+    pins the worst-case tracking phase (reference step before the
+    longest idle gap) at the pattern boundary, where the simulator and
+    the lifted model expect it.  For the paper's configurations the
+    longest period is already last (it includes all other applications'
+    bursts) and the rotation is the identity.
+    """
+    pivot = max(range(len(periods)), key=lambda k: periods[k])
+    rotation = (pivot + 1) % len(periods)
+    return (
+        tuple(periods[rotation:] + periods[:rotation]),
+        tuple(delays[rotation:] + delays[:rotation]),
+    )
+
+
+def derive_timing(
+    schedule: PeriodicSchedule,
+    wcets: list[TaskWcets],
+    clock: Clock,
+) -> ScheduleTiming:
+    """Sampling periods and delays of a periodic schedule (eqs. (6)-(8))."""
+    if len(wcets) != schedule.n_apps:
+        raise ScheduleError(
+            f"need {schedule.n_apps} WCET entries, got {len(wcets)}"
+        )
+    durations = [
+        burst_duration(w, m, clock) for w, m in zip(wcets, schedule.counts)
+    ]
+    total = sum(durations)
+    apps = []
+    for i, (w, m) in enumerate(zip(wcets, schedule.counts)):
+        delta = total - durations[i]
+        exec_times = [
+            clock.cycles_to_seconds(w.wcet_cycles(position))
+            for position in range(1, m + 1)
+        ]
+        periods = list(exec_times)
+        periods[-1] += delta
+        rotated_periods, rotated_delays = _rotate_longest_last(periods, exec_times)
+        apps.append(
+            AppTiming(
+                app_index=i,
+                periods=rotated_periods,
+                delays=rotated_delays,
+            )
+        )
+    return ScheduleTiming(apps=tuple(apps), hyperperiod=total)
+
+
+def derive_timing_interleaved(
+    schedule: InterleavedSchedule,
+    wcets: list[TaskWcets],
+    clock: Clock,
+) -> ScheduleTiming:
+    """Timing of a general interleaved schedule (paper future work).
+
+    Tasks are cold at the start of every burst (another application ran
+    in between and, in the case study, provably evicted the whole cache)
+    and warm within a burst.  Each application's sampling-period pattern
+    is rotated so its longest period comes last, matching the worst-case
+    tracking phase convention of :class:`AppTiming`.
+    """
+    if len(wcets) != schedule.n_apps:
+        raise ScheduleError(
+            f"need {schedule.n_apps} WCET entries, got {len(wcets)}"
+        )
+    tasks = schedule.flattened()
+    exec_times = [
+        clock.cycles_to_seconds(wcets[app].wcet_cycles(position))
+        for app, position in tasks
+    ]
+    hyperperiod = sum(exec_times)
+    n_tasks = len(tasks)
+
+    apps = []
+    for i in range(schedule.n_apps):
+        own_indices = [k for k, (app, _pos) in enumerate(tasks) if app == i]
+        periods = []
+        delays = []
+        for j, k in enumerate(own_indices):
+            next_k = own_indices[(j + 1) % len(own_indices)]
+            # Exact sum of the task times between consecutive samples —
+            # summing the same float terms as the delay keeps
+            # tau <= h exact even when the gap is a single task.
+            if j + 1 < len(own_indices):
+                span = range(k, next_k)
+            else:
+                span = list(range(k, n_tasks)) + list(range(0, next_k))
+            periods.append(sum(exec_times[s] for s in span))
+            delays.append(exec_times[k])
+        rotated_periods, rotated_delays = _rotate_longest_last(periods, delays)
+        apps.append(
+            AppTiming(app_index=i, periods=rotated_periods, delays=rotated_delays)
+        )
+    return ScheduleTiming(apps=tuple(apps), hyperperiod=hyperperiod)

@@ -1,0 +1,64 @@
+"""Time-unit helpers shared across the cache, WCET and control layers.
+
+The cache/WCET layer counts *clock cycles* (exact integers); the control
+layer works in *seconds* (floats).  The conversion pivot is the processor
+clock frequency.  Keeping the conversion in one place avoids the classic
+off-by-1e6 microsecond bugs when wiring analysis results into controller
+design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .errors import ConfigurationError
+
+#: Convenient multipliers for expressing literals in seconds.
+MICROSECOND = 1e-6
+MILLISECOND = 1e-3
+
+
+@dataclass(frozen=True)
+class Clock:
+    """A processor clock used to convert cycle counts to wall-clock time.
+
+    Parameters
+    ----------
+    frequency_hz:
+        Clock frequency in hertz.  The paper's case study uses 20 MHz.
+    """
+
+    frequency_hz: float = 20e6
+
+    def __post_init__(self) -> None:
+        if self.frequency_hz <= 0:
+            raise ConfigurationError(
+                f"clock frequency must be positive, got {self.frequency_hz}"
+            )
+
+    @property
+    def cycle_time(self) -> float:
+        """Duration of one clock cycle in seconds."""
+        return 1.0 / self.frequency_hz
+
+    def cycles_to_seconds(self, cycles: int | float) -> float:
+        """Convert a cycle count to seconds."""
+        return cycles / self.frequency_hz
+
+    def cycles_to_us(self, cycles: int | float) -> float:
+        """Convert a cycle count to microseconds."""
+        return cycles / self.frequency_hz * 1e6
+
+    def seconds_to_cycles(self, seconds: float) -> float:
+        """Convert a duration in seconds to (possibly fractional) cycles."""
+        return seconds * self.frequency_hz
+
+
+def us(value: float) -> float:
+    """Express ``value`` microseconds in seconds."""
+    return value * MICROSECOND
+
+
+def ms(value: float) -> float:
+    """Express ``value`` milliseconds in seconds."""
+    return value * MILLISECOND

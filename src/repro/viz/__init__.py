@@ -1,0 +1,11 @@
+"""Plain-text visualization: response plots and schedule timelines.
+
+The reproduction environment is offline (no matplotlib), so Figure 6 and
+the schedule timing diagrams (Figs. 2/4) are rendered as Unicode/ASCII
+art plus CSV dumps that external tooling can plot.
+"""
+
+from .ascii_plot import AsciiPlot, plot_series
+from .timeline import render_schedule_timeline
+
+__all__ = ["AsciiPlot", "plot_series", "render_schedule_timeline"]

@@ -1,0 +1,120 @@
+"""Unicode line plots for step-response figures (Fig. 6 replacement)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+
+class AsciiPlot:
+    """A fixed-size character canvas with data-space mapping."""
+
+    def __init__(
+        self,
+        x_range: tuple[float, float],
+        y_range: tuple[float, float],
+        width: int = 72,
+        height: int = 16,
+    ) -> None:
+        if width < 8 or height < 4:
+            raise ConfigurationError("plot must be at least 8x4 characters")
+        if x_range[1] <= x_range[0] or y_range[1] <= y_range[0]:
+            raise ConfigurationError("plot ranges must be non-degenerate")
+        self.x_range = x_range
+        self.y_range = y_range
+        self.width = width
+        self.height = height
+        self._cells = [[" "] * width for _ in range(height)]
+
+    def _col(self, x: float) -> int | None:
+        lo, hi = self.x_range
+        if not lo <= x <= hi:
+            return None
+        return min(self.width - 1, int((x - lo) / (hi - lo) * (self.width - 1)))
+
+    def _row(self, y: float) -> int | None:
+        lo, hi = self.y_range
+        if not lo <= y <= hi:
+            return None
+        frac = (y - lo) / (hi - lo)
+        return min(self.height - 1, int((1.0 - frac) * (self.height - 1)))
+
+    def add_series(self, xs: np.ndarray, ys: np.ndarray, marker: str) -> None:
+        """Overlay one series; later series overwrite earlier cells."""
+        xs = np.asarray(xs, dtype=float).reshape(-1)
+        ys = np.asarray(ys, dtype=float).reshape(-1)
+        if xs.shape != ys.shape:
+            raise ConfigurationError("series x and y must have equal length")
+        for x, y in zip(xs, ys):
+            if math.isnan(y):
+                continue
+            col = self._col(x)
+            row = self._row(min(max(y, self.y_range[0]), self.y_range[1]))
+            if col is not None and row is not None:
+                self._cells[row][col] = marker
+
+    def add_hline(self, y: float, marker: str = "-") -> None:
+        """Horizontal guide line (e.g. the settling band edges)."""
+        row = self._row(y)
+        if row is None:
+            return
+        for col in range(self.width):
+            if self._cells[row][col] == " ":
+                self._cells[row][col] = marker
+
+    def render(self, title: str = "", y_label: str = "", x_label: str = "") -> str:
+        """Render with a simple frame and min/max annotations."""
+        lines = []
+        if title:
+            lines.append(title)
+        if y_label:
+            lines.append(f"[y: {y_label}]")
+        top = f"{self.y_range[1]:.4g}".rjust(10)
+        bottom = f"{self.y_range[0]:.4g}".rjust(10)
+        for i, row in enumerate(self._cells):
+            prefix = top if i == 0 else (bottom if i == self.height - 1 else " " * 10)
+            lines.append(prefix + " |" + "".join(row))
+        axis = " " * 10 + " +" + "-" * self.width
+        lines.append(axis)
+        label = f"{self.x_range[0]:.4g}".ljust(self.width // 2)
+        label += f"{self.x_range[1]:.4g}".rjust(self.width - len(label))
+        lines.append(" " * 12 + label + (f"  [x: {x_label}]" if x_label else ""))
+        return "\n".join(lines)
+
+
+def plot_series(
+    series: dict[str, tuple[np.ndarray, np.ndarray]],
+    title: str = "",
+    y_label: str = "",
+    x_label: str = "",
+    width: int = 72,
+    height: int = 16,
+    markers: str = "*o+x#@",
+) -> str:
+    """Plot several named series on one auto-ranged canvas with a legend."""
+    if not series:
+        raise ConfigurationError("need at least one series")
+    all_x = np.concatenate([np.asarray(xs, dtype=float).reshape(-1) for xs, _ in series.values()])
+    all_y = np.concatenate([np.asarray(ys, dtype=float).reshape(-1) for _, ys in series.values()])
+    finite_y = all_y[np.isfinite(all_y)]
+    if finite_y.size == 0:
+        raise ConfigurationError("series contain no finite values")
+    y_lo, y_hi = float(finite_y.min()), float(finite_y.max())
+    if y_lo == y_hi:
+        y_lo, y_hi = y_lo - 1.0, y_hi + 1.0
+    pad = 0.05 * (y_hi - y_lo)
+    plot = AsciiPlot(
+        (float(all_x.min()), float(all_x.max())),
+        (y_lo - pad, y_hi + pad),
+        width,
+        height,
+    )
+    legend = []
+    for (name, (xs, ys)), marker in zip(series.items(), markers):
+        plot.add_series(np.asarray(xs), np.asarray(ys), marker)
+        legend.append(f"{marker} = {name}")
+    rendered = plot.render(title, y_label, x_label)
+    return rendered + "\n" + "    ".join(legend)

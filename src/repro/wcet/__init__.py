@@ -1,0 +1,44 @@
+"""WCET analysis: concrete ground truth and static (abstract) bounds.
+
+The paper consumes three numbers per application (Section II-B/Table I):
+
+* the WCET from a cold cache,
+* the *guaranteed* WCET reduction when the task re-executes back-to-back
+  (cache reuse), and
+* the effective warm WCET (cold minus reduction).
+
+This package computes all three two ways:
+
+* :mod:`~repro.wcet.concrete` — exact trace replay through the
+  :class:`~repro.cache.icache.InstructionCache` with worst-case path
+  enumeration (ground truth for single-path and small branchy programs);
+* :mod:`~repro.wcet.static` — sound static bounds via must/may abstract
+  interpretation over the program structure, usable for arbitrary
+  programs and unknown initial cache contents.
+
+:mod:`~repro.wcet.reuse` combines them into the per-task WCET sequences
+the scheduling layer needs, and :mod:`~repro.wcet.schedule_sim` replays a
+whole schedule through one shared cache to *validate* the analytical
+numbers.
+"""
+
+from .results import StaticWcet, TaskWcets, TraceResult
+from .concrete import simulate_path, simulate_worst_case
+from .static import AbstractState, analyze_program
+from .reuse import analyze_task_wcets, guaranteed_reduction, task_wcet_sequence
+from .schedule_sim import ScheduleTaskCost, simulate_task_sequence
+
+__all__ = [
+    "AbstractState",
+    "ScheduleTaskCost",
+    "StaticWcet",
+    "TaskWcets",
+    "TraceResult",
+    "analyze_program",
+    "analyze_task_wcets",
+    "guaranteed_reduction",
+    "simulate_path",
+    "simulate_task_sequence",
+    "simulate_worst_case",
+    "task_wcet_sequence",
+]

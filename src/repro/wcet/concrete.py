@@ -1,0 +1,126 @@
+"""Concrete (exact) WCET by trace replay with path enumeration.
+
+For single-path programs (the usual shape of control tasks) this is the
+exact execution time under the cache model.  For programs with branches
+the worst path is found by enumerating branch-decision vectors — one
+decision per static branch site, which is exact for programs whose branch
+directions are loop-invariant and an upper-bound search space otherwise.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from ..cache.config import CacheConfig
+from ..cache.icache import AccessOutcome, InstructionCache
+from ..errors import AnalysisError
+from ..program.program import Program
+from ..program.structure import Branch
+from .results import TraceResult
+
+#: Safety valve for path enumeration.
+DEFAULT_MAX_PATHS = 4096
+
+
+def _collect_branch_sites(program: Program) -> list[Branch]:
+    """All static branch nodes in a stable order."""
+    sites: list[Branch] = []
+
+    def walk(node) -> None:
+        from ..program.structure import BasicBlock, Loop, Seq
+
+        if node is None or isinstance(node, BasicBlock):
+            return
+        if isinstance(node, Seq):
+            for child in node.children:
+                walk(child)
+        elif isinstance(node, Loop):
+            walk(node.body)
+        elif isinstance(node, Branch):
+            sites.append(node)
+            walk(node.taken)
+            walk(node.not_taken)
+
+    walk(program.root)
+    return sites
+
+
+def simulate_path(
+    program: Program,
+    cache: InstructionCache,
+    decisions: tuple[bool, ...] = (),
+) -> TraceResult:
+    """Replay one concrete path; ``cache`` is copied, not mutated.
+
+    ``decisions`` holds one boolean per static branch site (in the order
+    of :func:`_collect_branch_sites`); missing entries default to the
+    taken arm.
+    """
+    sites = _collect_branch_sites(program)
+    decision_of = {
+        id(site): decisions[i] if i < len(decisions) else True
+        for i, site in enumerate(sites)
+    }
+
+    def decider(branch: Branch, _index: int) -> bool:
+        choice = decision_of[id(branch)]
+        if choice and branch.taken is None:
+            return False
+        if not choice and branch.not_taken is None:
+            return True
+        return choice
+
+    state = cache.copy()
+    hits = 0
+    misses = 0
+    cycles = 0
+    for address in program.trace(decider):
+        if state.access(address) is AccessOutcome.HIT:
+            hits += 1
+            cycles += state.config.hit_cycles
+        else:
+            misses += 1
+            cycles += state.config.miss_cycles
+    return TraceResult(cycles, hits, misses, state, tuple(decisions))
+
+
+def simulate_worst_case(
+    program: Program,
+    config: CacheConfig,
+    initial_cache: InstructionCache | None = None,
+    max_paths: int = DEFAULT_MAX_PATHS,
+) -> TraceResult:
+    """Exact WCET over all branch-decision vectors.
+
+    Parameters
+    ----------
+    program:
+        A placed program.
+    config:
+        Cache configuration (used when ``initial_cache`` is ``None``).
+    initial_cache:
+        Starting cache state; a cold cache when omitted.
+    max_paths:
+        Enumeration budget; programs with more than ``log2(max_paths)``
+        branch sites must use the static analysis instead.
+
+    Returns
+    -------
+    TraceResult
+        The most expensive path, including its final cache state.
+    """
+    if initial_cache is None:
+        initial_cache = InstructionCache(config)
+    n_sites = program.n_branches
+    if n_sites > 0 and 2 ** n_sites > max_paths:
+        raise AnalysisError(
+            f"program {program.name!r} has {n_sites} branch sites "
+            f"(> {max_paths} paths); use repro.wcet.static.analyze_program"
+        )
+    worst: TraceResult | None = None
+    for decisions in itertools.product((True, False), repeat=n_sites):
+        result = simulate_path(program, initial_cache, decisions)
+        if worst is None or result.cycles > worst.cycles:
+            worst = result
+    assert worst is not None  # n_sites == 0 yields exactly one path
+    return worst

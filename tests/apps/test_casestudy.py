@@ -1,0 +1,78 @@
+"""Tests for the case-study bundle (Table II wiring and plant regime)."""
+
+import numpy as np
+import pytest
+
+from repro.apps import build_case_study
+from repro.apps.casestudy import PAPER_TABLE2, TRACKING_SCENARIOS
+from repro.apps.resonant import equilibrium_input, resonant_plant
+from repro.cache import CacheConfig
+from repro.errors import ConfigurationError
+
+
+class TestBundle:
+    def test_three_apps_in_order(self, case_study):
+        assert [app.name for app in case_study.apps] == ["C1", "C2", "C3"]
+
+    def test_table2_parameters(self, case_study):
+        for app in case_study.apps:
+            weight, deadline, idle = PAPER_TABLE2[app.name]
+            assert app.weight == weight
+            assert app.spec.deadline == deadline
+            assert app.max_idle == idle
+
+    def test_weights_sum_to_one(self, case_study):
+        assert sum(app.weight for app in case_study.apps) == pytest.approx(1.0)
+
+    def test_tracking_scenarios(self, case_study):
+        for app in case_study.apps:
+            y0, r, u_max = TRACKING_SCENARIOS[app.name]
+            assert app.spec.y0 == y0
+            assert app.spec.r == r
+            assert app.spec.u_max == u_max
+
+    def test_wcets_from_analysis_not_constants(self, case_study):
+        assert case_study.apps[0].wcets.cold_cycles == 18151
+        assert case_study.apps[1].wcets.warm_cycles == 3500
+
+    def test_app_lookup(self, case_study):
+        assert case_study.app("C2").name == "C2"
+        with pytest.raises(KeyError):
+            case_study.app("C4")
+
+    def test_custom_cache_config_changes_wcets(self):
+        tiny = build_case_study(CacheConfig(n_sets=32))
+        default = build_case_study()
+        # A 32-line cache cannot hold the 92-line C1 image: less reuse.
+        assert (
+            tiny.apps[0].wcets.reduction_cycles
+            < default.apps[0].wcets.reduction_cycles
+        )
+
+    def test_equilibrium_inputs_leave_headroom(self, case_study):
+        """Calibration invariant: holding the reference costs well under
+        the 12 V saturation bound."""
+        for app in case_study.apps:
+            _x_eq, u_eq = app.plant.equilibrium(app.spec.r)
+            assert 0 < abs(u_eq) < 0.8 * app.spec.u_max
+
+
+class TestResonantTemplate:
+    def test_equilibrium_input_helper_matches_plant(self):
+        plant = resonant_plant("p", 300.0, 0.1, 6000.0, 6000.0)
+        _x_eq, u_eq = plant.equilibrium(2000.0)
+        assert u_eq == pytest.approx(equilibrium_input(300.0, 6000.0, 6000.0, 2000.0))
+
+    def test_plants_are_lightly_damped(self, case_study):
+        """The delay-limited-damping regime (DESIGN.md §3) requires
+        underdamped plants."""
+        for app in case_study.apps:
+            poles = app.plant.poles()
+            assert np.all(poles.real < 0)
+            assert np.abs(poles.imag).max() > -poles.real.max()
+
+    def test_template_validation(self):
+        with pytest.raises(ConfigurationError):
+            resonant_plant("bad", -1.0, 0.1, 1.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            resonant_plant("bad", 100.0, 0.1, 1.0, 0.0)

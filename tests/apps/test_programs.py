@@ -1,0 +1,75 @@
+"""The calibrated programs must regenerate the paper's Table I exactly.
+
+This is the reproduction's anchor regression: the WCETs drive every
+downstream timing number.
+"""
+
+import pytest
+
+from repro.apps import build_case_study_programs, program_parameters
+from repro.apps.casestudy import PAPER_TABLE1_US
+from repro.cache import CacheConfig
+from repro.units import Clock
+from repro.wcet import analyze_task_wcets
+
+
+class TestTable1Exact:
+    @pytest.mark.parametrize("method", ["static", "concrete"])
+    @pytest.mark.parametrize(
+        "name,cold_us,reduction_us,warm_us",
+        [(name, *values) for name, values in PAPER_TABLE1_US.items()],
+    )
+    def test_wcets_match_paper(self, method, name, cold_us, reduction_us, warm_us):
+        config = CacheConfig()
+        clock = Clock(20e6)
+        programs, _layout = build_case_study_programs(config)
+        program = next(p for p in programs if p.name == name)
+        wcets = analyze_task_wcets(program, config, method)
+        assert clock.cycles_to_us(wcets.cold_cycles) == pytest.approx(cold_us)
+        assert clock.cycles_to_us(wcets.reduction_cycles) == pytest.approx(reduction_us)
+        assert clock.cycles_to_us(wcets.warm_cycles) == pytest.approx(warm_us)
+
+
+class TestProgramShapes:
+    def test_shapes_match_design_doc(self):
+        c1 = program_parameters("C1")
+        assert (c1.init_instr, c1.body_instr, c1.iterations, c1.exit_instr) == (
+            100, 241, 37, 26,
+        )
+        assert c1.executed_instructions == 9043
+        assert program_parameters("C2").executed_instructions == 3500
+        assert program_parameters("C3").executed_instructions == 4687
+
+    def test_unknown_program_rejected(self):
+        with pytest.raises(KeyError):
+            program_parameters("C9")
+
+    def test_footprints_match_design_doc(self):
+        config = CacheConfig()
+        programs, _ = build_case_study_programs(config)
+        footprints = {p.name: len(p.footprint_lines(config)) for p in programs}
+        assert footprints == {"C1": 92, "C2": 95, "C3": 104}
+
+    def test_every_image_fits_the_cache(self):
+        config = CacheConfig()
+        programs, _ = build_case_study_programs(config)
+        for program in programs:
+            assert len(program.footprint_lines(config)) <= config.n_lines
+
+    def test_images_do_not_overlap(self):
+        config = CacheConfig()
+        _, layout = build_case_study_programs(config)
+        regions = layout.regions
+        for i, a in enumerate(regions):
+            for b in regions[i + 1:]:
+                assert not a.overlaps(b)
+
+    def test_other_apps_cover_all_sets(self):
+        """The paper's cold-cache assumption: for every application, the
+        other two applications' images touch every cache set."""
+        config = CacheConfig()
+        _, layout = build_case_study_programs(config)
+        names = ["C1", "C2", "C3"]
+        for skip in names:
+            others = [n for n in names if n != skip]
+            assert layout.covers_all_sets(others)

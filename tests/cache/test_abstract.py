@@ -1,0 +1,160 @@
+"""Tests for the must/may abstract cache domains.
+
+The key property is soundness against the concrete LRU simulator: after
+any access sequence, every line the must-cache claims resident IS
+resident, and every resident line IS in the may-cache.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache import CacheConfig, InstructionCache, MayCache, MustCache, ReplacementPolicy
+from repro.errors import AnalysisError
+
+
+def config(**kwargs) -> CacheConfig:
+    defaults = dict(n_sets=4, associativity=2, line_size=16)
+    defaults.update(kwargs)
+    return CacheConfig(**defaults)
+
+
+class TestMustCache:
+    def test_cold_contains_nothing(self):
+        must = MustCache.cold(config())
+        assert not must.contains(0)
+        assert must.lines() == set()
+
+    def test_access_makes_line_guaranteed(self):
+        must = MustCache.cold(config())
+        must.update(7)
+        assert must.contains(7)
+        assert must.ages[7] == 0
+
+    def test_aging_within_set_evicts(self):
+        cfg = config()  # assoc 2
+        must = MustCache.cold(cfg)
+        must.update(0)   # set 0
+        must.update(4)   # set 0
+        must.update(8)   # set 0: line 0 ages out
+        assert not must.contains(0)
+        assert must.contains(4)
+        assert must.contains(8)
+
+    def test_other_sets_unaffected(self):
+        must = MustCache.cold(config())
+        must.update(0)  # set 0
+        must.update(1)  # set 1
+        must.update(5)  # set 1
+        must.update(9)  # set 1
+        assert must.contains(0)
+
+    def test_rehit_resets_age_without_aging_younger(self):
+        must = MustCache.cold(config())
+        must.update(0)
+        must.update(4)
+        must.update(0)  # rehit: 4 must stay age 0? no - 4 was younger (age 0)
+        assert must.contains(0) and must.contains(4)
+        assert must.ages[0] == 0
+        # 4 had age 0 < old age of 0 (1): it ages to 1.
+        assert must.ages[4] == 1
+
+    def test_join_intersects_and_maximizes_age(self):
+        cfg = config()
+        a = MustCache(cfg, {0: 0, 4: 1})
+        b = MustCache(cfg, {0: 1, 8: 0})
+        joined = a.join(b)
+        assert joined.ages == {0: 1}
+
+    def test_requires_lru(self):
+        with pytest.raises(AnalysisError):
+            MustCache.cold(config(policy=ReplacementPolicy.FIFO))
+
+
+class TestMayCache:
+    def test_cold_contains_nothing(self):
+        may = MayCache.cold(config())
+        assert not may.contains(0)
+
+    def test_unknown_contains_everything(self):
+        may = MayCache.unknown(config())
+        assert may.is_top
+        assert may.contains(12345)
+
+    def test_join_unions_and_minimizes_age(self):
+        cfg = config()
+        a = MayCache(cfg, {0: 1})
+        b = MayCache(cfg, {0: 0, 4: 1})
+        joined = a.join(b)
+        assert joined.ages == {0: 0, 4: 1}
+
+    def test_join_propagates_top(self):
+        cfg = config()
+        joined = MayCache.cold(cfg).join(MayCache.unknown(cfg))
+        assert joined.is_top
+
+    def test_aging_evicts_possibly_cached(self):
+        cfg = config()
+        may = MayCache.cold(cfg)
+        may.update(0)
+        may.update(4)
+        may.update(8)
+        assert not may.contains(0)
+
+
+ACCESS_SEQUENCES = st.lists(st.integers(0, 15), min_size=1, max_size=80)
+
+
+class TestSoundness:
+    @given(ACCESS_SEQUENCES)
+    @settings(max_examples=80, deadline=None)
+    def test_must_subset_concrete_subset_may(self, lines):
+        cfg = config()
+        concrete = InstructionCache(cfg)
+        must = MustCache.cold(cfg)
+        may = MayCache.cold(cfg)
+        for line in lines:
+            concrete.access(line * cfg.line_size)
+            must.update(line)
+            may.update(line)
+        resident = concrete.resident_lines()
+        assert must.lines() <= resident
+        assert resident <= may.lines()
+
+    @given(ACCESS_SEQUENCES, ACCESS_SEQUENCES)
+    @settings(max_examples=40, deadline=None)
+    def test_join_is_sound_for_either_branch(self, left, right):
+        """The join over-approximates both joined states."""
+        cfg = config()
+
+        def run(lines):
+            must = MustCache.cold(cfg)
+            may = MayCache.cold(cfg)
+            for line in lines:
+                must.update(line)
+                may.update(line)
+            return must, may
+
+        must_l, may_l = run(left)
+        must_r, may_r = run(right)
+        joined_must = must_l.join(must_r)
+        joined_may = may_l.join(may_r)
+        assert joined_must.lines() <= must_l.lines()
+        assert joined_must.lines() <= must_r.lines()
+        assert may_l.lines() <= joined_may.lines()
+        assert may_r.lines() <= joined_may.lines()
+
+    @given(ACCESS_SEQUENCES)
+    @settings(max_examples=40, deadline=None)
+    def test_must_age_bounds_concrete_age(self, lines):
+        """A must-age is an upper bound: the line is among the
+        (age+1) most recently used of its set."""
+        cfg = config()
+        concrete = InstructionCache(cfg)
+        must = MustCache.cold(cfg)
+        for line in lines:
+            concrete.access(line * cfg.line_size)
+            must.update(line)
+        for line, age in must.ages.items():
+            cache_set = concrete._sets[cfg.set_of_line(line)]
+            assert line in cache_set.lines[: age + 1]

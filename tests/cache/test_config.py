@@ -1,0 +1,68 @@
+"""Tests for repro.cache.config."""
+
+import pytest
+
+from repro.cache import CacheConfig, ReplacementPolicy
+from repro.errors import ConfigurationError
+
+
+class TestValidation:
+    def test_paper_defaults(self):
+        config = CacheConfig()
+        assert config.n_sets == 128
+        assert config.associativity == 1
+        assert config.line_size == 16
+        assert config.hit_cycles == 1
+        assert config.miss_cycles == 100
+        assert config.n_lines == 128
+        assert config.size_bytes == 2048
+
+    def test_rejects_non_power_of_two_sets(self):
+        with pytest.raises(ConfigurationError):
+            CacheConfig(n_sets=100)
+
+    def test_rejects_non_power_of_two_line_size(self):
+        with pytest.raises(ConfigurationError):
+            CacheConfig(line_size=12)
+
+    def test_rejects_zero_associativity(self):
+        with pytest.raises(ConfigurationError):
+            CacheConfig(associativity=0)
+
+    def test_rejects_miss_faster_than_hit(self):
+        with pytest.raises(ConfigurationError):
+            CacheConfig(hit_cycles=10, miss_cycles=5)
+
+    def test_miss_penalty(self):
+        assert CacheConfig().miss_penalty == 99
+
+
+class TestAddressMapping:
+    def test_line_of_splits_by_line_size(self):
+        config = CacheConfig(line_size=16)
+        assert config.line_of(0) == 0
+        assert config.line_of(15) == 0
+        assert config.line_of(16) == 1
+        assert config.line_of(1600) == 100
+
+    def test_set_mapping_is_modulo(self):
+        config = CacheConfig(n_sets=128, line_size=16)
+        assert config.set_of_line(0) == 0
+        assert config.set_of_line(127) == 127
+        assert config.set_of_line(128) == 0
+        assert config.set_of(128 * 16) == 0
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CacheConfig().line_of(-1)
+
+    def test_set_associative_geometry(self):
+        config = CacheConfig(n_sets=32, associativity=4)
+        assert config.n_lines == 128
+        # Lines 32 apart collide in the same set.
+        assert config.set_of_line(5) == config.set_of_line(37)
+
+
+def test_policy_enum_values():
+    assert ReplacementPolicy.LRU.value == "lru"
+    assert ReplacementPolicy.FIFO.value == "fifo"

@@ -1,0 +1,159 @@
+"""Tests for the concrete instruction-cache simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache import AccessOutcome, CacheConfig, InstructionCache, ReplacementPolicy
+from repro.errors import CacheError
+
+
+def small_config(**kwargs) -> CacheConfig:
+    defaults = dict(n_sets=4, associativity=2, line_size=16)
+    defaults.update(kwargs)
+    return CacheConfig(**defaults)
+
+
+class TestBasicSemantics:
+    def test_first_access_misses_then_hits(self):
+        cache = InstructionCache(CacheConfig())
+        assert cache.access(0x100) is AccessOutcome.MISS
+        assert cache.access(0x100) is AccessOutcome.HIT
+
+    def test_same_line_hits(self):
+        cache = InstructionCache(CacheConfig(line_size=16))
+        cache.access(0x100)
+        # 0x10F is in the same 16-byte line.
+        assert cache.access(0x10F) is AccessOutcome.HIT
+
+    def test_access_cycles(self):
+        cache = InstructionCache(CacheConfig(hit_cycles=1, miss_cycles=100))
+        assert cache.access_cycles(0) == 100
+        assert cache.access_cycles(0) == 1
+
+    def test_run_trace_totals(self):
+        cache = InstructionCache(CacheConfig(hit_cycles=1, miss_cycles=100))
+        # Four instructions in one line: 1 miss + 3 hits.
+        assert cache.run_trace([0, 4, 8, 12]) == 103
+
+    def test_stats_accumulate(self):
+        cache = InstructionCache(CacheConfig())
+        cache.run_trace([0, 4, 16, 0])
+        assert cache.stats.misses == 2
+        assert cache.stats.hits == 2
+        assert cache.stats.accesses == 4
+        assert cache.stats.hit_rate == pytest.approx(0.5)
+
+    def test_flush_empties_but_keeps_stats(self):
+        cache = InstructionCache(CacheConfig())
+        cache.access(0)
+        cache.flush()
+        assert cache.occupancy() == 0
+        assert cache.stats.misses == 1
+
+
+class TestReplacement:
+    def test_direct_mapped_conflict(self):
+        config = CacheConfig(n_sets=4, associativity=1, line_size=16)
+        cache = InstructionCache(config)
+        cache.access(0)            # line 0 -> set 0
+        cache.access(4 * 16)       # line 4 -> set 0, evicts line 0
+        assert cache.access(0) is AccessOutcome.MISS
+
+    def test_two_way_holds_both(self):
+        cache = InstructionCache(small_config())
+        cache.access(0)            # line 0 -> set 0
+        cache.access(4 * 16)       # line 4 -> set 0
+        assert cache.access(0) is AccessOutcome.HIT
+        assert cache.access(4 * 16) is AccessOutcome.HIT
+
+    def test_lru_evicts_least_recent(self):
+        cache = InstructionCache(small_config())
+        cache.access(0)            # line 0
+        cache.access(4 * 16)       # line 4
+        cache.access(0)            # refresh line 0
+        cache.access(8 * 16)       # line 8 evicts line 4 (LRU)
+        assert cache.contains_line(0)
+        assert not cache.contains_line(4)
+
+    def test_fifo_ignores_hit_refresh(self):
+        cache = InstructionCache(small_config(policy=ReplacementPolicy.FIFO))
+        cache.access(0)            # line 0 inserted first
+        cache.access(4 * 16)       # line 4
+        cache.access(0)            # hit: does NOT refresh insertion order
+        cache.access(8 * 16)       # evicts line 0 (oldest insertion)
+        assert not cache.contains_line(0)
+        assert cache.contains_line(4)
+
+
+class TestStateManagement:
+    def test_copy_is_independent(self):
+        cache = InstructionCache(CacheConfig())
+        cache.access(0)
+        clone = cache.copy()
+        clone.access(16)
+        assert clone.contains_line(1)
+        assert not cache.contains_line(1)
+
+    def test_copy_resets_stats(self):
+        cache = InstructionCache(CacheConfig())
+        cache.access(0)
+        assert cache.copy().stats.accesses == 0
+
+    def test_load_lines_constructs_warm_state(self):
+        cache = InstructionCache(CacheConfig())
+        cache.load_lines([1, 2, 3])
+        assert cache.contains_line(2)
+        assert cache.stats.accesses == 0
+
+    def test_load_lines_respects_capacity(self):
+        cache = InstructionCache(small_config())
+        cache.load_lines([0, 4, 8])  # all map to set 0, assoc 2
+        assert cache.occupancy() == 2
+
+    def test_assert_compatible(self):
+        a = InstructionCache(CacheConfig())
+        b = InstructionCache(CacheConfig(n_sets=64))
+        with pytest.raises(CacheError):
+            a.assert_compatible(b)
+
+    def test_resident_lines(self):
+        cache = InstructionCache(CacheConfig())
+        cache.run_trace([0, 16, 32])
+        assert cache.resident_lines() == {0, 1, 2}
+
+
+class TestPropertyBased:
+    @given(st.lists(st.integers(0, 1023), min_size=1, max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_occupancy_never_exceeds_capacity(self, addresses):
+        cache = InstructionCache(small_config())
+        for address in addresses:
+            cache.access(address)
+        assert cache.occupancy() <= cache.config.n_lines
+
+    @given(st.lists(st.integers(0, 1023), min_size=1, max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_most_recent_line_always_resident(self, addresses):
+        cache = InstructionCache(small_config())
+        for address in addresses:
+            cache.access(address)
+        assert cache.contains_address(addresses[-1])
+
+    @given(st.lists(st.integers(0, 1023), min_size=1, max_size=100))
+    @settings(max_examples=50, deadline=None)
+    def test_replay_is_deterministic(self, addresses):
+        c1 = InstructionCache(small_config())
+        c2 = InstructionCache(small_config())
+        assert c1.run_trace(addresses) == c2.run_trace(addresses)
+        assert c1.resident_lines() == c2.resident_lines()
+
+    @given(st.lists(st.integers(0, 255), min_size=1, max_size=60))
+    @settings(max_examples=50, deadline=None)
+    def test_second_replay_never_slower(self, addresses):
+        """Re-running a trace on the warmed cache can only get cheaper."""
+        cache = InstructionCache(small_config())
+        first = cache.run_trace(addresses)
+        second = cache.run_trace(addresses)
+        assert second <= first

@@ -1,0 +1,66 @@
+"""Tests for flash layout and memory regions."""
+
+import pytest
+
+from repro.cache import CacheConfig, FlashLayout, MemoryRegion
+from repro.errors import ConfigurationError
+
+
+class TestMemoryRegion:
+    def test_end_and_overlap(self):
+        a = MemoryRegion("a", 0, 100)
+        b = MemoryRegion("b", 50, 100)
+        c = MemoryRegion("c", 100, 10)
+        assert a.end == 100
+        assert a.overlaps(b)
+        assert not a.overlaps(c)
+
+    def test_lines_and_sets(self):
+        config = CacheConfig(n_sets=4, line_size=16)
+        region = MemoryRegion("r", 16, 33)  # bytes 16..48 -> lines 1,2,3
+        assert region.lines(config) == {1, 2, 3}
+        assert region.cache_sets(config) == {1, 2, 3}
+
+    def test_set_wraparound(self):
+        config = CacheConfig(n_sets=4, line_size=16)
+        region = MemoryRegion("r", 0, 16 * 6)  # lines 0..5 -> sets 0,1,2,3,0,1
+        assert region.cache_sets(config) == {0, 1, 2, 3}
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            MemoryRegion("bad", -1, 10)
+        with pytest.raises(ConfigurationError):
+            MemoryRegion("bad", 0, 0)
+
+
+class TestFlashLayout:
+    def test_sequential_line_aligned_allocation(self):
+        layout = FlashLayout(CacheConfig(line_size=16))
+        a = layout.allocate("a", 20)
+        b = layout.allocate("b", 5)
+        assert a.base == 0
+        assert b.base == 32  # 20 rounded up to the next 16-byte boundary
+
+    def test_region_lookup(self):
+        layout = FlashLayout(CacheConfig())
+        layout.allocate("prog", 64)
+        assert layout.region("prog").size == 64
+        with pytest.raises(ConfigurationError):
+            layout.region("nope")
+
+    def test_covers_all_sets(self):
+        config = CacheConfig(n_sets=4, line_size=16)
+        layout = FlashLayout(config)
+        layout.allocate("small", 16)       # 1 line: set 0
+        layout.allocate("big", 16 * 4)     # lines 1..4: sets 1,2,3,0
+        assert not layout.covers_all_sets(["small"])
+        assert layout.covers_all_sets(["big"])
+        assert layout.covers_all_sets(["small", "big"])
+
+    def test_case_study_eviction_guarantee(self, case_study):
+        """C2+C3 cover every set: C1's first task is exactly cold —
+        the paper's cold-cache assumption, verified."""
+        layout = case_study.layout
+        assert layout.covers_all_sets(["C2", "C3"])
+        assert layout.covers_all_sets(["C1", "C2"])
+        assert layout.covers_all_sets(["C1", "C3"])

@@ -1,0 +1,46 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps import build_case_study
+from repro.cache import CacheConfig
+from repro.control.design import DesignOptions
+from repro.control.pso import PsoOptions
+from repro.units import Clock
+
+
+@pytest.fixture(scope="session")
+def paper_cache_config() -> CacheConfig:
+    """The paper's cache: 128 lines x 16 B, hit 1 cycle, miss 100."""
+    return CacheConfig()
+
+
+@pytest.fixture(scope="session")
+def clock() -> Clock:
+    """The paper's 20 MHz processor clock."""
+    return Clock(20e6)
+
+
+@pytest.fixture(scope="session")
+def case_study():
+    """The three-application automotive case study (built once)."""
+    return build_case_study()
+
+
+@pytest.fixture(scope="session")
+def quick_design_options() -> DesignOptions:
+    """Smoke-test design budget: fast, still finds feasible designs."""
+    return DesignOptions(
+        restarts=1,
+        stage_a=PsoOptions(10, 10),
+        stage_b=PsoOptions(12, 10),
+    )
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    """Deterministic RNG for tests that need randomness."""
+    return np.random.default_rng(20180308)

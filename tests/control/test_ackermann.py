@@ -1,0 +1,78 @@
+"""Tests for SISO pole placement (Ackermann's formula)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.control import controllability_matrix, place_poles_siso
+from repro.errors import ControlError
+
+
+class TestControllabilityMatrix:
+    def test_structure(self):
+        a = np.array([[1.0, 2.0], [3.0, 4.0]])
+        b = np.array([1.0, 0.0])
+        ctrb = controllability_matrix(a, b)
+        np.testing.assert_allclose(ctrb[:, 0], b)
+        np.testing.assert_allclose(ctrb[:, 1], a @ b)
+
+
+class TestPlacement:
+    def test_places_real_poles(self):
+        a = np.array([[0.0, 1.0], [0.0, 0.0]])
+        b = np.array([0.0, 1.0])
+        k = place_poles_siso(a, b, np.array([0.5, 0.25]))
+        placed = np.linalg.eigvals(a + np.outer(b, k))
+        assert sorted(placed.real) == pytest.approx([0.25, 0.5])
+        assert np.abs(placed.imag).max() < 1e-12
+
+    def test_places_complex_pair(self):
+        a = np.array([[0.0, 1.0], [-1.0, -0.5]])
+        b = np.array([0.0, 1.0])
+        desired = np.array([0.6 + 0.3j, 0.6 - 0.3j])
+        k = place_poles_siso(a, b, desired)
+        placed = np.linalg.eigvals(a + np.outer(b, k))
+        assert sorted(placed.imag) == pytest.approx([-0.3, 0.3], abs=1e-9)
+        assert placed.real == pytest.approx([0.6, 0.6], abs=1e-9)
+
+    def test_deadbeat(self):
+        a = np.array([[1.0, 0.01], [0.0, 1.0]])
+        b = np.array([0.0, 0.01])
+        k = place_poles_siso(a, b, np.array([0.0, 0.0]))
+        placed = np.linalg.eigvals(a + np.outer(b, k))
+        assert np.abs(placed).max() < 1e-6
+
+    @given(st.integers(0, 200))
+    @settings(max_examples=40, deadline=None)
+    def test_random_systems(self, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.normal(size=(3, 3))
+        b = rng.normal(size=3)
+        ctrb = controllability_matrix(a, b)
+        if np.linalg.cond(ctrb) > 1e8:
+            return  # nearly uncontrollable draw: skip
+        desired = np.array([-0.2, 0.3 + 0.4j, 0.3 - 0.4j])
+        k = place_poles_siso(a, b, desired)
+        placed = np.sort_complex(np.linalg.eigvals(a + np.outer(b, k)))
+        np.testing.assert_allclose(placed, np.sort_complex(desired), atol=1e-6)
+
+
+class TestErrors:
+    def test_uncontrollable_raises(self):
+        a = np.diag([1.0, 2.0])
+        b = np.array([1.0, 0.0])
+        with pytest.raises(ControlError):
+            place_poles_siso(a, b, np.array([0.1, 0.2]))
+
+    def test_wrong_pole_count(self):
+        a = np.eye(2)
+        b = np.array([1.0, 1.0])
+        with pytest.raises(ControlError):
+            place_poles_siso(a, b, np.array([0.1]))
+
+    def test_unconjugated_poles_rejected(self):
+        a = np.array([[0.0, 1.0], [-1.0, -0.5]])
+        b = np.array([0.0, 1.0])
+        with pytest.raises(ControlError):
+            place_poles_siso(a, b, np.array([0.5 + 0.2j, 0.4 - 0.2j]))

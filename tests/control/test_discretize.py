@@ -1,0 +1,98 @@
+"""Tests for exact ZOH discretization with and without input delay."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.control import zoh, zoh_delayed
+from repro.errors import ControlError
+
+
+def random_system(seed: int):
+    rng = np.random.default_rng(seed)
+    a = rng.normal(scale=50.0, size=(2, 2))
+    b = rng.normal(scale=10.0, size=2)
+    return a, b
+
+
+class TestZoh:
+    def test_integrator_analytic(self):
+        # x1' = x2, x2' = u: Ad = [[1, h],[0, 1]], Gamma = [h^2/2, h].
+        a = np.array([[0.0, 1.0], [0.0, 0.0]])
+        b = np.array([0.0, 1.0])
+        h = 0.01
+        ad, gamma = zoh(a, b, h)
+        np.testing.assert_allclose(ad, [[1.0, h], [0.0, 1.0]], atol=1e-15)
+        np.testing.assert_allclose(gamma, [h * h / 2.0, h], rtol=1e-12)
+
+    def test_first_order_analytic(self):
+        a = np.array([[-10.0]])
+        b = np.array([5.0])
+        h = 0.05
+        ad, gamma = zoh(a, b, h)
+        assert ad[0, 0] == pytest.approx(np.exp(-0.5))
+        assert gamma[0] == pytest.approx(5.0 / 10.0 * (1 - np.exp(-0.5)))
+
+    def test_rejects_nonpositive_period(self):
+        a, b = random_system(0)
+        with pytest.raises(ControlError):
+            zoh(a, b, 0.0)
+
+    def test_composition_property(self):
+        """Stepping h then h equals stepping 2h (semigroup property)."""
+        a, b = random_system(3)
+        ad1, g1 = zoh(a, b, 1e-3)
+        ad2, g2 = zoh(a, b, 2e-3)
+        assert ad1 @ ad1 == pytest.approx(ad2)
+        assert ad1 @ g1 + g1 == pytest.approx(g2)
+
+
+class TestZohDelayed:
+    @given(st.integers(0, 50), st.floats(0.05, 0.95))
+    @settings(max_examples=40, deadline=None)
+    def test_split_sums_to_full_gamma(self, seed, tau_fraction):
+        """B1 + B2 == Gamma(h) for any delay split (DESIGN.md §5.2)."""
+        a, b = random_system(seed)
+        h = 2e-3
+        ad, b1, b2 = zoh_delayed(a, b, h, tau_fraction * h)
+        _, gamma = zoh(a, b, h)
+        np.testing.assert_allclose(b1 + b2, gamma, rtol=1e-9, atol=1e-12)
+        np.testing.assert_allclose(ad, zoh(a, b, h)[0], rtol=1e-9)
+
+    def test_tau_equal_h_is_pure_delay(self):
+        a, b = random_system(1)
+        _, b1, b2 = zoh_delayed(a, b, 1e-3, 1e-3)
+        _, gamma = zoh(a, b, 1e-3)
+        np.testing.assert_allclose(b1, gamma)
+        assert np.all(b2 == 0.0)
+
+    def test_tau_zero_is_no_delay(self):
+        a, b = random_system(2)
+        _, b1, b2 = zoh_delayed(a, b, 1e-3, 0.0)
+        _, gamma = zoh(a, b, 1e-3)
+        np.testing.assert_allclose(b2, gamma)
+        assert np.all(b1 == 0.0)
+
+    def test_rejects_invalid_tau(self):
+        a, b = random_system(4)
+        with pytest.raises(ControlError):
+            zoh_delayed(a, b, 1e-3, 2e-3)
+        with pytest.raises(ControlError):
+            zoh_delayed(a, b, 1e-3, -1e-4)
+
+    def test_matches_two_step_simulation(self):
+        """Splitting at tau equals stepping [0,tau) with u_prev then
+        [tau,h) with u_curr."""
+        a, b = random_system(5)
+        h, tau = 2e-3, 0.7e-3
+        ad, b1, b2 = zoh_delayed(a, b, h, tau)
+        x0 = np.array([1.0, -2.0])
+        u_prev, u_curr = 0.8, -1.5
+        ad1, g1 = zoh(a, b, tau)
+        ad2, g2 = zoh(a, b, h - tau)
+        x_mid = ad1 @ x0 + g1 * u_prev
+        x_end = ad2 @ x_mid + g2 * u_curr
+        np.testing.assert_allclose(
+            ad @ x0 + b1 * u_prev + b2 * u_curr, x_end, rtol=1e-9
+        )

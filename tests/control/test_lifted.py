@@ -1,0 +1,151 @@
+"""Tests for the holistic lifted closed loop (paper eq. (16) generalized).
+
+The decisive test: the lifted matrix must reproduce, exactly, the
+explicit step-by-step closed-loop recursion for every pattern length.
+"""
+
+import numpy as np
+import pytest
+
+from repro.control import LtiPlant, build_segments, feedforward_gain, lifted_closed_loop
+from repro.control.lifted import (
+    feedforward_gains,
+    lifted_steady_state,
+    spectral_radius,
+)
+from repro.errors import ControlError
+
+
+def plant() -> LtiPlant:
+    return LtiPlant(
+        "resonant",
+        np.array([[0.0, 1.0], [-300.0 ** 2, -2 * 0.1 * 300.0]]),
+        np.array([0.0, 6000.0]),
+        np.array([1.0, 0.0]),
+    )
+
+
+def paper_pattern(m: int):
+    """An m-task pattern shaped like the paper's: short tasks then a gap."""
+    short = 500e-6
+    gap = 2500e-6
+    periods = [short] * (m - 1) + [gap] if m > 1 else [gap]
+    delays = [short] * (m - 1) + [short * 0.6] if m > 1 else [gap * 0.3]
+    return periods, delays
+
+
+def stabilizing_gains(segments, scale=1.0):
+    """Small stabilizing-ish gains for structural tests."""
+    rng = np.random.default_rng(7)
+    m = len(segments)
+    return rng.normal(scale=scale, size=(m, 2)) * np.array([-1.0, -0.005])
+
+
+def explicit_rollout(segments, gains, feedforward, r, x0, u0, n_hyper):
+    """Direct simulation of the switched recursion at sampling instants."""
+    m = len(segments)
+    x = x0.copy()
+    u_prev = u0
+    states = [x.copy()]
+    for step in range(n_hyper * m):
+        seg = segments[step % m]
+        u = gains[step % m] @ x + feedforward[step % m] * r
+        x = seg.ad @ x + seg.b1 * u_prev + seg.b2 * u
+        u_prev = u
+        states.append(x.copy())
+    return states
+
+
+class TestSegments:
+    def test_build_segments_validation(self):
+        p = plant()
+        with pytest.raises(ControlError):
+            build_segments(p.a, p.b, [1e-3], [2e-3])  # tau > h
+        with pytest.raises(ControlError):
+            build_segments(p.a, p.b, [], [])
+
+    def test_only_gap_segment_has_inner_actuation(self):
+        p = plant()
+        periods, delays = paper_pattern(3)
+        segments = build_segments(p.a, p.b, periods, delays)
+        assert [seg.has_inner_actuation for seg in segments] == [False, False, True]
+
+
+class TestLiftedConsistency:
+    @pytest.mark.parametrize("m", [2, 3, 4, 5])
+    def test_lifted_matches_explicit_rollout(self, m):
+        p = plant()
+        periods, delays = paper_pattern(m)
+        segments = build_segments(p.a, p.b, periods, delays)
+        gains = stabilizing_gains(segments)
+        feedforward = np.linspace(0.5, 1.5, m)
+        a_hol, g = lifted_closed_loop(segments, gains, feedforward)
+        assert a_hol.shape == (2 * m, 2 * m)
+
+        r = 0.3
+        rng = np.random.default_rng(11)
+        x0 = rng.normal(size=2)
+        u0 = 0.7
+        states = explicit_rollout(segments, gains, feedforward, r, x0, u0, 3)
+        # z_t stacks the m states of hyperperiod t; u0 enters only z_0's
+        # dynamics, so compare z_1 -> z_2 (internally consistent).
+        z1 = np.concatenate(states[m : 2 * m])
+        z2 = np.concatenate(states[2 * m : 3 * m])
+        np.testing.assert_allclose(a_hol @ z1 + g * r, z2, rtol=1e-9, atol=1e-12)
+
+    def test_m1_lift_is_input_augmented(self):
+        p = plant()
+        periods, delays = paper_pattern(1)
+        segments = build_segments(p.a, p.b, periods, delays)
+        gains = np.array([[-0.5, -0.001]])
+        feedforward = np.array([1.0])
+        a_hol, g = lifted_closed_loop(segments, gains, feedforward)
+        assert a_hol.shape == (3, 3)
+
+        # z = (x, u_prev) must track the explicit recursion exactly.
+        r = 0.2
+        x = np.array([0.1, -1.0])
+        u_prev = 0.4
+        seg = segments[0]
+        for _ in range(5):
+            z = np.concatenate([x, [u_prev]])
+            u = gains[0] @ x + feedforward[0] * r
+            x = seg.ad @ x + seg.b1 * u_prev + seg.b2 * u
+            u_prev = u
+            z_next = a_hol @ z + g * r
+            np.testing.assert_allclose(z_next, np.concatenate([x, [u_prev]]), rtol=1e-9)
+
+    def test_gain_shape_validation(self):
+        p = plant()
+        periods, delays = paper_pattern(2)
+        segments = build_segments(p.a, p.b, periods, delays)
+        with pytest.raises(ControlError):
+            lifted_closed_loop(segments, np.zeros((3, 2)), np.zeros(3))
+
+
+class TestFeedforward:
+    def test_steady_state_tracks_reference_exactly(self):
+        """Paper eq. (17): the lifted fixed point has y = r in every
+        phase — the property that makes non-uniform sampling track
+        without bias."""
+        p = plant()
+        periods, delays = paper_pattern(3)
+        segments = build_segments(p.a, p.b, periods, delays)
+        # Gains that stabilize: small negative position feedback.
+        gains = np.array([[-2.0, -0.004]] * 3)
+        feedforward = feedforward_gains(p.c, segments, gains)
+        a_hol, g = lifted_closed_loop(segments, gains, feedforward)
+        assert spectral_radius(a_hol) < 1.0
+        r = 0.25
+        z_star = lifted_steady_state(a_hol, g, r)
+        for j in range(3):
+            y = p.c @ z_star[2 * j : 2 * j + 2]
+            assert y == pytest.approx(r, rel=1e-9)
+
+    def test_feedforward_gain_rejects_zero_dc(self):
+        p = plant()
+        segments = build_segments(p.a, p.b, [1e-3], [1e-3])
+        # A gain making (I - A - BK) singular is hard to hit; test the
+        # zero-DC path via a measurement orthogonal to the reachable DC.
+        with pytest.raises(ControlError):
+            feedforward_gain(np.array([0.0, 0.0]), segments[0], np.array([-1.0, -0.01]))

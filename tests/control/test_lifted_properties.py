@@ -1,0 +1,103 @@
+"""Property-based tests of the lifted closed loop and feedforward.
+
+The DC-tracking property (paper eq. (17) makes the lifted fixed point
+sit exactly on the reference) must hold for *any* stabilizing gain set
+and any timing pattern — this is what lets the holistic design move
+poles freely without introducing steady-state bias.
+"""
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.control.lifted import (
+    build_segments,
+    feedforward_gains,
+    lifted_closed_loop,
+    lifted_steady_state,
+    spectral_radius,
+)
+from repro.errors import ControlError
+
+
+def plant_matrices(wn: float, zeta: float, gain: float):
+    a = np.array([[0.0, 1.0], [-wn * wn, -2.0 * zeta * wn]])
+    b = np.array([0.0, gain])
+    c = np.array([1.0, 0.0])
+    return a, b, c
+
+
+@st.composite
+def stable_cases(draw):
+    wn = draw(st.floats(100.0, 500.0))
+    zeta = draw(st.floats(0.05, 0.9))
+    gain = draw(st.floats(500.0, 5000.0))
+    m = draw(st.integers(1, 4))
+    periods = [draw(st.floats(3e-4, 3e-3)) for _ in range(m)]
+    delays = [
+        periods[j] if j < m - 1 else draw(st.floats(0.2, 1.0)) * periods[-1]
+        for j in range(m)
+    ]
+    # Mild position/velocity feedback scaled to the plant.
+    k_pos = -draw(st.floats(0.1, 3.0)) * wn * wn / gain
+    k_vel = -draw(st.floats(0.1, 2.0)) * wn / gain
+    gains = np.tile(np.array([k_pos, k_vel]), (m, 1))
+    return (wn, zeta, gain), periods, delays, gains
+
+
+class TestLiftedProperties:
+    @given(stable_cases())
+    @settings(max_examples=50, deadline=None)
+    def test_steady_state_tracks_reference_when_stable(self, case):
+        params, periods, delays, gains = case
+        a, b, c = plant_matrices(*params)
+        segments = build_segments(a, b, periods, delays)
+        try:
+            feedforward = feedforward_gains(c, segments, gains)
+        except ControlError:
+            assume(False)
+        a_hol, g = lifted_closed_loop(segments, gains, feedforward)
+        assume(spectral_radius(a_hol) < 0.999)
+        r = 0.37
+        z_star = lifted_steady_state(a_hol, g, r)
+        order = 2
+        n_blocks = len(segments) if len(segments) > 1 else 1
+        for j in range(n_blocks):
+            y = c @ z_star[j * order : (j + 1) * order]
+            assert abs(y - r) < 1e-7 * max(1.0, abs(r))
+
+    @given(stable_cases())
+    @settings(max_examples=50, deadline=None)
+    def test_lifted_dimension(self, case):
+        params, periods, delays, gains = case
+        a, b, _c = plant_matrices(*params)
+        segments = build_segments(a, b, periods, delays)
+        a_hol, g = lifted_closed_loop(
+            segments, gains, np.ones(len(segments))
+        )
+        m = len(segments)
+        expected = 2 * m if m >= 2 else 3
+        assert a_hol.shape == (expected, expected)
+        assert g.shape == (expected,)
+
+    @given(stable_cases())
+    @settings(max_examples=50, deadline=None)
+    def test_zero_gains_recover_open_loop_poles(self, case):
+        """With K = 0 and F = 0 the lifted spectrum is the open-loop
+        plant sampled over one hyperperiod (plus zeros from the input
+        augmentation/propagation structure)."""
+        params, periods, delays, _gains = case
+        a, b, _c = plant_matrices(*params)
+        segments = build_segments(a, b, periods, delays)
+        m = len(segments)
+        zeros = np.zeros((m, 2))
+        a_hol, _g = lifted_closed_loop(segments, zeros, np.zeros(m))
+        eigs = np.sort_complex(np.linalg.eigvals(a_hol))
+        from scipy.linalg import expm
+
+        hyper = sum(periods)
+        open_loop = np.sort_complex(np.linalg.eigvals(expm(a * hyper)))
+        largest = eigs[np.argsort(np.abs(eigs))[-2:]]
+        np.testing.assert_allclose(
+            np.sort_complex(largest), open_loop, rtol=1e-6, atol=1e-9
+        )

@@ -1,0 +1,77 @@
+"""Tests for the continuous-time plant container."""
+
+import numpy as np
+import pytest
+
+from repro.control import LtiPlant
+from repro.errors import ControlError
+
+
+def servo() -> LtiPlant:
+    return LtiPlant(
+        "servo",
+        np.array([[0.0, 1.0], [0.0, -50.0]]),
+        np.array([0.0, 100.0]),
+        np.array([1.0, 0.0]),
+    )
+
+
+class TestValidation:
+    def test_shapes_checked(self):
+        with pytest.raises(ControlError):
+            LtiPlant("bad", np.eye(2), np.array([1.0]), np.array([1.0, 0.0]))
+        with pytest.raises(ControlError):
+            LtiPlant("bad", np.ones((2, 3)), np.ones(2), np.ones(2))
+
+    def test_order(self):
+        assert servo().order == 2
+
+
+class TestControllability:
+    def test_servo_controllable(self):
+        assert servo().is_controllable()
+
+    def test_uncontrollable_pair_detected(self):
+        plant = LtiPlant(
+            "un",
+            np.diag([-1.0, -2.0]),
+            np.array([1.0, 0.0]),  # second mode unreachable
+            np.array([1.0, 1.0]),
+        )
+        assert not plant.is_controllable()
+
+
+class TestEquilibrium:
+    def test_integrator_equilibrium(self):
+        x_eq, u_eq = servo().equilibrium(0.25)
+        assert x_eq == pytest.approx([0.25, 0.0])
+        assert u_eq == pytest.approx(0.0)
+
+    def test_stable_plant_equilibrium_holds_dynamics(self):
+        a = np.array([[0.0, 1.0], [-400.0, -20.0]])
+        b = np.array([0.0, 800.0])
+        c = np.array([2.0, 0.0])
+        plant = LtiPlant("res", a, b, c)
+        x_eq, u_eq = plant.equilibrium(3.0)
+        assert c @ x_eq == pytest.approx(3.0)
+        assert a @ x_eq + b * u_eq == pytest.approx([0.0, 0.0], abs=1e-9)
+
+    def test_resonant_case_study_plants_have_equilibria(self, case_study):
+        for app in case_study.apps:
+            x_eq, u_eq = app.plant.equilibrium(app.spec.r)
+            assert app.plant.c @ x_eq == pytest.approx(app.spec.r)
+            # Calibration keeps the holding input inside saturation.
+            assert abs(u_eq) < app.spec.u_max
+
+    def test_dc_gain(self):
+        a = np.array([[-2.0]])
+        b = np.array([4.0])
+        c = np.array([1.0])
+        assert LtiPlant("first", a, b, c).dc_gain() == pytest.approx(2.0)
+
+    def test_integrator_dc_gain_infinite(self):
+        assert servo().dc_gain() == float("inf")
+
+    def test_poles(self):
+        poles = sorted(servo().poles().real)
+        assert poles == pytest.approx([-50.0, 0.0])

@@ -1,0 +1,82 @@
+"""Tests for trajectory metrics."""
+
+import numpy as np
+import pytest
+
+from repro.control import overshoot, quadratic_cost, settling_time_of_trajectory
+from repro.control.metrics import steady_state_error
+from repro.errors import ControlError
+
+
+class TestSettlingTime:
+    def test_simple_decay(self):
+        times = np.linspace(0, 1, 101)
+        outputs = 1.0 - np.exp(-5 * times)  # rises to 1
+        settle = settling_time_of_trajectory(times, outputs, r=1.0, band=0.02)
+        # |y-1| <= 0.02 from t = ln(50)/5 ~ 0.78
+        assert settle == pytest.approx(np.log(50) / 5, abs=0.02)
+
+    def test_never_leaves_band(self):
+        times = np.linspace(0, 1, 11)
+        outputs = np.full(11, 0.999)
+        assert settling_time_of_trajectory(times, outputs, 1.0, 0.02) == 0.0
+
+    def test_still_violating_at_end_is_unsettled(self):
+        times = np.linspace(0, 1, 11)
+        outputs = np.zeros(11)
+        assert settling_time_of_trajectory(times, outputs, 1.0, 0.02) == np.inf
+
+    def test_reentry_counts_last_violation(self):
+        times = np.array([0.0, 1.0, 2.0, 3.0, 4.0])
+        outputs = np.array([0.0, 1.0, 0.5, 1.0, 1.0])  # dips out at t=2
+        assert settling_time_of_trajectory(times, outputs, 1.0, 0.02) == 2.0
+
+    def test_validation(self):
+        with pytest.raises(ControlError):
+            settling_time_of_trajectory(np.array([]), np.array([]), 1.0, 0.1)
+
+
+class TestOvershoot:
+    def test_upward_step(self):
+        outputs = np.array([0.0, 0.5, 1.3, 1.0])
+        assert overshoot(outputs, y0=0.0, r=1.0) == pytest.approx(0.3)
+
+    def test_downward_step(self):
+        outputs = np.array([1.0, 0.4, -0.1, 0.0])
+        assert overshoot(outputs, y0=1.0, r=0.0) == pytest.approx(0.1)
+
+    def test_no_overshoot(self):
+        outputs = np.array([0.0, 0.5, 0.9])
+        assert overshoot(outputs, y0=0.0, r=1.0) == 0.0
+
+    def test_zero_step(self):
+        assert overshoot(np.array([5.0]), y0=1.0, r=1.0) == 0.0
+
+
+class TestQuadraticCost:
+    def test_constant_error(self):
+        times = np.linspace(0, 2, 21)
+        outputs = np.zeros(21)
+        cost = quadratic_cost(times, outputs, r=1.0)
+        assert cost == pytest.approx(2.0)
+
+    def test_input_weighting(self):
+        times = np.linspace(0, 1, 11)
+        outputs = np.ones(11)
+        inputs = np.full(11, 2.0)
+        cost = quadratic_cost(times, outputs, 1.0, inputs, input_weight=0.5)
+        assert cost == pytest.approx(0.5 * 4.0)
+
+    def test_validation(self):
+        with pytest.raises(ControlError):
+            quadratic_cost(np.array([0.0]), np.array([0.0]), 1.0)
+
+
+class TestSteadyStateError:
+    def test_tail_mean(self):
+        outputs = np.concatenate([np.zeros(90), np.full(10, 0.95)])
+        assert steady_state_error(outputs, 1.0, tail_fraction=0.1) == pytest.approx(0.05)
+
+    def test_validation(self):
+        with pytest.raises(ControlError):
+            steady_state_error(np.ones(5), 1.0, tail_fraction=0.0)

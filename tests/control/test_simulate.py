@@ -1,0 +1,149 @@
+"""Tests for the batched worst-case tracking simulator."""
+
+import numpy as np
+import pytest
+
+from repro.control import LtiPlant, build_simulation_plan, simulate_tracking
+from repro.control.lifted import build_segments, feedforward_gains
+from repro.errors import ControlError
+
+
+def plant() -> LtiPlant:
+    return LtiPlant(
+        "resonant",
+        np.array([[0.0, 1.0], [-250.0 ** 2, -2 * 0.2 * 250.0]]),
+        np.array([0.0, 4000.0]),
+        np.array([1.0, 0.0]),
+    )
+
+
+def pattern():
+    periods = [800e-6, 400e-6, 2400e-6]
+    delays = [800e-6, 400e-6, 300e-6]
+    return periods, delays
+
+
+def decent_gains():
+    p = plant()
+    periods, delays = pattern()
+    segments = build_segments(p.a, p.b, periods, delays)
+    gains = np.array([[-3.0, -0.006]] * 3)
+    feedforward = feedforward_gains(p.c, segments, gains)
+    return gains, feedforward
+
+
+class TestPlanConstruction:
+    def test_plan_geometry(self):
+        p = plant()
+        periods, delays = pattern()
+        plan = build_simulation_plan(p.a, p.b, p.c, periods, delays, nsub=4)
+        assert plan.n_phases == 3
+        assert plan.hyperperiod == pytest.approx(sum(periods))
+        assert plan.idle_gap == pytest.approx(periods[-1])
+        # Last segment's grid contains the actuation instant.
+        assert any(abs(t - delays[-1]) < 1e-15 for t in plan.segments[-1].obs_times)
+
+    def test_rejects_bad_nsub(self):
+        p = plant()
+        periods, delays = pattern()
+        with pytest.raises(ControlError):
+            build_simulation_plan(p.a, p.b, p.c, periods, delays, nsub=0)
+
+
+class TestTracking:
+    def test_settles_and_is_consistent(self):
+        p = plant()
+        periods, delays = pattern()
+        plan = build_simulation_plan(p.a, p.b, p.c, periods, delays, nsub=6)
+        gains, feedforward = decent_gains()
+        result = simulate_tracking(
+            plan, gains, feedforward, r=0.2, x0=np.zeros(2), u0=0.0,
+            horizon=0.15, band=0.004, record=True,
+        )
+        settle = result.scalar_settling()
+        assert np.isfinite(settle)
+        # Settling includes the idle gap before the first sample.
+        assert settle >= plan.idle_gap
+        # After the reported settling instant the output stays in band.
+        mask = result.times > settle + 1e-12
+        assert np.all(np.abs(result.outputs[0][mask] - 0.2) <= 0.004 + 1e-12)
+
+    def test_reference_already_held_settles_immediately(self):
+        p = plant()
+        periods, delays = pattern()
+        plan = build_simulation_plan(p.a, p.b, p.c, periods, delays)
+        gains, feedforward = decent_gains()
+        x_eq, u_eq = p.equilibrium(0.2)
+        result = simulate_tracking(
+            plan, gains, feedforward, r=0.2, x0=x_eq, u0=u_eq,
+            horizon=0.05, band=0.004,
+        )
+        assert result.scalar_settling() == pytest.approx(0.0)
+
+    def test_unstable_gains_never_settle(self):
+        p = plant()
+        periods, delays = pattern()
+        plan = build_simulation_plan(p.a, p.b, p.c, periods, delays)
+        gains = np.array([[50.0, 0.05]] * 3)  # positive feedback
+        feedforward = np.ones(3)
+        result = simulate_tracking(
+            plan, gains, feedforward, r=0.2, x0=np.zeros(2), u0=0.0,
+            horizon=0.05, band=0.004,
+        )
+        assert result.settling[0] == np.inf
+
+    def test_batched_matches_scalar(self):
+        p = plant()
+        periods, delays = pattern()
+        plan = build_simulation_plan(p.a, p.b, p.c, periods, delays)
+        gains, feedforward = decent_gains()
+        rng = np.random.default_rng(3)
+        batch_gains = np.stack([gains, gains * 0.8, gains * 1.1])
+        batch_ff = np.stack([feedforward] * 3)
+        batched = simulate_tracking(
+            plan, batch_gains, batch_ff, r=0.2, x0=np.zeros(2), u0=0.0,
+            horizon=0.12, band=0.004,
+        )
+        for i in range(3):
+            single = simulate_tracking(
+                plan, batch_gains[i], batch_ff[i], r=0.2, x0=np.zeros(2), u0=0.0,
+                horizon=0.12, band=0.004,
+            )
+            assert single.settling[0] == pytest.approx(batched.settling[i], abs=1e-12)
+            assert single.u_peak[0] == pytest.approx(batched.u_peak[i])
+
+    def test_clamp_limits_applied_inputs(self):
+        p = plant()
+        periods, delays = pattern()
+        plan = build_simulation_plan(p.a, p.b, p.c, periods, delays)
+        gains, feedforward = decent_gains()
+        result = simulate_tracking(
+            plan, gains * 50, feedforward * 50, r=0.2, x0=np.zeros(2), u0=0.0,
+            horizon=0.05, band=0.004, clamp=5.0, record=True,
+        )
+        assert result.u_peak[0] <= 5.0 + 1e-12
+        assert np.abs(result.inputs).max() <= 5.0 + 1e-12
+
+    def test_shape_validation(self):
+        p = plant()
+        periods, delays = pattern()
+        plan = build_simulation_plan(p.a, p.b, p.c, periods, delays)
+        with pytest.raises(ControlError):
+            simulate_tracking(
+                plan, np.zeros((2, 2)), np.zeros(2), r=0.2,
+                x0=np.zeros(2), u0=0.0, horizon=0.05, band=0.01,
+            )
+
+    def test_recorded_times_start_at_step(self):
+        p = plant()
+        periods, delays = pattern()
+        plan = build_simulation_plan(p.a, p.b, p.c, periods, delays)
+        gains, feedforward = decent_gains()
+        result = simulate_tracking(
+            plan, gains, feedforward, r=0.2, x0=np.zeros(2), u0=0.0,
+            horizon=0.05, band=0.004, record=True,
+        )
+        assert result.times[0] == pytest.approx(0.0)
+        assert np.all(np.diff(result.times) > 0)
+        # First actuation cannot precede the idle gap.
+        assert result.input_times[0] >= plan.idle_gap

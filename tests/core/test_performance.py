@@ -1,0 +1,56 @@
+"""Tests for the control-performance index (paper eq. (2)-(3))."""
+
+import math
+
+import pytest
+
+from repro.core import overall_performance, performance_index
+from repro.core.performance import check_weights
+from repro.errors import ConfigurationError
+
+
+class TestPerformanceIndex:
+    def test_paper_example_values(self):
+        # Table III: C1 settles 37.7 ms against a 45 ms deadline.
+        assert performance_index(37.7e-3, 45e-3) == pytest.approx(1 - 37.7 / 45)
+
+    def test_meeting_deadline_exactly_is_zero(self):
+        assert performance_index(0.02, 0.02) == pytest.approx(0.0)
+
+    def test_missing_deadline_is_negative(self):
+        assert performance_index(0.03, 0.02) < 0.0
+
+    def test_unsettled_is_minus_infinity(self):
+        assert performance_index(math.inf, 0.02) == -math.inf
+
+    def test_bad_deadline_rejected(self):
+        with pytest.raises(ConfigurationError):
+            performance_index(0.01, 0.0)
+
+
+class TestOverall:
+    def test_paper_optimum_reconstruction(self):
+        """Recomputing the paper's P_all = 0.195 from its Table III row."""
+        weights = [0.4, 0.4, 0.2]
+        performances = [
+            performance_index(37.7e-3, 45e-3),
+            performance_index(15.3e-3, 20e-3),
+            performance_index(14.4e-3, 17.5e-3),
+        ]
+        assert overall_performance(weights, performances) == pytest.approx(0.195, abs=0.002)
+
+    def test_weights_must_sum_to_one(self):
+        with pytest.raises(ConfigurationError):
+            overall_performance([0.5, 0.6], [0.1, 0.1])
+
+    def test_weights_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            check_weights([1.2, -0.2])
+
+    def test_length_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            overall_performance([1.0], [0.1, 0.2])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            check_weights([])

@@ -1,0 +1,43 @@
+"""Tests for report rendering."""
+
+import pytest
+
+from repro.core import render_table
+from repro.core.report import format_percent, format_seconds_ms
+from repro.errors import ConfigurationError
+
+
+class TestRenderTable:
+    def test_basic_table(self):
+        text = render_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert "-+-" in lines[1]
+        assert len(lines) == 4
+
+    def test_title(self):
+        text = render_table(["x"], [["1"]], title="T")
+        assert text.splitlines()[0] == "T"
+
+    def test_column_alignment(self):
+        text = render_table(["col"], [["wide value"], ["x"]])
+        lines = text.splitlines()
+        assert len(lines[1]) == len(lines[2]) == len(lines[3])
+
+    def test_row_length_checked(self):
+        with pytest.raises(ConfigurationError):
+            render_table(["a", "b"], [["only one"]])
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ConfigurationError):
+            render_table([], [])
+
+
+class TestFormatters:
+    def test_format_seconds_ms(self):
+        assert format_seconds_ms(0.0123) == "12.3 ms"
+        assert format_seconds_ms(float("inf")) == "unsettled"
+
+    def test_format_percent(self):
+        assert format_percent(0.13) == "13%"
+        assert format_percent(0.175, digits=1) == "17.5%"

@@ -1,0 +1,102 @@
+"""Tests for the paper-artifact experiment modules.
+
+The cheap artifacts (Tables I and II) run at full fidelity; the
+design-heavy ones (Table III, Fig. 6) run under the quick profile just
+to validate wiring — EXPERIMENTS.md records full-profile numbers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import design_options_for_profile
+from repro.experiments import fig6, table1, table2, table3
+from repro.experiments.profiles import PROFILES, current_profile
+
+
+class TestProfiles:
+    def test_known_profiles(self):
+        assert set(PROFILES) == {"quick", "standard", "full"}
+
+    def test_default_profile(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PROFILE", raising=False)
+        assert current_profile() == "standard"
+
+    def test_env_selection(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROFILE", "quick")
+        assert current_profile() == "quick"
+        assert design_options_for_profile().restarts == 1
+
+    def test_unknown_profile_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROFILE", "ultra")
+        with pytest.raises(ConfigurationError):
+            current_profile()
+        with pytest.raises(ConfigurationError):
+            design_options_for_profile("ultra")
+
+
+class TestTable1:
+    def test_exact_reproduction(self):
+        result = table1.run()
+        assert result.max_deviation_us == pytest.approx(0.0)
+        assert result.methods_agree
+        assert "Table I" in result.render()
+
+    def test_row_structure(self):
+        result = table1.run()
+        assert [row.app_name for row in result.rows] == ["C1", "C2", "C3"]
+
+
+class TestTable2:
+    def test_matches_paper(self):
+        result = table2.run()
+        assert result.matches_paper
+        rendered = result.render()
+        assert "45.0 ms" in rendered
+        assert "3.9 ms" in rendered
+
+
+class TestTable3Quick:
+    @pytest.fixture(scope="class")
+    def result(self, case_study, quick_design_options):
+        return table3.run(case_study, quick_design_options)
+
+    def test_rows_and_feasibility(self, result):
+        assert [row.app_name for row in result.rows] == ["C1", "C2", "C3"]
+        assert result.rr_feasible
+        assert result.ca_feasible
+
+    def test_cache_aware_beats_round_robin_overall(self, result):
+        """The headline claim survives even the quick design budget."""
+        assert result.overall_ca > result.overall_rr
+
+    def test_render(self, result):
+        rendered = result.render()
+        assert "Table III" in rendered
+        assert "paper impr." in rendered
+
+
+class TestFig6Quick:
+    @pytest.fixture(scope="class")
+    def result(self, case_study, quick_design_options):
+        return fig6.run(case_study, quick_design_options)
+
+    def test_series_structure(self, result):
+        assert [s.app_name for s in result.series] == ["C1", "C2", "C3"]
+        for entry in result.series:
+            assert entry.times_rr[0] == pytest.approx(0.0)
+            assert entry.outputs_rr.shape == entry.times_rr.shape
+            # The response ends near the reference.
+            assert abs(entry.outputs_ca[-1] - entry.reference) < 0.1 * abs(entry.reference)
+
+    def test_render_contains_all_apps(self, result):
+        rendered = result.render()
+        for name in ("C1", "C2", "C3"):
+            assert name in rendered
+
+    def test_csv_export(self, result, tmp_path):
+        paths = result.write_csv(tmp_path)
+        assert len(paths) == 3
+        content = paths[0].read_text().splitlines()
+        assert content[0] == "schedule,time_s,output"
+        assert any("(3,2,3)" in line for line in content[1:])

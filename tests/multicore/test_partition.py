@@ -1,0 +1,73 @@
+"""Tests for the multi-core extension."""
+
+import pytest
+
+from repro.errors import ScheduleError
+from repro.multicore import MulticoreProblem, enumerate_partitions
+
+
+class TestEnumeratePartitions:
+    def test_three_apps_two_cores(self):
+        partitions = list(enumerate_partitions(3, 2))
+        # Bell-number terms: S(3,1) + S(3,2) = 1 + 3.
+        assert len(partitions) == 4
+
+    def test_three_apps_three_cores(self):
+        partitions = list(enumerate_partitions(3, 3))
+        assert len(partitions) == 5  # Bell(3)
+
+    def test_blocks_cover_all_apps_disjointly(self):
+        for partition in enumerate_partitions(4, 3):
+            seen = [i for block in partition for i in block]
+            assert sorted(seen) == [0, 1, 2, 3]
+
+    def test_no_duplicates(self):
+        partitions = list(enumerate_partitions(4, 4))
+        assert len(partitions) == len(set(partitions)) == 15  # Bell(4)
+
+    def test_validation(self):
+        with pytest.raises(ScheduleError):
+            list(enumerate_partitions(0, 1))
+
+
+class TestMulticoreProblem:
+    @pytest.fixture(scope="class")
+    def problem(self, case_study, quick_design_options):
+        # Two apps keep the per-core schedule spaces small and fast.
+        from dataclasses import replace
+
+        apps = [
+            replace(case_study.apps[1], weight=0.6),
+            replace(case_study.apps[2], weight=0.4),
+        ]
+        return MulticoreProblem(apps, case_study.clock, 2, quick_design_options)
+
+    def test_optimize_finds_feasible_assignment(self, problem):
+        result = problem.optimize()
+        assert result.feasible
+        assert result.n_cores_used in (1, 2)
+        assert set(result.performances) == {0, 1}
+        assert result.overall > 0
+
+    def test_dedicated_cores_beat_or_match_sharing(self, problem):
+        """With private caches and no interference, giving each app its
+        own core can only help: the optimizer must use both cores."""
+        result = problem.optimize()
+        assert result.n_cores_used == 2
+
+    def test_single_core_matches_shared_problem(self, case_study, quick_design_options):
+        """n_cores=1 degenerates to the single-core co-design."""
+        from dataclasses import replace
+
+        apps = [
+            replace(case_study.apps[1], weight=0.6),
+            replace(case_study.apps[2], weight=0.4),
+        ]
+        single = MulticoreProblem(apps, case_study.clock, 1, quick_design_options)
+        result = single.optimize()
+        assert result.n_cores_used == 1
+        assert result.feasible
+
+    def test_validation(self, case_study):
+        with pytest.raises(ScheduleError):
+            MulticoreProblem(case_study.apps, case_study.clock, 0)

@@ -1,0 +1,34 @@
+"""Tests for basic blocks."""
+
+import pytest
+
+from repro.errors import ProgramError
+from repro.program import BasicBlock
+
+
+class TestBasicBlock:
+    def test_requires_positive_size(self):
+        with pytest.raises(ProgramError):
+            BasicBlock("empty", 0)
+
+    def test_unplaced_block_has_no_addresses(self):
+        block = BasicBlock("b", 4)
+        assert not block.placed
+        with pytest.raises(ProgramError):
+            _ = block.base
+
+    def test_placement_and_addresses(self):
+        block = BasicBlock("b", 3)
+        block.place(0x100, 4)
+        assert block.placed
+        assert block.base == 0x100
+        assert block.size_bytes == 12
+        assert block.end == 0x10C
+        assert block.addresses() == [0x100, 0x104, 0x108]
+
+    def test_invalid_placement(self):
+        block = BasicBlock("b", 1)
+        with pytest.raises(ProgramError):
+            block.place(-4, 4)
+        with pytest.raises(ProgramError):
+            block.place(0, 0)

@@ -1,0 +1,49 @@
+"""Tests for the fluent program builder."""
+
+import pytest
+
+from repro.errors import ProgramError
+from repro.program import ProgramBuilder
+
+
+class TestBuilder:
+    def test_single_block(self):
+        program = ProgramBuilder("p").block("only", 5).build(base=0)
+        assert program.static_instructions == 5
+        assert program.executed_instructions() == 5
+
+    def test_loop(self):
+        program = (
+            ProgramBuilder("p")
+            .block("init", 2)
+            .loop(3, lambda b: b.block("body", 4))
+            .build(base=0)
+        )
+        assert program.executed_instructions() == 2 + 12
+
+    def test_branch(self):
+        program = (
+            ProgramBuilder("p")
+            .branch(lambda b: b.block("heavy", 9), lambda b: b.block("light", 1))
+            .build(base=0)
+        )
+        assert program.n_branches == 1
+        assert program.executed_instructions() == 9
+
+    def test_nested_structures(self):
+        program = (
+            ProgramBuilder("p")
+            .block("init", 1)
+            .loop(2, lambda outer: outer.loop(3, lambda inner: inner.block("kernel", 2)))
+            .block("exit", 1)
+            .build(base=0)
+        )
+        assert program.executed_instructions() == 1 + 2 * 3 * 2 + 1
+
+    def test_empty_builder_rejected(self):
+        with pytest.raises(ProgramError):
+            ProgramBuilder("empty").build()
+
+    def test_build_without_base_leaves_unplaced(self):
+        program = ProgramBuilder("p").block("b", 1).build()
+        assert not program.placed

@@ -1,0 +1,86 @@
+"""Tests for the Program container."""
+
+import pytest
+
+from repro.cache import CacheConfig
+from repro.errors import ProgramError
+from repro.program import BasicBlock, Branch, Loop, Program, Seq
+
+
+def looped_program() -> Program:
+    root = Seq(
+        [
+            BasicBlock("init", 4),
+            Loop(BasicBlock("body", 8), iterations=3),
+            BasicBlock("exit", 2),
+        ]
+    )
+    return Program("p", root, instr_size=4)
+
+
+class TestLayout:
+    def test_unplaced_program_refuses_traces(self):
+        program = looped_program()
+        with pytest.raises(ProgramError):
+            list(program.trace())
+
+    def test_place_assigns_contiguous_addresses(self):
+        program = looped_program()
+        program.place(0x200)
+        blocks = program.blocks
+        assert blocks[0].base == 0x200
+        assert blocks[1].base == 0x200 + 16
+        assert blocks[2].base == 0x200 + 16 + 32
+
+    def test_static_vs_executed_instructions(self):
+        program = looped_program()
+        program.place(0)
+        assert program.static_instructions == 14
+        assert program.executed_instructions() == 4 + 3 * 8 + 2
+
+    def test_footprint_lines(self):
+        program = looped_program()
+        program.place(0)
+        config = CacheConfig(line_size=16)
+        # 14 instructions x 4 bytes = 56 bytes = lines 0..3
+        assert program.footprint_lines(config) == {0, 1, 2, 3}
+
+    def test_duplicate_block_names_rejected(self):
+        with pytest.raises(ProgramError):
+            Program("dup", Seq([BasicBlock("x", 1), BasicBlock("x", 2)]))
+
+    def test_rejects_bad_instr_size(self):
+        with pytest.raises(ProgramError):
+            Program("p", BasicBlock("b", 1), instr_size=0)
+
+
+class TestTraces:
+    def test_loop_repeats_body(self):
+        program = looped_program()
+        program.place(0)
+        trace = list(program.trace())
+        body_base = program.blocks[1].base
+        assert trace.count(body_base) == 3
+
+    def test_branch_decider_controls_path(self):
+        root = Seq(
+            [Branch(BasicBlock("t", 1), BasicBlock("nt", 2))]
+        )
+        program = Program("b", root)
+        program.place(0)
+        taken = program.executed_instructions(lambda branch, i: True)
+        untaken = program.executed_instructions(lambda branch, i: False)
+        assert taken == 1
+        assert untaken == 2
+
+    def test_default_decider_takes_taken_arm(self):
+        root = Branch(BasicBlock("t", 5), BasicBlock("nt", 1))
+        program = Program("b", root)
+        program.place(0)
+        assert program.executed_instructions() == 5
+
+    def test_none_arm_yields_nothing(self):
+        root = Seq([BasicBlock("pre", 1), Branch(None, BasicBlock("nt", 2))])
+        program = Program("b", root)
+        program.place(0)
+        assert program.executed_instructions(lambda branch, i: True) == 1

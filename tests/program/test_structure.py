@@ -1,0 +1,60 @@
+"""Tests for the structured control-flow nodes."""
+
+import pytest
+
+from repro.errors import ProgramError
+from repro.program import BasicBlock, Branch, Loop, Seq
+from repro.program.structure import count_branches, iter_blocks, max_path_instructions
+
+
+def sample_tree():
+    return Seq(
+        [
+            BasicBlock("init", 10),
+            Loop(
+                Seq([BasicBlock("body", 5), Branch(BasicBlock("t", 3), BasicBlock("nt", 1))]),
+                iterations=4,
+            ),
+            BasicBlock("exit", 2),
+        ]
+    )
+
+
+class TestValidation:
+    def test_empty_seq_rejected(self):
+        with pytest.raises(ProgramError):
+            Seq([])
+
+    def test_loop_bound_must_be_positive(self):
+        with pytest.raises(ProgramError):
+            Loop(BasicBlock("b", 1), 0)
+
+    def test_branch_needs_an_arm(self):
+        with pytest.raises(ProgramError):
+            Branch(None, None)
+
+    def test_one_armed_branches_allowed(self):
+        Branch(BasicBlock("t", 1), None)
+        Branch(None, BasicBlock("nt", 1))
+
+
+class TestWalks:
+    def test_iter_blocks_layout_order(self):
+        names = [block.name for block in iter_blocks(sample_tree())]
+        assert names == ["init", "body", "t", "nt", "exit"]
+
+    def test_count_branches(self):
+        assert count_branches(sample_tree()) == 1
+        assert count_branches(BasicBlock("b", 1)) == 0
+
+    def test_max_path_instructions(self):
+        # init 10 + 4 * (body 5 + worst arm 3) + exit 2
+        assert max_path_instructions(sample_tree()) == 10 + 4 * 8 + 2
+
+    def test_max_path_takes_worse_arm(self):
+        branch = Branch(BasicBlock("t", 3), BasicBlock("nt", 7))
+        assert max_path_instructions(branch) == 7
+
+    def test_max_path_empty_arm(self):
+        branch = Branch(BasicBlock("t", 3), None)
+        assert max_path_instructions(branch) == 3

@@ -1,0 +1,80 @@
+"""Tests for the memoizing schedule evaluator (quick design profile)."""
+
+import math
+
+import pytest
+
+from repro.errors import ScheduleError
+from repro.sched import PeriodicSchedule, ScheduleEvaluator
+
+
+@pytest.fixture(scope="module")
+def evaluator(request):
+    from repro.apps import build_case_study
+    from repro.control.design import DesignOptions
+    from repro.control.pso import PsoOptions
+
+    case = build_case_study()
+    quick = DesignOptions(restarts=1, stage_a=PsoOptions(10, 10), stage_b=PsoOptions(12, 10))
+    return ScheduleEvaluator(case.apps, case.clock, quick)
+
+
+class TestEvaluation:
+    def test_round_robin_is_feasible(self, evaluator):
+        result = evaluator.evaluate(PeriodicSchedule.of(1, 1, 1))
+        assert result.idle_ok
+        assert result.feasible
+        assert 0.0 < result.overall < 1.0
+        assert len(result.apps) == 3
+
+    def test_overall_is_weighted_sum(self, evaluator):
+        result = evaluator.evaluate(PeriodicSchedule.of(1, 1, 1))
+        weights = [0.4, 0.4, 0.2]
+        expected = sum(w * a.performance for w, a in zip(weights, result.apps))
+        assert result.overall == pytest.approx(expected)
+
+    def test_settling_matches_design(self, evaluator):
+        result = evaluator.evaluate(PeriodicSchedule.of(2, 2, 2))
+        for app_eval in result.apps:
+            if math.isfinite(app_eval.settling):
+                assert app_eval.settling == app_eval.design.settling
+
+    def test_idle_violation_marks_infeasible(self, evaluator):
+        result = evaluator.evaluate(PeriodicSchedule.of(10, 10, 10))
+        assert not result.idle_ok
+        assert not result.feasible
+
+    def test_schedule_cache(self, evaluator):
+        before = evaluator.n_schedule_evaluations
+        first = evaluator.evaluate(PeriodicSchedule.of(2, 1, 2))
+        mid = evaluator.n_schedule_evaluations
+        second = evaluator.evaluate(PeriodicSchedule.of(2, 1, 2))
+        assert first is second
+        assert mid == evaluator.n_schedule_evaluations == before + 1
+
+    def test_design_cache_shared_across_schedules(self, evaluator):
+        """C1 with m1 = 1 has identical timing in (1, 1, 1)-adjacent
+        schedules only when the other counts match; but two evaluations
+        of the same schedule never re-design."""
+        evaluator.evaluate(PeriodicSchedule.of(1, 2, 1))
+        designs = evaluator.n_designs
+        evaluator.evaluate(PeriodicSchedule.of(1, 2, 1))
+        assert evaluator.n_designs == designs
+
+    def test_wrong_app_count_rejected(self, evaluator):
+        with pytest.raises(ScheduleError):
+            evaluator.evaluate(PeriodicSchedule.of(1, 1))
+
+
+class TestConstruction:
+    def test_weights_must_sum_to_one(self, case_study):
+        from dataclasses import replace
+        from repro.errors import ConfigurationError
+
+        apps = [replace(app, weight=0.5) for app in case_study.apps]
+        with pytest.raises(ConfigurationError):
+            ScheduleEvaluator(apps, case_study.clock)
+
+    def test_needs_apps(self, case_study):
+        with pytest.raises(ScheduleError):
+            ScheduleEvaluator([], case_study.clock)

@@ -1,0 +1,66 @@
+"""Tests for idle-time feasibility and schedule-space enumeration."""
+
+import pytest
+
+from repro.sched import PeriodicSchedule, enumerate_idle_feasible, idle_feasible
+from repro.sched.feasibility import max_sampling_periods
+
+
+class TestIdleFeasibility:
+    def test_round_robin_feasible(self, case_study):
+        assert idle_feasible(
+            PeriodicSchedule.of(1, 1, 1), case_study.apps, case_study.clock
+        )
+
+    def test_paper_optimum_feasible(self, case_study):
+        assert idle_feasible(
+            PeriodicSchedule.of(3, 2, 3), case_study.apps, case_study.clock
+        )
+
+    def test_huge_counts_infeasible(self, case_study):
+        assert not idle_feasible(
+            PeriodicSchedule.of(10, 10, 10), case_study.apps, case_study.clock
+        )
+
+    def test_max_sampling_periods_values(self, case_study, clock):
+        wcets = [app.wcets for app in case_study.apps]
+        periods = max_sampling_periods(PeriodicSchedule.of(3, 2, 3), wcets, clock)
+        assert periods[0] == pytest.approx(2490.25e-6)
+        assert periods[1] == pytest.approx(3204.70e-6)
+        assert periods[2] == pytest.approx(2866.45e-6)
+
+
+class TestEnumeration:
+    def test_case_study_space_size(self, case_study):
+        """Our WCETs/limits admit 77 schedules (the paper reports 76 —
+        one boundary schedule of difference; see EXPERIMENTS.md)."""
+        space = enumerate_idle_feasible(case_study.apps, case_study.clock)
+        assert len(space) == 77
+
+    def test_enumeration_matches_brute_force(self, case_study):
+        """Cross-check the pruned recursion against a plain filter."""
+        space = set(
+            s.counts for s in enumerate_idle_feasible(case_study.apps, case_study.clock)
+        )
+        brute = set()
+        for m1 in range(1, 12):
+            for m2 in range(1, 12):
+                for m3 in range(1, 12):
+                    schedule = PeriodicSchedule.of(m1, m2, m3)
+                    if idle_feasible(schedule, case_study.apps, case_study.clock):
+                        brute.add(schedule.counts)
+        assert space == brute
+
+    def test_contains_paper_schedules(self, case_study):
+        space = {
+            s.counts for s in enumerate_idle_feasible(case_study.apps, case_study.clock)
+        }
+        assert (1, 1, 1) in space
+        assert (3, 2, 3) in space
+        assert (4, 2, 2) in space
+        assert (1, 2, 1) in space
+        assert (2, 2, 2) in space
+
+    def test_lexicographic_order(self, case_study):
+        space = enumerate_idle_feasible(case_study.apps, case_study.clock)
+        assert space == sorted(space)

@@ -1,0 +1,136 @@
+"""Tests for the hybrid gradient/annealing search (paper Section IV)."""
+
+import pytest
+
+from repro.errors import SearchError
+from repro.sched import HybridOptions, PeriodicSchedule, hybrid_search
+
+from .fakes import FakeEvaluator, box_feasible, concave_peak
+
+
+def feasible_fn(limit=8):
+    box = box_feasible(limit)
+    return lambda schedule: box(schedule.counts)
+
+
+class TestClimbing:
+    def test_reaches_unimodal_peak(self):
+        evaluator = FakeEvaluator(concave_peak((3, 2, 3)))
+        result = hybrid_search(
+            evaluator, [PeriodicSchedule.of(1, 1, 1)], feasible_fn()
+        )
+        assert result.best_schedule.counts == (3, 2, 3)
+        assert result.best_value == pytest.approx(1.0)
+
+    def test_path_is_step_one_neighbors(self):
+        evaluator = FakeEvaluator(concave_peak((4, 1, 2)))
+        result = hybrid_search(
+            evaluator, [PeriodicSchedule.of(1, 1, 1)], feasible_fn()
+        )
+        path = [s.counts for s, _ in result.traces[0].path]
+        for a, b in zip(path, path[1:]):
+            assert sum(abs(x - y) for x, y in zip(a, b)) == 1
+
+    def test_cheaper_than_exhaustive(self):
+        evaluator = FakeEvaluator(concave_peak((3, 2, 3)))
+        result = hybrid_search(
+            evaluator, [PeriodicSchedule.of(1, 1, 1)], feasible_fn()
+        )
+        # The full box has 8^3 = 512 schedules; the walk must touch few.
+        assert result.n_evaluations < 60
+
+    def test_multi_start_shares_cache_but_counts_per_start(self):
+        evaluator = FakeEvaluator(concave_peak((2, 2, 2)))
+        result = hybrid_search(
+            evaluator,
+            [PeriodicSchedule.of(1, 1, 1), PeriodicSchedule.of(4, 4, 4)],
+            feasible_fn(),
+        )
+        assert result.best_schedule.counts == (2, 2, 2)
+        assert len(result.traces) == 2
+        # Requested evaluations per start sum to at least the union size.
+        assert result.n_evaluations >= evaluator.n_schedule_evaluations
+
+
+class TestConstraints:
+    def test_never_moves_to_infeasible_point(self):
+        # Feasible box m_i <= 3, objective pulls toward (5, 1, 1).
+        evaluator = FakeEvaluator(concave_peak((5, 1, 1)))
+        result = hybrid_search(
+            evaluator, [PeriodicSchedule.of(1, 1, 1)], feasible_fn(3)
+        )
+        assert result.best_schedule.counts == (3, 1, 1)
+        for schedule, _ in result.traces[0].path:
+            assert all(c <= 3 for c in schedule.counts)
+
+    def test_settling_infeasible_blocks_moves(self):
+        """Points violating eq. (3) (discovered post-evaluation) are
+        evaluated but never moved into — the paper's 'second best
+        direction' rule."""
+        bad = {(2, 1, 1)}
+        evaluator = FakeEvaluator(
+            concave_peak((3, 1, 1)),
+            feasible=lambda counts: counts not in bad,
+        )
+        # A detour around the blocked point temporarily worsens the
+        # objective, so the tolerance feature must be enabled.
+        result = hybrid_search(
+            evaluator,
+            [PeriodicSchedule.of(1, 1, 1)],
+            feasible_fn(),
+            HybridOptions(tolerance=0.06),
+        )
+        visited = {s.counts for s, _ in result.traces[0].path}
+        assert (2, 1, 1) not in visited
+        assert (2, 1, 1) in set(evaluator.calls)  # evaluated, then rejected
+        assert result.best_schedule.counts == (3, 1, 1)  # detour succeeded
+
+    def test_infeasible_start_rejected(self):
+        evaluator = FakeEvaluator(concave_peak((1, 1, 1)))
+        with pytest.raises(SearchError):
+            hybrid_search(evaluator, [PeriodicSchedule.of(9, 9, 9)], feasible_fn(3))
+
+    def test_empty_starts_rejected(self):
+        with pytest.raises(SearchError):
+            hybrid_search(FakeEvaluator(concave_peak((1, 1, 1))), [], feasible_fn())
+
+
+class TestTolerance:
+    def make_two_peak_landscape(self):
+        """A 1-D-ish landscape with a small dip between two peaks:
+        f(m,1,1): m=1: 0.5, m=2: 0.6, m=3: 0.55, m=4: 0.9."""
+        values = {1: 0.5, 2: 0.6, 3: 0.55, 4: 0.9}
+
+        def objective(counts):
+            m = counts[0]
+            penalty = 0.2 * (counts[1] - 1 + counts[2] - 1)
+            return values.get(m, 0.0) - penalty
+
+        return objective
+
+    def test_zero_tolerance_traps_at_local_peak(self):
+        evaluator = FakeEvaluator(self.make_two_peak_landscape())
+        result = hybrid_search(
+            evaluator,
+            [PeriodicSchedule.of(1, 1, 1)],
+            feasible_fn(4),
+            HybridOptions(tolerance=0.0),
+        )
+        assert result.best_schedule.counts == (2, 1, 1)
+
+    def test_tolerance_escapes_shallow_dip(self):
+        """The paper's simulated-annealing-style feature: accepting a
+        small loss walks through the dip to the global peak."""
+        evaluator = FakeEvaluator(self.make_two_peak_landscape())
+        result = hybrid_search(
+            evaluator,
+            [PeriodicSchedule.of(1, 1, 1)],
+            feasible_fn(4),
+            HybridOptions(tolerance=0.08),
+        )
+        assert result.best_schedule.counts == (4, 1, 1)
+        assert result.best_value == pytest.approx(0.9)
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(SearchError):
+            HybridOptions(tolerance=-0.1)

@@ -1,0 +1,90 @@
+"""Tests for the interleaved-schedule extension."""
+
+import pytest
+
+from repro.sched import PeriodicSchedule
+from repro.sched.interleaved import (
+    InterleavedEvaluator,
+    enumerate_interleavings,
+    search_interleavings,
+)
+from repro.sched.schedule import InterleavedSchedule
+
+
+class TestEnumeration:
+    def test_round_robin_has_single_arrangement(self):
+        result = enumerate_interleavings(PeriodicSchedule.of(1, 1, 1))
+        # 3 apps, one task each: cyclic arrangements distinct as tuples.
+        assert all(r.tasks_per_period == 3 for r in result)
+        assert len(result) >= 1
+
+    def test_counts_preserved(self):
+        base = PeriodicSchedule.of(2, 2, 2)
+        for schedule in enumerate_interleavings(base):
+            for app in range(3):
+                assert schedule.tasks_of(app) == 2
+
+    def test_contains_periodic_embedding(self):
+        base = PeriodicSchedule.of(2, 2, 2)
+        embeddings = [
+            s.bursts for s in enumerate_interleavings(base)
+        ]
+        assert ((0, 2), (1, 2), (2, 2)) in embeddings
+
+    def test_no_adjacent_bursts_of_same_app(self):
+        for schedule in enumerate_interleavings(PeriodicSchedule.of(3, 2)):
+            apps = [app for app, _count in schedule.bursts]
+            for a, b in zip(apps, apps[1:]):
+                assert a != b
+            if len(apps) > 1:
+                assert apps[0] != apps[-1]
+
+    def test_cap_respected(self):
+        result = enumerate_interleavings(PeriodicSchedule.of(3, 3, 3), max_schedules=10)
+        assert len(result) == 10
+
+
+class TestEvaluation:
+    @pytest.fixture(scope="class")
+    def evaluator(self, case_study, quick_design_options):
+        return InterleavedEvaluator(
+            case_study.apps, case_study.clock, quick_design_options
+        )
+
+    def test_periodic_embedding_matches_periodic_evaluator(
+        self, case_study, evaluator, quick_design_options
+    ):
+        """Evaluating (2,2,2) as a one-burst interleaving must equal the
+        periodic evaluator bit-for-bit (same timings, same designs)."""
+        from repro.sched import ScheduleEvaluator
+
+        periodic_eval = ScheduleEvaluator(
+            case_study.apps, case_study.clock, quick_design_options
+        ).evaluate(PeriodicSchedule.of(2, 2, 2))
+        interleaved_eval = evaluator.evaluate(
+            InterleavedSchedule.from_periodic(PeriodicSchedule.of(2, 2, 2))
+        )
+        assert interleaved_eval.overall == pytest.approx(periodic_eval.overall)
+        for a, b in zip(periodic_eval.apps, interleaved_eval.settling):
+            assert a.settling == pytest.approx(b)
+
+    def test_split_burst_evaluates(self, evaluator):
+        schedule = InterleavedSchedule(3, ((0, 1), (1, 1), (0, 1), (2, 2)))
+        result = evaluator.evaluate(schedule)
+        assert result.idle_ok
+        assert len(result.settling) == 3
+
+
+class TestSearch:
+    def test_search_answers_future_work_question(self, case_study, quick_design_options):
+        result = search_interleavings(
+            case_study.apps,
+            case_study.clock,
+            PeriodicSchedule.of(2, 1, 1),
+            quick_design_options,
+            max_schedules=6,
+        )
+        assert result.n_evaluated >= 1
+        assert result.best.overall >= result.base_evaluation.overall
+        # interleaving_helps is a boolean judgement, not an error.
+        assert result.interleaving_helps in (True, False)

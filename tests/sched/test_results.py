@@ -1,0 +1,15 @@
+"""Tests for the search result containers."""
+
+from repro.sched import PeriodicSchedule, SearchTrace
+
+
+class TestSearchTrace:
+    def test_end_defaults_to_start(self):
+        trace = SearchTrace(start=PeriodicSchedule.of(1, 1))
+        assert trace.end == PeriodicSchedule.of(1, 1)
+
+    def test_end_follows_path(self):
+        trace = SearchTrace(start=PeriodicSchedule.of(1, 1))
+        trace.path.append((PeriodicSchedule.of(1, 1), 0.5))
+        trace.path.append((PeriodicSchedule.of(2, 1), 0.7))
+        assert trace.end == PeriodicSchedule.of(2, 1)

@@ -1,0 +1,75 @@
+"""Tests for schedule descriptions."""
+
+import pytest
+
+from repro.errors import ScheduleError
+from repro.sched import InterleavedSchedule, PeriodicSchedule
+
+
+class TestPeriodicSchedule:
+    def test_construction_and_str(self):
+        schedule = PeriodicSchedule.of(3, 2, 3)
+        assert schedule.counts == (3, 2, 3)
+        assert schedule.n_apps == 3
+        assert schedule.tasks_per_period == 8
+        assert str(schedule) == "(3, 2, 3)"
+
+    def test_round_robin(self):
+        assert PeriodicSchedule.round_robin(3).counts == (1, 1, 1)
+
+    def test_rejects_zero_counts(self):
+        with pytest.raises(ScheduleError):
+            PeriodicSchedule.of(1, 0, 1)
+        with pytest.raises(ScheduleError):
+            PeriodicSchedule(())
+
+    def test_neighbors(self):
+        schedule = PeriodicSchedule.of(2, 1)
+        neighbors = {s.counts for s in schedule.neighbors()}
+        assert neighbors == {(1, 1), (3, 1), (2, 2)}  # (2, 0) is invalid
+
+    def test_neighbor_below_one_is_none(self):
+        assert PeriodicSchedule.of(1, 1).neighbor(0, -1) is None
+
+    def test_with_count(self):
+        assert PeriodicSchedule.of(1, 1, 1).with_count(1, 4).counts == (1, 4, 1)
+        with pytest.raises(ScheduleError):
+            PeriodicSchedule.of(1, 1).with_count(5, 2)
+
+    def test_ordering_and_hashing(self):
+        a = PeriodicSchedule.of(1, 2)
+        b = PeriodicSchedule.of(1, 3)
+        assert a < b
+        assert len({a, b, PeriodicSchedule.of(1, 2)}) == 2
+
+
+class TestInterleavedSchedule:
+    def test_valid_interleaving(self):
+        schedule = InterleavedSchedule(3, ((0, 2), (1, 1), (0, 1), (2, 3)))
+        assert schedule.tasks_of(0) == 3
+        assert schedule.tasks_per_period == 7
+        assert str(schedule) == "[C1x2 C2x1 C1x1 C3x3]"
+
+    def test_flattened_positions(self):
+        schedule = InterleavedSchedule(2, ((0, 2), (1, 1)))
+        assert schedule.flattened() == [(0, 1), (0, 2), (1, 1)]
+
+    def test_adjacent_same_app_rejected(self):
+        with pytest.raises(ScheduleError):
+            InterleavedSchedule(2, ((0, 1), (0, 2), (1, 1)))
+
+    def test_cyclic_adjacency_rejected(self):
+        with pytest.raises(ScheduleError):
+            InterleavedSchedule(2, ((0, 1), (1, 1), (0, 1)))
+
+    def test_missing_app_rejected(self):
+        with pytest.raises(ScheduleError):
+            InterleavedSchedule(3, ((0, 1), (1, 1)))
+
+    def test_from_periodic(self):
+        schedule = InterleavedSchedule.from_periodic(PeriodicSchedule.of(3, 2))
+        assert schedule.bursts == ((0, 3), (1, 2))
+
+    def test_single_app(self):
+        schedule = InterleavedSchedule(1, ((0, 4),))
+        assert schedule.tasks_of(0) == 4

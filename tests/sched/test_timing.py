@@ -1,0 +1,140 @@
+"""Tests for timing derivation — checked against the paper's formulas.
+
+The (3,2,3) and (2,2,2) values below are hand-computed from Table I:
+T1 = 907.55 + (m1-1)*452.15, T2 = 645.25 + (m2-1)*175.00,
+T3 = 749.15 + (m3-1)*234.35 (all in microseconds).
+"""
+
+import pytest
+
+from repro.errors import ScheduleError
+from repro.sched import (
+    InterleavedSchedule,
+    PeriodicSchedule,
+    derive_timing,
+    derive_timing_interleaved,
+)
+from repro.sched.timing import AppTiming, burst_duration
+from repro.units import us
+from repro.wcet.results import TaskWcets
+
+WCETS = [
+    TaskWcets("C1", 18151, 9043),   # 907.55 / 452.15 us
+    TaskWcets("C2", 12905, 3500),   # 645.25 / 175.00 us
+    TaskWcets("C3", 14983, 4687),   # 749.15 / 234.35 us
+]
+
+
+class TestBurstDuration:
+    def test_single_task(self, clock):
+        assert burst_duration(WCETS[0], 1, clock) == pytest.approx(us(907.55))
+
+    def test_cold_plus_warm(self, clock):
+        assert burst_duration(WCETS[0], 3, clock) == pytest.approx(us(1811.85))
+
+
+class TestPeriodicTiming:
+    def test_round_robin_periods(self, clock):
+        timing = derive_timing(PeriodicSchedule.of(1, 1, 1), WCETS, clock)
+        assert timing.hyperperiod == pytest.approx(us(2301.95))
+        for i in range(3):
+            app = timing.for_app(i)
+            assert app.n_tasks == 1
+            assert app.periods[0] == pytest.approx(us(2301.95))
+        assert timing.for_app(0).delays[0] == pytest.approx(us(907.55))
+
+    def test_schedule_323_periods_match_paper_formulas(self, clock):
+        timing = derive_timing(PeriodicSchedule.of(3, 2, 3), WCETS, clock)
+        assert timing.hyperperiod == pytest.approx(us(3849.95))
+        c1 = timing.for_app(0)
+        assert c1.periods == pytest.approx(
+            (us(907.55), us(452.15), us(452.15 + 2038.10))
+        )
+        assert c1.delays == pytest.approx((us(907.55), us(452.15), us(452.15)))
+        c2 = timing.for_app(1)
+        assert c2.periods == pytest.approx((us(645.25), us(175.00 + 3029.70)))
+        assert c2.delays == pytest.approx((us(645.25), us(175.00)))
+        c3 = timing.for_app(2)
+        assert c3.periods[-1] == pytest.approx(us(234.35 + 2632.10))
+
+    def test_example_222_from_paper_fig4(self, clock):
+        """The paper's Fig. 4 example: h1(2) = E1(2) + Delta."""
+        timing = derive_timing(PeriodicSchedule.of(2, 2, 2), WCETS, clock)
+        c1 = timing.for_app(0)
+        delta = us(645.25 + 175.00 + 749.15 + 234.35)
+        assert c1.periods == pytest.approx((us(907.55), us(452.15) + delta))
+
+    def test_max_period_is_the_gap(self, clock):
+        timing = derive_timing(PeriodicSchedule.of(3, 2, 3), WCETS, clock)
+        for app in timing.apps:
+            assert app.max_period == app.periods[-1]
+
+    def test_wcet_count_mismatch_rejected(self, clock):
+        with pytest.raises(ScheduleError):
+            derive_timing(PeriodicSchedule.of(1, 1), WCETS, clock)
+
+
+class TestAppTimingValidation:
+    def test_rejects_tau_above_h(self):
+        with pytest.raises(ScheduleError):
+            AppTiming(0, (1e-3,), (2e-3,))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ScheduleError):
+            AppTiming(0, (), ())
+
+    def test_hyperperiod_sum(self):
+        timing = AppTiming(0, (1e-3, 2e-3), (1e-3, 1e-3))
+        assert timing.hyperperiod == pytest.approx(3e-3)
+
+
+class TestInterleavedTiming:
+    def test_one_burst_per_app_matches_periodic(self, clock):
+        periodic = derive_timing(PeriodicSchedule.of(3, 2, 3), WCETS, clock)
+        interleaved = derive_timing_interleaved(
+            InterleavedSchedule.from_periodic(PeriodicSchedule.of(3, 2, 3)),
+            WCETS,
+            clock,
+        )
+        for i in range(3):
+            assert interleaved.for_app(i).periods == pytest.approx(
+                periodic.for_app(i).periods
+            )
+            assert interleaved.for_app(i).delays == pytest.approx(
+                periodic.for_app(i).delays
+            )
+
+    def test_split_burst_goes_cold_again(self, clock):
+        """Splitting C1's burst makes the second burst's first task cold."""
+        schedule = InterleavedSchedule(3, ((0, 2), (1, 2), (0, 1), (2, 3)))
+        timing = derive_timing_interleaved(schedule, WCETS, clock)
+        c1 = timing.for_app(0)
+        # Three C1 tasks: cold + warm (burst 1), cold again (burst 2).
+        cold, warm = us(907.55), us(452.15)
+        delays = sorted(c1.delays)
+        assert delays[0] == pytest.approx(warm)
+        assert delays[1] == pytest.approx(cold)
+        assert delays[2] == pytest.approx(cold)
+
+    def test_longest_period_is_last_after_rotation(self, clock):
+        schedule = InterleavedSchedule(3, ((0, 1), (1, 2), (0, 2), (2, 3)))
+        timing = derive_timing_interleaved(schedule, WCETS, clock)
+        for app in timing.apps:
+            assert app.periods[-1] == max(app.periods)
+
+    def test_hyperperiod_equals_total_execution(self, clock):
+        schedule = InterleavedSchedule(3, ((0, 2), (1, 2), (0, 1), (2, 3)))
+        timing = derive_timing_interleaved(schedule, WCETS, clock)
+        expected = (
+            us(907.55 + 452.15)      # C1 burst 1
+            + us(645.25 + 175.00)    # C2
+            + us(907.55)             # C1 burst 2 (cold again)
+            + us(749.15 + 2 * 234.35)  # C3
+        )
+        assert timing.hyperperiod == pytest.approx(expected)
+
+    def test_periods_sum_to_hyperperiod_per_app(self, clock):
+        schedule = InterleavedSchedule(3, ((0, 2), (1, 2), (0, 1), (2, 3)))
+        timing = derive_timing_interleaved(schedule, WCETS, clock)
+        for app in timing.apps:
+            assert app.hyperperiod == pytest.approx(timing.hyperperiod)

@@ -1,0 +1,93 @@
+"""Property-based tests of the timing derivation (paper eqs. (6)-(8)).
+
+These hold for *any* WCET values and counts, not just the case study:
+they pin the algebraic structure of Section II-C.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sched import PeriodicSchedule, derive_timing
+from repro.sched.timing import burst_duration
+from repro.units import Clock
+from repro.wcet.results import TaskWcets
+
+CLOCK = Clock(20e6)
+
+wcet_triples = st.tuples(
+    st.integers(2000, 40000),  # cold cycles
+    st.floats(0.1, 0.95),      # warm fraction of cold
+)
+
+
+def make_wcets(raw, index):
+    cold, fraction = raw
+    warm = max(1, int(cold * fraction))
+    return TaskWcets(f"A{index}", cold, warm)
+
+
+@st.composite
+def problems(draw):
+    n = draw(st.integers(2, 4))
+    wcets = [make_wcets(draw(wcet_triples), i) for i in range(n)]
+    counts = tuple(draw(st.integers(1, 5)) for _ in range(n))
+    return wcets, PeriodicSchedule(counts)
+
+
+class TestTimingInvariants:
+    @given(problems())
+    @settings(max_examples=60, deadline=None)
+    def test_every_app_sees_the_same_hyperperiod(self, problem):
+        wcets, schedule = problem
+        timing = derive_timing(schedule, wcets, CLOCK)
+        for app in timing.apps:
+            assert abs(app.hyperperiod - timing.hyperperiod) < 1e-12
+
+    @given(problems())
+    @settings(max_examples=60, deadline=None)
+    def test_hyperperiod_is_total_execution_time(self, problem):
+        wcets, schedule = problem
+        timing = derive_timing(schedule, wcets, CLOCK)
+        total = sum(
+            burst_duration(w, m, CLOCK) for w, m in zip(wcets, schedule.counts)
+        )
+        assert abs(timing.hyperperiod - total) < 1e-12
+
+    @given(problems())
+    @settings(max_examples=60, deadline=None)
+    def test_delays_never_exceed_periods(self, problem):
+        wcets, schedule = problem
+        timing = derive_timing(schedule, wcets, CLOCK)
+        for app in timing.apps:
+            for h, tau in zip(app.periods, app.delays):
+                assert 0 < tau <= h
+
+    @given(problems())
+    @settings(max_examples=60, deadline=None)
+    def test_task_count_matches_schedule(self, problem):
+        wcets, schedule = problem
+        timing = derive_timing(schedule, wcets, CLOCK)
+        for i, app in enumerate(timing.apps):
+            assert app.n_tasks == schedule.counts[i]
+
+    @given(problems())
+    @settings(max_examples=60, deadline=None)
+    def test_longest_period_is_last(self, problem):
+        """The worst-case tracking phase convention."""
+        wcets, schedule = problem
+        timing = derive_timing(schedule, wcets, CLOCK)
+        for app in timing.apps:
+            assert app.periods[-1] == max(app.periods)
+
+    @given(problems())
+    @settings(max_examples=60, deadline=None)
+    def test_growing_another_count_grows_my_gap(self, problem):
+        """Monotonicity used by the enumeration pruning: increasing any
+        other application's count inflates my idle gap."""
+        wcets, schedule = problem
+        if schedule.n_apps < 2:
+            return
+        timing = derive_timing(schedule, wcets, CLOCK)
+        grown = schedule.with_count(1, schedule.counts[1] + 1)
+        grown_timing = derive_timing(grown, wcets, CLOCK)
+        assert grown_timing.for_app(0).max_period >= timing.for_app(0).max_period

@@ -1,0 +1,38 @@
+"""Tests for the top-level CLI (quick profile via environment)."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+@pytest.fixture(autouse=True)
+def quick_profile(monkeypatch):
+    monkeypatch.setenv("REPRO_PROFILE", "quick")
+
+
+class TestCli:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "907.55 us" in out
+        assert "idle-feasible periodic schedules: 77" in out
+
+    def test_evaluate(self, capsys):
+        assert main(["evaluate", "--schedule", "1,1,1"]) == 0
+        out = capsys.readouterr().out
+        assert "P_all" in out
+        assert "C3" in out
+
+    def test_timeline(self, capsys):
+        assert main(["timeline", "--schedule", "2,2,2"]) == 0
+        out = capsys.readouterr().out
+        assert "C1c" in out and "C1w" in out
+
+    def test_search_with_starts(self, capsys):
+        assert main(["search", "--method", "hybrid", "--starts", "2,2,2"]) == 0
+        out = capsys.readouterr().out
+        assert "best:" in out
+
+    def test_invalid_schedule_exits(self):
+        with pytest.raises(SystemExit):
+            main(["evaluate", "--schedule", "banana"])

@@ -1,0 +1,26 @@
+"""The exception hierarchy is catchable at the library root."""
+
+import pytest
+
+from repro import errors
+
+
+@pytest.mark.parametrize(
+    "exc",
+    [
+        errors.ConfigurationError,
+        errors.CacheError,
+        errors.ProgramError,
+        errors.AnalysisError,
+        errors.ControlError,
+        errors.DesignInfeasibleError,
+        errors.ScheduleError,
+        errors.SearchError,
+    ],
+)
+def test_all_errors_derive_from_repro_error(exc):
+    assert issubclass(exc, errors.ReproError)
+
+
+def test_design_infeasible_is_a_control_error():
+    assert issubclass(errors.DesignInfeasibleError, errors.ControlError)

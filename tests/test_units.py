@@ -1,0 +1,39 @@
+"""Tests for repro.units."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.units import Clock, ms, us
+
+
+class TestClock:
+    def test_paper_clock_cycle_time(self):
+        clock = Clock(20e6)
+        assert clock.cycle_time == pytest.approx(50e-9)
+
+    def test_cycles_to_seconds_roundtrip(self):
+        clock = Clock(20e6)
+        assert clock.seconds_to_cycles(clock.cycles_to_seconds(18151)) == pytest.approx(18151)
+
+    def test_paper_table1_conversion(self):
+        # 18151 cycles at 20 MHz is the paper's 907.55 us C1 cold WCET.
+        clock = Clock(20e6)
+        assert clock.cycles_to_us(18151) == pytest.approx(907.55)
+
+    def test_cycles_to_us_scales_with_frequency(self):
+        assert Clock(10e6).cycles_to_us(100) == pytest.approx(10.0)
+        assert Clock(100e6).cycles_to_us(100) == pytest.approx(1.0)
+
+    def test_rejects_nonpositive_frequency(self):
+        with pytest.raises(ConfigurationError):
+            Clock(0.0)
+        with pytest.raises(ConfigurationError):
+            Clock(-1.0)
+
+
+class TestHelpers:
+    def test_us(self):
+        assert us(907.55) == pytest.approx(907.55e-6)
+
+    def test_ms(self):
+        assert ms(45.0) == pytest.approx(0.045)

@@ -1,0 +1,83 @@
+"""Tests for ASCII plotting and timeline rendering."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sched import PeriodicSchedule
+from repro.viz import AsciiPlot, plot_series, render_schedule_timeline
+from repro.wcet.results import TaskWcets
+
+WCETS = [
+    TaskWcets("C1", 18151, 9043),
+    TaskWcets("C2", 12905, 3500),
+    TaskWcets("C3", 14983, 4687),
+]
+
+
+class TestAsciiPlot:
+    def test_series_appears_on_canvas(self):
+        plot = AsciiPlot((0.0, 1.0), (0.0, 1.0), width=20, height=8)
+        plot.add_series(np.linspace(0, 1, 50), np.linspace(0, 1, 50), "*")
+        rendered = plot.render(title="t")
+        assert "*" in rendered
+        assert rendered.splitlines()[0] == "t"
+
+    def test_out_of_range_points_clamped_or_dropped(self):
+        plot = AsciiPlot((0.0, 1.0), (0.0, 1.0), width=20, height=8)
+        plot.add_series(np.array([2.0]), np.array([0.5]), "*")  # x out of range
+        assert "*" not in plot.render()
+
+    def test_hline(self):
+        plot = AsciiPlot((0.0, 1.0), (0.0, 1.0), width=20, height=8)
+        plot.add_hline(0.5, "-")
+        assert "-" * 20 in plot.render()
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            AsciiPlot((0.0, 1.0), (1.0, 1.0))
+        with pytest.raises(ConfigurationError):
+            AsciiPlot((0.0, 1.0), (0.0, 1.0), width=2)
+
+
+class TestPlotSeries:
+    def test_legend_and_markers(self):
+        t = np.linspace(0, 1, 30)
+        text = plot_series(
+            {"one": (t, np.sin(t)), "two": (t, np.cos(t))},
+            title="demo",
+        )
+        assert "* = one" in text
+        assert "o = two" in text
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            plot_series({})
+
+    def test_handles_nan(self):
+        t = np.linspace(0, 1, 10)
+        y = t.copy()
+        y[3] = np.nan
+        text = plot_series({"s": (t, y)})
+        assert "*" in text
+
+
+class TestTimeline:
+    def test_paper_fig4_timeline(self, clock):
+        text = render_schedule_timeline(PeriodicSchedule.of(2, 2, 2), WCETS, clock)
+        assert "schedule (2, 2, 2)" in text
+        assert "C1c" in text  # cold first task
+        assert "C1w" in text  # warm second task
+        # Hyperperiod of (2,2,2): T1 + T2 + T3
+        # = 1359.70 + 820.25 + 983.50 us = 3.163 ms.
+        assert "3.163 ms" in text
+
+    def test_round_robin_all_cold(self, clock):
+        text = render_schedule_timeline(PeriodicSchedule.of(1, 1, 1), WCETS, clock)
+        assert "C1c" in text
+        assert "C1w" not in text
+
+    def test_lists_sampling_periods(self, clock):
+        text = render_schedule_timeline(PeriodicSchedule.of(3, 2, 3), WCETS, clock)
+        assert "sensing-to-actuation delays" in text
+        assert "907.55" in text

@@ -1,0 +1,86 @@
+"""Tests for concrete WCET simulation with path enumeration."""
+
+import pytest
+
+from repro.cache import CacheConfig, InstructionCache
+from repro.errors import AnalysisError
+from repro.program import BasicBlock, Branch, Loop, Program, Seq, make_control_program
+from repro.wcet import simulate_path, simulate_worst_case
+
+
+def config() -> CacheConfig:
+    return CacheConfig(n_sets=8, associativity=1, line_size=16)
+
+
+class TestSinglePath:
+    def test_straight_line_cost(self):
+        program = Program("p", BasicBlock("b", 8))  # 8 instr = 2 lines
+        program.place(0)
+        result = simulate_worst_case(program, config())
+        assert result.misses == 2
+        assert result.hits == 6
+        assert result.cycles == 2 * 100 + 6 * 1
+
+    def test_loop_reuses_cache(self):
+        program = Program("p", Loop(BasicBlock("b", 4), 10))  # 1 line
+        program.place(0)
+        result = simulate_worst_case(program, config())
+        assert result.misses == 1
+        assert result.instructions == 40
+
+    def test_final_cache_returned(self):
+        program = make_control_program("p", 4, 4, 2, 4)
+        program.place(0)
+        result = simulate_worst_case(program, config())
+        assert result.final_cache.occupancy() > 0
+
+    def test_initial_cache_not_mutated(self):
+        program = Program("p", BasicBlock("b", 4))
+        program.place(0)
+        cache = InstructionCache(config())
+        simulate_worst_case(program, config(), initial_cache=cache)
+        assert cache.occupancy() == 0
+
+
+class TestBranchEnumeration:
+    def branchy_program(self) -> Program:
+        # The not-taken arm is bigger: worst case must pick it.
+        root = Seq(
+            [
+                BasicBlock("init", 4),
+                Branch(BasicBlock("small", 2), BasicBlock("large", 40)),
+            ]
+        )
+        program = Program("p", root)
+        program.place(0)
+        return program
+
+    def test_worst_case_picks_expensive_arm(self):
+        program = self.branchy_program()
+        worst = simulate_worst_case(program, config())
+        taken = simulate_path(program, InstructionCache(config()), (True,))
+        untaken = simulate_path(program, InstructionCache(config()), (False,))
+        assert worst.cycles == max(taken.cycles, untaken.cycles)
+        assert worst.decisions == (False,)
+
+    def test_enumeration_budget_enforced(self):
+        arms = [Branch(BasicBlock(f"t{i}", 1), BasicBlock(f"n{i}", 1)) for i in range(14)]
+        program = Program("p", Seq(arms))
+        program.place(0)
+        with pytest.raises(AnalysisError):
+            simulate_worst_case(program, config(), max_paths=64)
+
+    def test_decisions_shorter_than_sites_defaults_taken(self):
+        program = self.branchy_program()
+        result = simulate_path(program, InstructionCache(config()), ())
+        taken = simulate_path(program, InstructionCache(config()), (True,))
+        assert result.cycles == taken.cycles
+
+
+class TestWarmStart:
+    def test_warm_start_cheaper(self):
+        program = make_control_program("p", 8, 8, 3, 4)
+        program.place(0)
+        cold = simulate_worst_case(program, config())
+        warm = simulate_worst_case(program, config(), initial_cache=cold.final_cache)
+        assert warm.cycles < cold.cycles

@@ -1,0 +1,86 @@
+"""Tests for the cache-reuse (guaranteed WCET reduction) analysis."""
+
+import pytest
+
+from repro.cache import CacheConfig
+from repro.errors import AnalysisError
+from repro.program import make_control_program
+from repro.wcet import analyze_task_wcets, guaranteed_reduction, task_wcet_sequence
+from repro.wcet.results import TaskWcets
+
+
+def fitting_program():
+    """A program whose whole image fits the cache."""
+    program = make_control_program("fit", 8, 16, 5, 4)
+    program.place(0)
+    return program
+
+
+class TestTaskWcets:
+    def test_reduction_is_cold_minus_warm(self):
+        wcets = TaskWcets("x", cold_cycles=1000, warm_cycles=400)
+        assert wcets.reduction_cycles == 600
+
+    def test_position_semantics(self):
+        wcets = TaskWcets("x", 1000, 400)
+        assert wcets.wcet_cycles(1) == 1000
+        assert wcets.wcet_cycles(2) == 400
+        assert wcets.wcet_cycles(7) == 400
+        with pytest.raises(ValueError):
+            wcets.wcet_cycles(0)
+
+    def test_seconds_conversion(self, clock):
+        wcets = TaskWcets("x", 18151, 9043)
+        assert wcets.cold_seconds(clock) == pytest.approx(907.55e-6)
+        assert wcets.reduction_seconds(clock) == pytest.approx(455.40e-6)
+
+
+class TestAnalysis:
+    def test_static_and_concrete_agree_on_fitting_program(self, paper_cache_config):
+        program = fitting_program()
+        static = analyze_task_wcets(program, paper_cache_config, "static")
+        concrete = analyze_task_wcets(program, paper_cache_config, "concrete")
+        assert static.cold_cycles == concrete.cold_cycles
+        assert static.warm_cycles == concrete.warm_cycles
+
+    def test_warm_never_exceeds_cold(self, paper_cache_config):
+        program = fitting_program()
+        for method in ("static", "concrete"):
+            wcets = analyze_task_wcets(program, paper_cache_config, method)
+            assert wcets.warm_cycles <= wcets.cold_cycles
+
+    def test_fully_cached_program_has_zero_warm_misses(self, paper_cache_config):
+        program = fitting_program()
+        wcets = analyze_task_wcets(program, paper_cache_config, "static")
+        # Image fits entirely: warm run is pure hits.
+        executed = program.executed_instructions()
+        assert wcets.warm_cycles == executed * paper_cache_config.hit_cycles
+
+    def test_guaranteed_reduction_value(self, paper_cache_config):
+        program = fitting_program()
+        reduction = guaranteed_reduction(program, paper_cache_config)
+        footprint = len(program.footprint_lines(paper_cache_config))
+        assert reduction == footprint * paper_cache_config.miss_penalty
+
+    def test_sequence_is_cold_then_warm(self, paper_cache_config):
+        program = fitting_program()
+        sequence = task_wcet_sequence(program, paper_cache_config, 4)
+        assert sequence[0] > sequence[1]
+        assert sequence[1] == sequence[2] == sequence[3]
+
+    def test_sequence_rejects_bad_count(self, paper_cache_config):
+        with pytest.raises(AnalysisError):
+            task_wcet_sequence(fitting_program(), paper_cache_config, 0)
+
+    def test_unknown_method_rejected(self, paper_cache_config):
+        with pytest.raises(AnalysisError):
+            analyze_task_wcets(fitting_program(), paper_cache_config, "magic")
+
+    def test_thrashing_program_gets_less_reuse(self):
+        """A program bigger than the cache cannot keep its whole image."""
+        tiny_cache = CacheConfig(n_sets=8, associativity=1, line_size=16)
+        big = make_control_program("big", 8, 256, 3, 8)  # 272 instr > 32 line slots
+        big.place(0)
+        wcets = analyze_task_wcets(big, tiny_cache, "concrete")
+        footprint = len(big.footprint_lines(tiny_cache))
+        assert wcets.reduction_cycles < footprint * tiny_cache.miss_penalty

@@ -1,0 +1,48 @@
+"""Whole-schedule trace replay validates the analytical WCETs."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.wcet import analyze_task_wcets, simulate_task_sequence
+
+
+class TestCaseStudyValidation:
+    @pytest.mark.parametrize("counts", [(1, 1, 1), (2, 2, 2), (3, 2, 3)])
+    def test_measured_cycles_match_analysis_exactly(self, case_study, counts):
+        """For the calibrated programs the cold/warm analysis is exact:
+        the schedule replay reproduces each task's cycles bit-exactly."""
+        entries = list(zip(case_study.programs, counts))
+        records = simulate_task_sequence(entries, case_study.cache_config)
+        wcets = {
+            p.name: analyze_task_wcets(p, case_study.cache_config)
+            for p in case_study.programs
+        }
+        for record in records:
+            expected = wcets[record.app_name].wcet_cycles(record.position)
+            assert record.cycles == expected, record
+
+    def test_measured_never_exceeds_wcet(self, case_study):
+        """Soundness: measured cycles <= analytical WCET for any position."""
+        entries = [(p, 4) for p in case_study.programs]
+        records = simulate_task_sequence(entries, case_study.cache_config)
+        wcets = {
+            p.name: analyze_task_wcets(p, case_study.cache_config)
+            for p in case_study.programs
+        }
+        for record in records:
+            assert record.cycles <= wcets[record.app_name].wcet_cycles(record.position)
+
+    def test_record_counts(self, case_study):
+        entries = list(zip(case_study.programs, (3, 2, 3)))
+        records = simulate_task_sequence(entries, case_study.cache_config)
+        assert len(records) == 8
+        assert [r.app_name for r in records] == ["C1"] * 3 + ["C2"] * 2 + ["C3"] * 3
+        assert [r.position for r in records] == [1, 2, 3, 1, 2, 1, 2, 3]
+
+    def test_validation_errors(self, case_study):
+        with pytest.raises(AnalysisError):
+            simulate_task_sequence([], case_study.cache_config)
+        with pytest.raises(AnalysisError):
+            simulate_task_sequence(
+                [(case_study.programs[0], 0)], case_study.cache_config
+            )

@@ -1,0 +1,121 @@
+"""Tests for the static (must/may) WCET analysis.
+
+The central property: the static bound dominates the concrete
+worst-case for every program and every (cold) start state, while the
+must-state at exit only claims lines that are really resident.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache import CacheConfig
+from repro.program import (
+    BasicBlock,
+    Branch,
+    Loop,
+    Program,
+    Seq,
+    make_control_program,
+    random_program,
+)
+from repro.wcet import AbstractState, analyze_program, simulate_worst_case
+from repro.wcet.static import _MAX_FIXPOINT_ROUNDS
+
+
+def config(**kwargs) -> CacheConfig:
+    defaults = dict(n_sets=8, associativity=2, line_size=16)
+    defaults.update(kwargs)
+    return CacheConfig(**defaults)
+
+
+class TestExactCases:
+    def test_straight_line_from_cold(self):
+        program = Program("p", BasicBlock("b", 8))
+        program.place(0)
+        result = analyze_program(program, config(), AbstractState.cold(config()))
+        assert result.cycles == 2 * 100 + 6
+        assert result.always_miss == 2  # cold may-cache proves the misses
+        assert result.always_hit == 6
+
+    def test_unknown_start_cannot_prove_misses(self):
+        program = Program("p", BasicBlock("b", 8))
+        program.place(0)
+        result = analyze_program(program, config())  # unknown initial state
+        assert result.cycles == 2 * 100 + 6
+        assert result.always_miss == 0
+        assert result.unclassified == 2
+
+    def test_loop_peeling_counts_first_iteration_once(self):
+        program = Program("p", Loop(BasicBlock("b", 4), 10))  # one line
+        program.place(0)
+        result = analyze_program(program, config())
+        # 1 miss + 39 guaranteed hits.
+        assert result.cycles == 100 + 3 + 9 * 4
+
+    def test_branch_takes_max_and_joins(self):
+        root = Seq(
+            [
+                Branch(BasicBlock("small", 2), BasicBlock("large", 12)),
+                BasicBlock("tail", 2),
+            ]
+        )
+        program = Program("p", root)
+        program.place(0)
+        static = analyze_program(program, config())
+        concrete = simulate_worst_case(program, config())
+        assert static.cycles >= concrete.cycles
+
+    def test_exit_state_feeds_warm_analysis(self):
+        program = make_control_program("p", 4, 8, 3, 4)
+        program.place(0)
+        cold = analyze_program(program, config())
+        warm_state = AbstractState(cold.must_out.copy(), cold.may_out.copy())
+        warm = analyze_program(program, config(), warm_state)
+        assert warm.cycles < cold.cycles
+
+    def test_fixpoint_guard_exists(self):
+        assert _MAX_FIXPOINT_ROUNDS >= 8
+
+
+class TestSoundnessAgainstConcrete:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_static_dominates_concrete(self, seed):
+        program = random_program(np.random.default_rng(seed))
+        program.place(0)
+        cfg = config()
+        static = analyze_program(program, cfg, AbstractState.cold(cfg))
+        concrete = simulate_worst_case(program, cfg, max_paths=2 ** 14)
+        assert static.cycles >= concrete.cycles
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_must_exit_state_is_really_resident(self, seed):
+        """Every line the must-analysis guarantees at exit is resident
+        in the concrete cache after the *worst* path (and, by symmetry
+        of the argument, after any path)."""
+        program = random_program(np.random.default_rng(seed + 100))
+        program.place(0)
+        cfg = config()
+        static = analyze_program(program, cfg, AbstractState.cold(cfg))
+        for decisions_seed in range(4):
+            rng = np.random.default_rng(decisions_seed)
+            decisions = tuple(bool(b) for b in rng.integers(0, 2, program.n_branches))
+            from repro.cache import InstructionCache
+            from repro.wcet import simulate_path
+
+            result = simulate_path(program, InstructionCache(cfg), decisions)
+            assert static.must_out.lines() <= result.final_cache.resident_lines()
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_random_programs_bounded(self, seed):
+        program = random_program(np.random.default_rng(seed))
+        program.place(0)
+        cfg = config()
+        static = analyze_program(program, cfg)
+        # Sanity: bound is between all-hit and all-miss costs.
+        from repro.program.structure import max_path_instructions
+
+        upper = max_path_instructions(program.root) * cfg.miss_cycles
+        assert 0 < static.cycles <= upper

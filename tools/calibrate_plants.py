@@ -1,0 +1,114 @@
+"""Calibrate plant constants so the case study lands at the paper's
+operating point.
+
+The paper does not publish plant matrices, but Table III pins down the
+operating point: under round-robin (1,1,1) the applications settle just
+inside their deadlines and the cache-aware (3,2,3) schedule improves
+settling by 13-17 %.  All three surrogates are lightly damped
+second-order plants (see repro.apps.resonant); this script
+
+* ``check``  — evaluates the currently configured constants under both
+  schedules with an honest (multi-restart, big-swarm) budget;
+* ``sweep``  — sweeps (natural frequency, damping, equilibrium-input
+  headroom) per application so new constants can be chosen.
+
+Run:  python tools/calibrate_plants.py [check|sweep]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro.apps import build_case_study
+from repro.apps.resonant import resonant_plant
+from repro.control.design import DesignOptions, design_controller
+from repro.control.pso import PsoOptions
+from repro.sched import PeriodicSchedule, derive_timing
+
+#: Honest budget: multiple restarts, larger swarms than the default.
+HONEST = DesignOptions(
+    restarts=5,
+    stage_a=PsoOptions(24, 30),
+    stage_b=PsoOptions(32, 40),
+)
+
+#: Output gains / references per application (fixed by the scenarios).
+SCENARIOS = {
+    "C1": dict(dc=1.0, r=0.2),
+    "C2": dict(dc=550.0, r=110.0),
+    "C3": dict(dc=6000.0, r=2000.0),
+}
+
+
+def timings():
+    case = build_case_study()
+    wcets = [app.wcets for app in case.apps]
+    rr = derive_timing(PeriodicSchedule.of(1, 1, 1), wcets, case.clock)
+    opt = derive_timing(PeriodicSchedule.of(3, 2, 3), wcets, case.clock)
+    return case, rr, opt
+
+
+def settle_pair(plant, spec, rr_timing, opt_timing, app_index, options=HONEST):
+    results = []
+    for timing in (rr_timing, opt_timing):
+        app_timing = timing.for_app(app_index)
+        design = design_controller(
+            plant, list(app_timing.periods), list(app_timing.delays), spec, options
+        )
+        results.append(design)
+    return results
+
+
+def check() -> None:
+    """Evaluate the currently-configured constants on both schedules."""
+    case, rr_timing, opt_timing = timings()
+    for i, app in enumerate(case.apps):
+        rr, opt = settle_pair(app.plant, app.spec, rr_timing, opt_timing, i)
+        improvement = (
+            (1 - opt.settling / rr.settling) * 100
+            if np.isfinite(rr.settling) and np.isfinite(opt.settling)
+            else float("nan")
+        )
+        print(
+            f"{app.name}: RR {rr.settling * 1e3:7.2f} ms (u {rr.u_peak:5.2f})  "
+            f"OPT {opt.settling * 1e3:7.2f} ms (u {opt.u_peak:5.2f})  "
+            f"improvement {improvement:5.1f}%  "
+            f"deadline {app.spec.deadline * 1e3:.1f} ms"
+        )
+
+
+def sweep() -> None:
+    """Sweep (wn, zeta, headroom) per application around the defaults."""
+    case, rr_timing, opt_timing = timings()
+    grids = {
+        "C1": [(180, 0.15, 4.0), (220, 0.15, 4.0), (260, 0.15, 4.0),
+               (220, 0.10, 4.0), (220, 0.20, 4.0), (220, 0.15, 6.0)],
+        "C2": [(240, 0.08, 6.0), (280, 0.08, 6.0), (320, 0.08, 6.0),
+               (280, 0.05, 6.0), (280, 0.12, 6.0), (280, 0.08, 8.0)],
+        "C3": [(260, 0.10, 5.0), (300, 0.10, 5.0), (340, 0.10, 5.0),
+               (300, 0.06, 5.0), (300, 0.15, 5.0), (300, 0.10, 7.0)],
+    }
+    for i, app in enumerate(case.apps):
+        scenario = SCENARIOS[app.name]
+        print(f"== {app.name} (deadline {app.spec.deadline * 1e3:.1f} ms)")
+        for wn, zeta, headroom in grids[app.name]:
+            x1_eq = scenario["r"] / scenario["dc"]
+            input_gain = wn * wn * x1_eq / headroom
+            plant = resonant_plant(app.name, wn, zeta, scenario["dc"], input_gain)
+            rr, opt = settle_pair(plant, app.spec, rr_timing, opt_timing, i)
+            improvement = (1 - opt.settling / rr.settling) * 100
+            print(
+                f"  wn={wn} zeta={zeta} u_eq={headroom}V: "
+                f"RR {rr.settling * 1e3:7.2f} ms  OPT {opt.settling * 1e3:7.2f} ms  "
+                f"improvement {improvement:5.1f}%"
+            )
+
+
+if __name__ == "__main__":
+    mode = sys.argv[1] if len(sys.argv) > 1 else "check"
+    if mode == "sweep":
+        sweep()
+    else:
+        check()
