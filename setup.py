@@ -1,8 +1,9 @@
 """Legacy setuptools shim.
 
-The offline reproduction environment lacks the ``wheel`` package, so
-``pip install -e .`` must take the legacy ``setup.py develop`` path; all
-metadata lives in ``pyproject.toml``.
+All metadata lives in ``pyproject.toml``; with network access
+``pip install -e .`` works through the PEP 660 path.  The offline
+reproduction environment lacks the ``wheel`` package, so there use
+``python setup.py develop`` (or just ``PYTHONPATH=src``) instead.
 """
 
 from setuptools import setup

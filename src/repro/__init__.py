@@ -44,10 +44,12 @@ from .core import CodesignProblem, ControlApplication
 from .errors import ReproError
 from .program import Program, ProgramBuilder, make_control_program
 from .sched import (
+    EngineOptions,
     HybridOptions,
     InterleavedSchedule,
     PeriodicSchedule,
     ScheduleEvaluator,
+    SearchEngine,
     derive_timing,
     enumerate_idle_feasible,
     exhaustive_search,
@@ -65,6 +67,7 @@ __all__ = [
     "ControlApplication",
     "ControllerDesign",
     "DesignOptions",
+    "EngineOptions",
     "HybridOptions",
     "InstructionCache",
     "InterleavedSchedule",
@@ -74,6 +77,7 @@ __all__ = [
     "ProgramBuilder",
     "ReproError",
     "ScheduleEvaluator",
+    "SearchEngine",
     "TrackingSpec",
     "analyze_task_wcets",
     "build_case_study",

@@ -10,6 +10,12 @@ Commands
     Run a schedule-space search and print the result.
 ``timeline --schedule 2,2,2``
     Render the schedule's timing diagram (paper Figs. 2/4).
+``batch [--suite-size 4] [--method hybrid]``
+    Sweep a suite of synthesized scenarios through the search engine.
+
+``search`` and ``batch`` accept ``--workers N`` (evaluate candidate
+schedules on ``N`` worker processes) and ``--cache-dir DIR`` (persist
+every evaluation to a disk cache so reruns warm-start).
 
 The controller-design budget follows ``REPRO_PROFILE``.
 """
@@ -93,14 +99,66 @@ def cmd_search(args: argparse.Namespace) -> None:
     case = build_case_study()
     from .core.codesign import CodesignProblem
 
-    problem = CodesignProblem(case.apps, case.clock, design_options_for_profile())
-    starts = [_parse_schedule(s) for s in args.starts] if args.starts else None
-    result = problem.optimize(method=args.method, starts=starts)
-    print(f"method: {result.method}")
-    for trace in result.search.traces:
-        path = " -> ".join(str(s) for s, _v in trace.path)
-        print(f"  from {trace.start}: {trace.n_evaluations} evaluations; {path}")
-    print(f"best: {result.best_schedule}  P_all = {result.best_overall:.4f}")
+    with CodesignProblem(
+        case.apps,
+        case.clock,
+        design_options_for_profile(),
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+    ) as problem:
+        starts = [_parse_schedule(s) for s in args.starts] if args.starts else None
+        result = problem.optimize(method=args.method, starts=starts)
+        print(f"method: {result.method}  backend: {problem.engine.backend_name}")
+        for trace in result.search.traces:
+            path = " -> ".join(str(s) for s, _v in trace.path)
+            print(f"  from {trace.start}: {trace.n_evaluations} evaluations; {path}")
+        print(f"best: {result.best_schedule}  P_all = {result.best_overall:.4f}")
+        stats = problem.engine.stats.as_dict()
+        print(
+            f"engine: {stats['n_computed']} computed, "
+            f"{stats['n_memo_hits']} memo hits, {stats['n_disk_hits']} disk hits"
+        )
+
+
+def cmd_batch(args: argparse.Namespace) -> None:
+    from .sched.engine import EngineOptions
+    from .sched.engine.batch import run_batch, synthesize_scenarios
+
+    scenarios = synthesize_scenarios(
+        args.suite_size,
+        seed=args.seed,
+        method=args.method,
+        design_options=design_options_for_profile(),
+    )
+    outcomes = run_batch(
+        scenarios, EngineOptions(workers=args.workers, cache_dir=args.cache_dir)
+    )
+    rows = []
+    for outcome in outcomes:
+        stats = outcome.engine_stats
+        rows.append(
+            [
+                outcome.name,
+                str(len(outcome.result.best.apps)),
+                str(outcome.n_space),
+                str(outcome.best_schedule),
+                f"{outcome.best_overall:.4f}",
+                str(stats["n_computed"]),
+                str(stats["n_disk_hits"]),
+                f"{outcome.wall_time:.2f} s",
+            ]
+        )
+    print(
+        render_table(
+            ["scenario", "apps", "space", "best schedule", "P_all",
+             "computed", "disk hits", "wall time"],
+            rows,
+            title=f"batch {args.method} search "
+                  f"({outcomes[0].backend} backend, {args.workers} workers)",
+        )
+    )
+    total_wall = sum(o.wall_time for o in outcomes)
+    print(f"\ntotal search time: {total_wall:.2f} s over {len(outcomes)} scenarios")
 
 
 def cmd_timeline(args: argparse.Namespace) -> None:
@@ -129,9 +187,22 @@ def main(argv: list[str] | None = None) -> int:
         "--method", default="hybrid", choices=["hybrid", "exhaustive", "annealing"]
     )
     search.add_argument("--starts", nargs="*", help="e.g. --starts 4,2,2 1,2,1")
+    _add_engine_arguments(search)
 
     timeline = sub.add_parser("timeline", help="render a schedule timeline")
     timeline.add_argument("--schedule", required=True, help="e.g. 2,2,2")
+
+    batch = sub.add_parser(
+        "batch", help="sweep a suite of synthesized scenarios"
+    )
+    batch.add_argument(
+        "--suite-size", type=int, default=4, help="number of synthesized scenarios"
+    )
+    batch.add_argument("--seed", type=int, default=2018, help="synthesis seed")
+    batch.add_argument(
+        "--method", default="hybrid", choices=["hybrid", "exhaustive", "annealing"]
+    )
+    _add_engine_arguments(batch)
 
     args = parser.parse_args(argv)
     {
@@ -139,8 +210,24 @@ def main(argv: list[str] | None = None) -> int:
         "evaluate": cmd_evaluate,
         "search": cmd_search,
         "timeline": cmd_timeline,
+        "batch": cmd_batch,
     }[args.command](args)
     return 0
+
+
+def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
+    """``--workers`` / ``--cache-dir`` shared by search and batch."""
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="evaluation worker processes (0/1 = serial)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="persistent evaluation-cache directory (warm-starts reruns)",
+    )
 
 
 if __name__ == "__main__":

@@ -129,6 +129,37 @@ class ControllerDesign:
             return -1.0
         return 1.0 - self.settling / spec.deadline
 
+    def to_dict(self) -> dict:
+        """JSON-serializable form (used by the persistent search cache).
+
+        Floats round-trip exactly through ``repr`` so a deserialized
+        design is numerically identical to the computed one.
+        """
+        return {
+            "gains": self.gains.tolist(),
+            "feedforward": self.feedforward.tolist(),
+            "settling": self.settling,
+            "u_peak": self.u_peak,
+            "spectral_radius": self.spectral_radius,
+            "objective": self.objective,
+            "n_evaluations": self.n_evaluations,
+            "engine": self.engine,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ControllerDesign":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            gains=np.asarray(data["gains"], dtype=float),
+            feedforward=np.asarray(data["feedforward"], dtype=float),
+            settling=float(data["settling"]),
+            u_peak=float(data["u_peak"]),
+            spectral_radius=float(data["spectral_radius"]),
+            objective=float(data["objective"]),
+            n_evaluations=int(data["n_evaluations"]),
+            engine=str(data["engine"]),
+        )
+
 
 class _GainEvaluator:
     """Batched objective: gains -> penalized worst-case settling."""

@@ -13,9 +13,12 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from pathlib import Path
+
 from ..control.design import DesignOptions
 from ..errors import SearchError
 from ..sched.annealing import AnnealingOptions, annealing_search
+from ..sched.engine import SearchEngine
 from ..sched.evaluator import ScheduleEvaluation, ScheduleEvaluator
 from ..sched.exhaustive import exhaustive_search
 from ..sched.feasibility import enumerate_idle_feasible, idle_feasible
@@ -62,25 +65,46 @@ class AppComparison:
 
 
 class CodesignProblem:
-    """An application set sharing one cached processor."""
+    """An application set sharing one cached processor.
+
+    ``workers`` and ``cache_dir`` configure the search engine: with
+    ``workers >= 2`` candidate schedules are evaluated in parallel
+    worker processes, and with a ``cache_dir`` every evaluation persists
+    to disk so repeated runs warm-start (see
+    :mod:`repro.sched.engine`).  The defaults keep everything serial and
+    in-memory, exactly as before.
+    """
 
     def __init__(
         self,
         apps: list[ControlApplication],
         clock: Clock,
         design_options: DesignOptions | None = None,
+        workers: int = 0,
+        cache_dir: str | Path | None = None,
     ) -> None:
         self.apps = list(apps)
         self.clock = clock
         self.evaluator = ScheduleEvaluator(apps, clock, design_options)
+        self.engine = SearchEngine(self.evaluator, workers=workers, cache_dir=cache_dir)
         self._space: list[PeriodicSchedule] | None = None
+
+    def close(self) -> None:
+        """Release engine resources (worker pool, cache connection)."""
+        self.engine.close()
+
+    def __enter__(self) -> "CodesignProblem":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # Stage 1: evaluation
     # ------------------------------------------------------------------
     def evaluate(self, schedule: PeriodicSchedule) -> ScheduleEvaluation:
         """Overall control performance of one schedule (cached)."""
-        return self.evaluator.evaluate(schedule)
+        return self.engine.evaluate(schedule)
 
     def idle_feasible(self, schedule: PeriodicSchedule) -> bool:
         """Max-idle-time constraint, eq. (4)."""
@@ -112,7 +136,7 @@ class CodesignProblem:
         """
         if method == "exhaustive":
             search = exhaustive_search(
-                self.evaluator, schedules=self.schedule_space()
+                self.engine, schedules=self.schedule_space()
             )
         elif method == "hybrid":
             if starts is None:
@@ -123,7 +147,7 @@ class CodesignProblem:
                 indices = rng.choice(len(space), size=min(n_starts, len(space)), replace=False)
                 starts = [space[int(i)] for i in indices]
             search = hybrid_search(
-                self.evaluator, starts, self.idle_feasible, hybrid_options
+                self.engine, starts, self.idle_feasible, hybrid_options
             )
         elif method == "annealing":
             if starts is None:
@@ -131,7 +155,7 @@ class CodesignProblem:
                 space = self.schedule_space()
                 starts = [space[int(rng.integers(0, len(space)))]]
             search = annealing_search(
-                self.evaluator, starts[0], self.idle_feasible, annealing_options
+                self.engine, starts[0], self.idle_feasible, annealing_options
             )
         else:
             raise SearchError(f"unknown optimization method {method!r}")

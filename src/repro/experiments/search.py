@@ -12,10 +12,12 @@ Reruns the paper's schedule-space experiment:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 
 from ..apps.casestudy import CaseStudy, PAPER_BEST_OVERALL, build_case_study
 from ..control.design import DesignOptions
 from ..core.report import render_table
+from ..sched.engine import SearchEngine
 from ..sched.evaluator import ScheduleEvaluator
 from ..sched.exhaustive import exhaustive_search
 from ..sched.feasibility import enumerate_idle_feasible, idle_feasible
@@ -100,32 +102,49 @@ def run(
     case: CaseStudy | None = None,
     design_options: DesignOptions | None = None,
     starts: tuple[PeriodicSchedule, ...] = PAPER_STARTS,
+    workers: int = 0,
+    cache_dir: str | Path | None = None,
 ) -> SearchResultSummary:
-    """Rerun the schedule-space experiment."""
+    """Rerun the schedule-space experiment.
+
+    ``workers``/``cache_dir`` route every evaluation through the batch
+    search engine (parallel workers, persistent cache); the default is
+    the original serial in-memory path.  With a shared ``cache_dir`` the
+    exhaustive sweep warms the per-start hybrid searches and any later
+    rerun of the whole experiment.
+    """
     case = case or build_case_study()
-    evaluator: ScheduleEvaluator = case.evaluator(
-        design_options or design_options_for_profile()
-    )
-    space = enumerate_idle_feasible(case.apps, case.clock)
-    exhaustive = exhaustive_search(evaluator, schedules=space)
 
-    feasible_fn = lambda s: idle_feasible(s, case.apps, case.clock)
-    hybrid_counts: dict[tuple[int, ...], int] = {}
-    hybrid_optima: dict[tuple[int, ...], PeriodicSchedule] = {}
-    for start in starts:
-        # A fresh evaluator per start so the evaluation count reflects a
-        # standalone search (the paper reports per-start counts).
-        fresh = case.evaluator(design_options or design_options_for_profile())
-        result = hybrid_search(fresh, [start], feasible_fn)
-        hybrid_counts[start.counts] = result.traces[0].n_evaluations
-        hybrid_optima[start.counts] = result.best_schedule
+    def fresh_engine() -> SearchEngine:
+        return SearchEngine(
+            case.evaluator(design_options or design_options_for_profile()),
+            workers=workers,
+            cache_dir=cache_dir,
+        )
 
-    infeasible = [
-        schedule
-        for schedule in space
-        if not evaluator.evaluate(schedule).feasible
-    ]
-    round_robin = evaluator.evaluate(PeriodicSchedule.round_robin(len(case.apps)))
+    with fresh_engine() as evaluator:
+        space = enumerate_idle_feasible(case.apps, case.clock)
+        exhaustive = exhaustive_search(evaluator, schedules=space)
+
+        feasible_fn = lambda s: idle_feasible(s, case.apps, case.clock)
+        hybrid_counts: dict[tuple[int, ...], int] = {}
+        hybrid_optima: dict[tuple[int, ...], PeriodicSchedule] = {}
+        for start in starts:
+            # A fresh evaluator per start so the evaluation count reflects a
+            # standalone search (the paper reports per-start counts); each
+            # engine is closed as soon as its search ends so worker pools
+            # don't pile up across starts.
+            with fresh_engine() as fresh:
+                result = hybrid_search(fresh, [start], feasible_fn)
+                hybrid_counts[start.counts] = result.traces[0].n_evaluations
+                hybrid_optima[start.counts] = result.best_schedule
+
+        infeasible = [
+            schedule
+            for schedule in space
+            if not evaluator.evaluate(schedule).feasible
+        ]
+        round_robin = evaluator.evaluate(PeriodicSchedule.round_robin(len(case.apps)))
     return SearchResultSummary(
         n_enumerated=len(space),
         n_feasible=exhaustive.stats["n_feasible"],
@@ -136,3 +155,4 @@ def run(
         hybrid_optima=hybrid_optima,
         infeasible_schedules=infeasible,
     )
+

@@ -14,32 +14,39 @@ Implements Sections II-C and IV of the paper:
 * :mod:`~repro.sched.hybrid` — the paper's hybrid gradient/simulated-
   annealing search (Section IV);
 * :mod:`~repro.sched.exhaustive`, :mod:`~repro.sched.annealing` —
-  baselines.
+  baselines;
+* :mod:`~repro.sched.engine` — the parallel batch search engine with a
+  persistent evaluation cache (``--workers`` / ``--cache-dir``).
 """
 
 from .schedule import InterleavedSchedule, PeriodicSchedule
 from .timing import AppTiming, ScheduleTiming, derive_timing, derive_timing_interleaved
 from .feasibility import enumerate_idle_feasible, idle_feasible, max_sampling_periods
-from .evaluator import AppEvaluation, ScheduleEvaluation, ScheduleEvaluator
+from .evaluator import AppEvaluation, ScheduleEvaluation, ScheduleEvaluator, evaluate_many
 from .results import SearchResult, SearchTrace
 from .hybrid import HybridOptions, hybrid_search
 from .exhaustive import exhaustive_search
 from .annealing import AnnealingOptions, annealing_search
+from .engine import EngineOptions, EngineStats, SearchEngine
 
 __all__ = [
     "AnnealingOptions",
     "AppEvaluation",
     "AppTiming",
+    "EngineOptions",
+    "EngineStats",
     "HybridOptions",
     "InterleavedSchedule",
     "PeriodicSchedule",
     "ScheduleEvaluation",
     "ScheduleEvaluator",
     "ScheduleTiming",
+    "SearchEngine",
     "SearchResult",
     "SearchTrace",
     "annealing_search",
     "derive_timing",
+    "evaluate_many",
     "derive_timing_interleaved",
     "enumerate_idle_feasible",
     "exhaustive_search",

@@ -14,7 +14,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..errors import SearchError
-from .evaluator import ScheduleEvaluator
+from .evaluator import ScheduleEvaluator, evaluate_many
 from .results import SearchResult, SearchTrace
 from .schedule import PeriodicSchedule
 
@@ -69,7 +69,24 @@ def annealing_search(
             if not neighbors:
                 break
             candidate = neighbors[int(rng.integers(0, len(neighbors)))]
-            candidate_eval = evaluator.evaluate(candidate)
+            if getattr(evaluator, "speculative", False) and not evaluator.is_cached(
+                candidate
+            ):
+                # Parallel engine: SA is inherently sequential, but the
+                # candidate's evaluation round has idle workers, so let
+                # uncached sibling neighbors ride along — the walk often
+                # picks them in later steps, and they then come from the
+                # memo.  The batch is capped at the worker count so the
+                # speculation never extends the round the candidate
+                # costs anyway.  Results are identical to a serial walk.
+                budget = max(int(getattr(evaluator, "workers", 2)), 2)
+                speculated = [
+                    n
+                    for n in neighbors
+                    if n.counts != candidate.counts and not evaluator.is_cached(n)
+                ]
+                evaluate_many(evaluator, [candidate] + speculated[: budget - 1])
+            candidate_eval = evaluate_many(evaluator, [candidate])[0]
             requested.add(candidate.counts)
             if not candidate_eval.feasible:
                 continue

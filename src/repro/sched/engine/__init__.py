@@ -1,0 +1,37 @@
+"""Parallel batch schedule-search engine with a persistent cache.
+
+The subsystem behind ``--workers`` / ``--cache-dir``:
+
+* :mod:`~repro.sched.engine.engine` — :class:`SearchEngine`, the
+  layered (memo -> disk -> workers) evaluation service the search
+  algorithms submit candidates through;
+* :mod:`~repro.sched.engine.backends` — serial and
+  ``ProcessPoolExecutor`` evaluation backends;
+* :mod:`~repro.sched.engine.store` — the SQLite-backed persistent
+  evaluation cache;
+* :mod:`~repro.sched.engine.keys` / :mod:`~repro.sched.engine.serialize`
+  — stable problem hashing and JSON round-tripping of evaluations;
+* :mod:`~repro.sched.engine.batch` — the batch scenario runner and
+  workload synthesis (imported lazily by its users: it builds on
+  :mod:`repro.apps`, which itself builds on :mod:`repro.sched`).
+"""
+
+from .backends import ProcessPoolBackend, SerialBackend
+from .engine import EngineOptions, EngineStats, SearchEngine
+from .keys import evaluation_key, problem_digest, problem_fingerprint
+from .serialize import evaluation_from_dict, evaluation_to_dict
+from .store import PersistentCache
+
+__all__ = [
+    "EngineOptions",
+    "EngineStats",
+    "PersistentCache",
+    "ProcessPoolBackend",
+    "SearchEngine",
+    "SerialBackend",
+    "evaluation_from_dict",
+    "evaluation_key",
+    "evaluation_to_dict",
+    "problem_digest",
+    "problem_fingerprint",
+]

@@ -1,0 +1,90 @@
+"""Evaluation backends: serial loop or a process pool.
+
+The expensive part of a schedule evaluation is the per-application
+holistic controller design (PSO + closed-loop simulation) — pure
+CPU-bound numpy, so real parallelism needs processes, not threads.
+
+Each worker process builds its own :class:`ScheduleEvaluator` once (in
+the pool initializer) and keeps it alive across tasks, so the per-
+(application, timing) design memoization still pays off *within* a
+worker; the coordinating engine merges results into the shared memo and
+the persistent store.
+
+Evaluations are deterministic functions of (apps, clock, design
+options, schedule) — all swarm randomness is seeded from the design
+options — so a parallel run returns bit-identical results to a serial
+one, just sooner.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+
+from ...errors import SearchError
+from ..evaluator import ScheduleEvaluation, ScheduleEvaluator
+from ..schedule import PeriodicSchedule
+
+#: Per-process evaluator, created by :func:`_init_worker`.
+_WORKER_EVALUATOR: ScheduleEvaluator | None = None
+
+
+def _init_worker(apps, clock, design_options) -> None:
+    """Pool initializer: build this worker's long-lived evaluator."""
+    global _WORKER_EVALUATOR
+    _WORKER_EVALUATOR = ScheduleEvaluator(apps, clock, design_options)
+
+
+def _evaluate_counts(counts: tuple[int, ...]) -> ScheduleEvaluation:
+    """Task function: evaluate one schedule in this worker."""
+    if _WORKER_EVALUATOR is None:  # pragma: no cover - initializer always ran
+        raise SearchError("worker evaluator was never initialized")
+    return _WORKER_EVALUATOR.evaluate(PeriodicSchedule(counts))
+
+
+class SerialBackend:
+    """Evaluate candidates in-process (the fallback and the default)."""
+
+    name = "serial"
+
+    def __init__(self, evaluator: ScheduleEvaluator) -> None:
+        self._evaluator = evaluator
+
+    def map(self, schedules: list[PeriodicSchedule]) -> list[ScheduleEvaluation]:
+        return [self._evaluator.evaluate(schedule) for schedule in schedules]
+
+    def close(self) -> None:
+        pass
+
+
+class ProcessPoolBackend:
+    """Fan candidate evaluations out to a pool of worker processes."""
+
+    name = "process-pool"
+
+    def __init__(self, evaluator: ScheduleEvaluator, workers: int) -> None:
+        if workers < 2:
+            raise SearchError(f"process pool needs >= 2 workers, got {workers}")
+        self.workers = workers
+        # The worker-side evaluator is rebuilt from the problem spec, so
+        # only the (picklable) inputs travel, never the live caches.
+        self._initargs = (evaluator.apps, evaluator.clock, evaluator.design_options)
+        self._executor: ProcessPoolExecutor | None = None
+
+    def _ensure_executor(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.workers,
+                initializer=_init_worker,
+                initargs=self._initargs,
+            )
+        return self._executor
+
+    def map(self, schedules: list[PeriodicSchedule]) -> list[ScheduleEvaluation]:
+        executor = self._ensure_executor()
+        counts = [schedule.counts for schedule in schedules]
+        return list(executor.map(_evaluate_counts, counts))
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None

@@ -1,0 +1,269 @@
+"""Batch scenario runner: sweep whole suites through the engine.
+
+A *scenario* is one complete co-design problem — an application set
+(plants, tracking constraints, analyzed control programs), a clock and
+a design budget — plus the search method to run on it.  The runner
+executes a suite of scenarios through one :class:`EngineOptions`
+configuration, so a single invocation can e.g. re-search fifty
+synthesized workloads with eight workers and a shared persistent cache
+(``python -m repro batch ...``).
+
+:func:`synthesize_scenarios` generates deterministic random workloads by
+jittering the case study's calibrated programs, plants and constraints —
+the scenario-diversity axis of the roadmap.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ...control.design import DesignOptions, TrackingSpec
+from ...errors import SearchError
+from ...units import Clock
+from ..annealing import AnnealingOptions, annealing_search
+from ..evaluator import ScheduleEvaluator
+from ..exhaustive import exhaustive_search
+from ..feasibility import enumerate_idle_feasible, idle_feasible
+from ..hybrid import hybrid_search
+from ..results import SearchResult
+from ..schedule import PeriodicSchedule
+from .engine import EngineOptions, SearchEngine
+
+#: Search methods the runner dispatches.
+METHODS = ("exhaustive", "hybrid", "annealing")
+
+
+@dataclass
+class Scenario:
+    """One co-design problem plus the search to run on it."""
+
+    name: str
+    apps: list
+    clock: Clock
+    design_options: DesignOptions | None = None
+    method: str = "hybrid"
+    starts: tuple[PeriodicSchedule, ...] | None = None
+    n_starts: int = 2
+    seed: int = 2018
+
+    def __post_init__(self) -> None:
+        if self.method not in METHODS:
+            raise SearchError(
+                f"unknown search method {self.method!r}; choose from {METHODS}"
+            )
+
+
+@dataclass
+class ScenarioOutcome:
+    """Result and bookkeeping of one scenario run."""
+
+    name: str
+    method: str
+    result: SearchResult
+    wall_time: float
+    n_space: int
+    engine_stats: dict = field(default_factory=dict)
+    backend: str = "serial"
+
+    @property
+    def best_schedule(self) -> PeriodicSchedule:
+        return self.result.best_schedule
+
+    @property
+    def best_overall(self) -> float:
+        return self.result.best_value
+
+
+def _dispatch(engine: SearchEngine, scenario: Scenario) -> tuple[SearchResult, int]:
+    """Run the scenario's search through the engine."""
+    space = enumerate_idle_feasible(engine.apps, engine.clock)
+    if not space:
+        raise SearchError(
+            f"scenario {scenario.name!r}: idle-feasible space is empty"
+        )
+    feasible_fn = lambda s: idle_feasible(s, engine.apps, engine.clock)
+    if scenario.method == "exhaustive":
+        return exhaustive_search(engine, schedules=space), len(space)
+    rng = np.random.default_rng(scenario.seed)
+    if scenario.starts is not None:
+        starts = list(scenario.starts)
+    else:
+        indices = rng.choice(
+            len(space), size=min(scenario.n_starts, len(space)), replace=False
+        )
+        starts = [space[int(i)] for i in indices]
+    if scenario.method == "hybrid":
+        return hybrid_search(engine, starts, feasible_fn), len(space)
+    return (
+        annealing_search(
+            engine,
+            starts[0],
+            feasible_fn,
+            AnnealingOptions(seed=scenario.seed),
+        ),
+        len(space),
+    )
+
+
+def run_scenario(
+    scenario: Scenario, engine_options: EngineOptions | None = None
+) -> ScenarioOutcome:
+    """Run one scenario through a fresh engine."""
+    options = engine_options or EngineOptions()
+    evaluator = ScheduleEvaluator(
+        scenario.apps, scenario.clock, scenario.design_options
+    )
+    with options.build(evaluator) as engine:
+        started = time.perf_counter()
+        result, n_space = _dispatch(engine, scenario)
+        wall_time = time.perf_counter() - started
+        return ScenarioOutcome(
+            name=scenario.name,
+            method=scenario.method,
+            result=result,
+            wall_time=wall_time,
+            n_space=n_space,
+            engine_stats=engine.stats.as_dict(),
+            backend=engine.backend_name,
+        )
+
+
+def run_batch(
+    scenarios: list[Scenario], engine_options: EngineOptions | None = None
+) -> list[ScenarioOutcome]:
+    """Run a suite of scenarios under one engine configuration.
+
+    Each scenario gets its own engine (its own worker pool and memo) but
+    all of them share the persistent cache directory, so overlapping
+    scenarios — reruns, ablation sweeps — warm-start each other.
+    """
+    return [run_scenario(scenario, engine_options) for scenario in scenarios]
+
+
+# ----------------------------------------------------------------------
+# Workload synthesis
+# ----------------------------------------------------------------------
+
+def synthesize_scenarios(
+    n_scenarios: int,
+    seed: int = 2018,
+    method: str = "hybrid",
+    design_options: DesignOptions | None = None,
+    n_apps_choices: tuple[int, ...] = (2, 3),
+) -> list[Scenario]:
+    """Deterministic random workloads derived from the case study.
+
+    Every scenario jitters the calibrated control programs (loop trip
+    counts and body sizes, re-analyzed through the cache/WCET pipeline),
+    the plant resonances/damping and the Table-II constraints, then
+    bundles 2-3 such applications with normalized weights.  The jitters
+    are small enough that the idle-feasible space stays non-empty and
+    the designs stay feasible, but large enough that optima move between
+    scenarios.
+    """
+    # Imported lazily: repro.apps builds on repro.sched, so a module-level
+    # import would be circular.
+    from ...apps.brake import wedge_brake_plant
+    from ...apps.casestudy import PAPER_TABLE2, TRACKING_SCENARIOS
+    from ...apps.motors import dc_motor_speed_plant, servo_position_plant
+    from ...apps.programs import PROGRAM_SHAPES, program_parameters
+    from ...cache.config import CacheConfig
+    from ...cache.memory import FlashLayout
+    from ...core.application import ControlApplication
+    from ...program.synth import make_control_program
+    from ...wcet.reuse import analyze_task_wcets
+
+    if n_scenarios < 1:
+        raise SearchError(f"need at least one scenario, got {n_scenarios}")
+    plant_builders = {
+        "C1": servo_position_plant,
+        "C2": dc_motor_speed_plant,
+        "C3": wedge_brake_plant,
+    }
+    rng = np.random.default_rng(seed)
+    clock = Clock(20e6)
+    cache_config = CacheConfig()
+    scenarios = []
+    for index in range(n_scenarios):
+        n_apps = int(rng.choice(n_apps_choices))
+        templates = list(rng.choice([s.name for s in PROGRAM_SHAPES], size=n_apps, replace=False))
+        raw_weights = rng.uniform(0.5, 1.5, size=n_apps)
+        weights = raw_weights / raw_weights.sum()
+        # Exact-sum normalization: make the last weight close the total
+        # so check_weights' 1e-9 tolerance is met bit-exactly.
+        weights[-1] = 1.0 - float(weights[:-1].sum())
+        layout = FlashLayout(cache_config, base=0)
+        apps = []
+        for position, template in enumerate(templates):
+            shape = program_parameters(template)
+            program = make_control_program(
+                f"{template}s{index}",
+                init_instr=shape.init_instr,
+                body_instr=int(shape.body_instr * rng.uniform(0.85, 1.1)),
+                iterations=max(2, int(shape.iterations * rng.uniform(0.8, 1.2))),
+                exit_instr=shape.exit_instr,
+            )
+            region = layout.allocate(program.name, program.size_bytes)
+            program.place(region.base)
+            wcets = analyze_task_wcets(program, cache_config)
+            weight, deadline, max_idle = PAPER_TABLE2[template]
+            y0, r, u_max = TRACKING_SCENARIOS[template]
+            plant = plant_builders[template](
+                natural_frequency=_jitter(rng, _default_frequency(template), 0.06),
+                damping=_jitter(rng, _default_damping(template), 0.08),
+            )
+            apps.append(
+                ControlApplication(
+                    name=program.name,
+                    plant=plant,
+                    spec=TrackingSpec(
+                        r=r,
+                        y0=y0,
+                        u_max=u_max,
+                        deadline=deadline * float(rng.uniform(1.0, 1.3)),
+                    ),
+                    weight=float(weights[position]),
+                    max_idle=max_idle * float(rng.uniform(1.0, 1.25)),
+                    wcets=wcets,
+                    program=program,
+                )
+            )
+        scenarios.append(
+            Scenario(
+                name=f"synth-{index:03d}",
+                apps=apps,
+                clock=clock,
+                design_options=design_options,
+                method=method,
+                seed=seed + index,
+            )
+        )
+    return scenarios
+
+
+def _jitter(rng: np.random.Generator, value: float, fraction: float) -> float:
+    """``value`` scaled by a uniform factor in ``1 +- fraction``."""
+    return value * float(rng.uniform(1.0 - fraction, 1.0 + fraction))
+
+
+def _default_frequency(template: str) -> float:
+    from ...apps import brake, motors
+
+    return {
+        "C1": motors.SERVO_NATURAL_FREQUENCY,
+        "C2": motors.DRIVELINE_NATURAL_FREQUENCY,
+        "C3": brake.WEDGE_NATURAL_FREQUENCY,
+    }[template]
+
+
+def _default_damping(template: str) -> float:
+    from ...apps import brake, motors
+
+    return {
+        "C1": motors.SERVO_DAMPING,
+        "C2": motors.DRIVELINE_DAMPING,
+        "C3": brake.WEDGE_DAMPING,
+    }[template]

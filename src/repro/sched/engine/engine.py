@@ -1,0 +1,237 @@
+"""The parallel batch search engine (coordinator).
+
+:class:`SearchEngine` wraps a :class:`ScheduleEvaluator` and serves the
+search algorithms through the same ``evaluate`` / ``evaluate_batch``
+interface, layering three levels of reuse under it:
+
+1. the evaluator's in-memory memo (free repeats within a run);
+2. a persistent, disk-backed evaluation cache keyed by a stable hash of
+   schedule + application timing + design options (warm starts across
+   runs, ablations and processes);
+3. batch computation of the remaining misses — serially, or fanned out
+   to a ``ProcessPoolExecutor`` when ``workers >= 2``.
+
+Results computed by workers are merged back into both upper layers, so
+every path (serial, parallel, cached) observes identical evaluations.
+"""
+
+from __future__ import annotations
+
+import warnings
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ...control.design import DesignOptions
+from ...units import Clock
+from ..evaluator import ScheduleEvaluation, ScheduleEvaluator
+from ..schedule import PeriodicSchedule
+from .backends import ProcessPoolBackend, SerialBackend
+from .keys import evaluation_key, problem_digest
+from .serialize import evaluation_from_dict, evaluation_to_dict
+from .store import PersistentCache
+
+
+@dataclass(frozen=True)
+class EngineOptions:
+    """Configuration of a :class:`SearchEngine`.
+
+    Parameters
+    ----------
+    workers:
+        ``0`` or ``1`` evaluates serially in-process; ``>= 2`` fans
+        batches out to that many worker processes.
+    cache_dir:
+        Directory of the persistent evaluation cache; ``None`` disables
+        the disk layer.
+    """
+
+    workers: int = 0
+    cache_dir: str | Path | None = None
+
+    def build(self, evaluator: ScheduleEvaluator) -> "SearchEngine":
+        """An engine over ``evaluator`` with these options."""
+        return SearchEngine(
+            evaluator, workers=self.workers, cache_dir=self.cache_dir
+        )
+
+
+@dataclass
+class EngineStats:
+    """Where the engine's evaluations came from."""
+
+    n_requested: int = 0
+    n_memo_hits: int = 0
+    n_disk_hits: int = 0
+    n_computed: int = 0
+    batch_sizes: list[int] = field(default_factory=list)
+
+    def as_dict(self) -> dict:
+        return {
+            "n_requested": self.n_requested,
+            "n_memo_hits": self.n_memo_hits,
+            "n_disk_hits": self.n_disk_hits,
+            "n_computed": self.n_computed,
+            "n_batches": len(self.batch_sizes),
+            "max_batch": max(self.batch_sizes, default=0),
+        }
+
+
+class SearchEngine:
+    """Layered (memo -> disk -> workers) schedule-evaluation service.
+
+    Duck-compatible with :class:`ScheduleEvaluator`, so every search
+    algorithm (and :class:`repro.core.codesign.CodesignProblem`) can be
+    handed an engine wherever it expects an evaluator.
+    """
+
+    def __init__(
+        self,
+        evaluator: ScheduleEvaluator,
+        workers: int = 0,
+        cache_dir: str | Path | None = None,
+    ) -> None:
+        self.evaluator = evaluator
+        self.workers = int(workers)
+        self.stats = EngineStats()
+        self._store = PersistentCache(cache_dir) if cache_dir is not None else None
+        self._problem = problem_digest(
+            evaluator.apps, evaluator.clock, evaluator.design_options
+        )
+        if self.workers >= 2:
+            self._backend: SerialBackend | ProcessPoolBackend = ProcessPoolBackend(
+                evaluator, self.workers
+            )
+        else:
+            self._backend = SerialBackend(evaluator)
+
+    # ------------------------------------------------------------------
+    # ScheduleEvaluator duck-type surface
+    # ------------------------------------------------------------------
+    @property
+    def apps(self):
+        return self.evaluator.apps
+
+    @property
+    def clock(self) -> Clock:
+        return self.evaluator.clock
+
+    @property
+    def design_options(self) -> DesignOptions:
+        return self.evaluator.design_options
+
+    @property
+    def n_schedule_evaluations(self) -> int:
+        """Distinct schedules known in-memory (memo size)."""
+        return self.evaluator.n_schedule_evaluations
+
+    def is_cached(self, schedule: PeriodicSchedule) -> bool:
+        """Whether the schedule is already in the in-memory memo."""
+        return self.evaluator.is_cached(schedule)
+
+    @property
+    def speculative(self) -> bool:
+        """Whether speculative batch prefetching is worthwhile.
+
+        True only with a parallel backend: the extra evaluations then
+        ride on otherwise-idle workers instead of costing serial time.
+        """
+        return isinstance(self._backend, ProcessPoolBackend)
+
+    @property
+    def backend_name(self) -> str:
+        return self._backend.name
+
+    @property
+    def problem_key(self) -> str:
+        """Digest identifying the evaluation problem on disk."""
+        return self._problem
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def evaluate(self, schedule: PeriodicSchedule) -> ScheduleEvaluation:
+        """Evaluate one schedule through all cache layers."""
+        return self.evaluate_batch([schedule])[0]
+
+    def evaluate_batch(
+        self, schedules: list[PeriodicSchedule]
+    ) -> list[ScheduleEvaluation]:
+        """Evaluate many schedules, preserving order.
+
+        Misses after the memo and disk layers are computed as one batch
+        on the backend; duplicates within the batch are computed once.
+        """
+        self.stats.n_requested += len(schedules)
+        pending: list[PeriodicSchedule] = []
+        pending_counts: set[tuple[int, ...]] = set()
+        for schedule in schedules:
+            if self.evaluator.is_cached(schedule):
+                self.stats.n_memo_hits += 1
+                continue
+            if self._load_from_disk(schedule):
+                self.stats.n_disk_hits += 1
+                continue
+            if schedule.counts not in pending_counts:
+                pending_counts.add(schedule.counts)
+                pending.append(schedule)
+        if pending:
+            self._compute(pending)
+        return [self.evaluator.evaluate(schedule) for schedule in schedules]
+
+    def _load_from_disk(self, schedule: PeriodicSchedule) -> bool:
+        """Try to satisfy a miss from the persistent store."""
+        if self._store is None:
+            return False
+        payload = self._store.get(evaluation_key(self._problem, schedule))
+        if payload is None:
+            return False
+        self.evaluator.adopt(evaluation_from_dict(payload))
+        return True
+
+    def _compute(self, pending: list[PeriodicSchedule]) -> None:
+        """Evaluate the de-duplicated misses on the backend."""
+        self.stats.batch_sizes.append(len(pending))
+        try:
+            evaluations = self._backend.map(pending)
+        except (BrokenProcessPool, OSError) as exc:
+            # A dead pool must not kill an hours-long search: finish the
+            # batch serially and stay serial from here on.
+            warnings.warn(
+                f"parallel evaluation backend failed ({exc!r}); "
+                "falling back to serial evaluation",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            self._backend.close()
+            self._backend = SerialBackend(self.evaluator)
+            evaluations = self._backend.map(pending)
+        self.stats.n_computed += len(evaluations)
+        for evaluation in evaluations:
+            self.evaluator.adopt(evaluation)
+        if self._store is not None:
+            self._store.put_many(
+                [
+                    (
+                        evaluation_key(self._problem, evaluation.schedule),
+                        evaluation_to_dict(evaluation),
+                    )
+                    for evaluation in evaluations
+                ]
+            )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut down workers and the store (idempotent)."""
+        self._backend.close()
+        if self._store is not None:
+            self._store.close()
+            self._store = None
+
+    def __enter__(self) -> "SearchEngine":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

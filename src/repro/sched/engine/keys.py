@@ -1,0 +1,102 @@
+"""Stable cache keys for schedule evaluations.
+
+A persistent evaluation cache is only sound if its keys capture
+*everything* the evaluation depends on: the schedule, the applications'
+timing inputs (WCETs + clock), the plants and tracking scenarios the
+controller design optimizes against, and the full design budget.  This
+module canonicalizes all of that into a JSON fingerprint and hashes it
+with SHA-256, so a cache entry can never be served for a subtly
+different problem (e.g. after changing ``DesignOptions.restarts``).
+
+Floats are embedded via ``repr`` (shortest round-trip), so two
+bit-identical problems always produce the same key.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+
+from ...control.design import DesignOptions
+from ...core.application import ControlApplication
+from ...units import Clock
+from ..schedule import PeriodicSchedule
+
+#: Bump when the serialized evaluation layout changes; part of every key
+#: so stale entries from older layouts can never be deserialized.
+SCHEMA_VERSION = 1
+
+
+def plant_fingerprint(plant) -> dict:
+    """Canonical form of an LTI plant (name + exact matrices)."""
+    return {
+        "name": plant.name,
+        "a": plant.a.tolist(),
+        "b": plant.b.tolist(),
+        "c": plant.c.tolist(),
+    }
+
+
+def app_fingerprint(app: ControlApplication) -> dict:
+    """Canonical form of one control application."""
+    return {
+        "name": app.name,
+        "weight": app.weight,
+        "max_idle": app.max_idle,
+        "wcets": {
+            "cold_cycles": app.wcets.cold_cycles,
+            "warm_cycles": app.wcets.warm_cycles,
+        },
+        "spec": {
+            "r": app.spec.r,
+            "y0": app.spec.y0,
+            "u_max": app.spec.u_max,
+            "deadline": app.spec.deadline,
+            "band_fraction": app.spec.band_fraction,
+        },
+        "plant": plant_fingerprint(app.plant),
+    }
+
+
+def design_options_fingerprint(options: DesignOptions) -> dict:
+    """Canonical form of the full design budget (nested PSO options)."""
+    return dataclasses.asdict(options)
+
+
+def problem_fingerprint(
+    apps: list[ControlApplication],
+    clock: Clock,
+    design_options: DesignOptions,
+) -> dict:
+    """Everything a schedule evaluation depends on, minus the schedule."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "clock_hz": clock.frequency_hz,
+        "apps": [app_fingerprint(app) for app in apps],
+        "design_options": design_options_fingerprint(design_options),
+    }
+
+
+def fingerprint_digest(fingerprint: dict) -> str:
+    """SHA-256 hex digest of a canonical-JSON fingerprint."""
+    text = json.dumps(fingerprint, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def problem_digest(
+    apps: list[ControlApplication],
+    clock: Clock,
+    design_options: DesignOptions,
+) -> str:
+    """Digest of the evaluation problem (shared by all its schedules)."""
+    return fingerprint_digest(problem_fingerprint(apps, clock, design_options))
+
+
+def evaluation_key(problem: str, schedule: PeriodicSchedule) -> str:
+    """Cache key of one (problem, schedule) evaluation.
+
+    Keeps the schedule readable in the key so ``sqlite3`` spelunking of
+    a cache file stays humane.
+    """
+    return f"{problem}:{','.join(str(m) for m in schedule.counts)}"

@@ -1,0 +1,80 @@
+"""JSON serialization of complete schedule evaluations.
+
+A :class:`~repro.sched.evaluator.ScheduleEvaluation` is the unit the
+persistent cache stores: schedule, derived timing, per-application
+controller designs and the overall performance.  Everything is plain
+floats/ints/strings, so the payload is portable JSON; non-finite values
+(``inf`` settling of an infeasible design) use Python's ``Infinity``
+extension, which round-trips through :mod:`json`.
+"""
+
+from __future__ import annotations
+
+from ...control.design import ControllerDesign
+from ..evaluator import AppEvaluation, ScheduleEvaluation
+from ..schedule import PeriodicSchedule
+from ..timing import AppTiming, ScheduleTiming
+
+
+def _timing_to_dict(timing: AppTiming) -> dict:
+    return {
+        "app_index": timing.app_index,
+        "periods": list(timing.periods),
+        "delays": list(timing.delays),
+    }
+
+
+def _timing_from_dict(data: dict) -> AppTiming:
+    return AppTiming(
+        app_index=int(data["app_index"]),
+        periods=tuple(float(h) for h in data["periods"]),
+        delays=tuple(float(tau) for tau in data["delays"]),
+    )
+
+
+def evaluation_to_dict(evaluation: ScheduleEvaluation) -> dict:
+    """JSON-serializable form of a complete schedule evaluation."""
+    return {
+        "schedule": list(evaluation.schedule.counts),
+        "overall": evaluation.overall,
+        "idle_ok": evaluation.idle_ok,
+        "hyperperiod": evaluation.timing.hyperperiod,
+        "timing": [_timing_to_dict(t) for t in evaluation.timing.apps],
+        "apps": [
+            {
+                "app_name": app.app_name,
+                "settling": app.settling,
+                "performance": app.performance,
+                "design": app.design.to_dict(),
+            }
+            for app in evaluation.apps
+        ],
+    }
+
+
+def evaluation_from_dict(data: dict) -> ScheduleEvaluation:
+    """Inverse of :func:`evaluation_to_dict`.
+
+    The per-app timing is stored once (in ``timing``) and shared with
+    the :class:`AppEvaluation` entries, mirroring how the evaluator
+    builds the live object.
+    """
+    timings = tuple(_timing_from_dict(t) for t in data["timing"])
+    timing = ScheduleTiming(apps=timings, hyperperiod=float(data["hyperperiod"]))
+    apps = tuple(
+        AppEvaluation(
+            app_name=str(entry["app_name"]),
+            design=ControllerDesign.from_dict(entry["design"]),
+            timing=timings[index],
+            settling=float(entry["settling"]),
+            performance=float(entry["performance"]),
+        )
+        for index, entry in enumerate(data["apps"])
+    )
+    return ScheduleEvaluation(
+        schedule=PeriodicSchedule(tuple(int(m) for m in data["schedule"])),
+        timing=timing,
+        apps=apps,
+        overall=float(data["overall"]),
+        idle_ok=bool(data["idle_ok"]),
+    )

@@ -1,0 +1,109 @@
+"""Disk-backed evaluation store (SQLite, stdlib only).
+
+One SQLite file per cache directory holds every evaluation ever
+computed, keyed by the problem+schedule digest of
+:mod:`repro.sched.engine.keys`.  SQLite gives atomic writes, safe
+concurrent readers and O(1) lookups without inventing a file-per-entry
+layout; payloads are the JSON documents of
+:mod:`repro.sched.engine.serialize`.
+
+Only the engine's coordinating process writes to the store (workers
+return results by value), so no cross-process write locking is needed
+beyond SQLite's own.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import time
+from pathlib import Path
+
+from ...errors import ConfigurationError
+
+#: File name inside the cache directory.
+DB_FILENAME = "evaluations.sqlite"
+
+
+class PersistentCache:
+    """A persistent key -> JSON-payload store for schedule evaluations."""
+
+    def __init__(self, cache_dir: str | Path) -> None:
+        self.cache_dir = Path(cache_dir)
+        try:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+        except (FileExistsError, NotADirectoryError) as exc:
+            raise ConfigurationError(
+                f"cache dir {str(self.cache_dir)!r} collides with an "
+                "existing file; pass a directory path"
+            ) from exc
+        self.path = self.cache_dir / DB_FILENAME
+        self._conn = sqlite3.connect(str(self.path))
+        self._conn.execute(
+            "CREATE TABLE IF NOT EXISTS evaluations ("
+            "  key TEXT PRIMARY KEY,"
+            "  payload TEXT NOT NULL,"
+            "  created REAL NOT NULL"
+            ")"
+        )
+        self._conn.commit()
+
+    def get(self, key: str) -> dict | None:
+        """The stored payload for ``key``, or ``None`` on a miss."""
+        row = self._conn.execute(
+            "SELECT payload FROM evaluations WHERE key = ?", (key,)
+        ).fetchone()
+        if row is None:
+            return None
+        return json.loads(row[0])
+
+    def put(self, key: str, payload: dict) -> None:
+        """Store (or overwrite) the payload for ``key``."""
+        self._conn.execute(
+            "INSERT OR REPLACE INTO evaluations (key, payload, created) "
+            "VALUES (?, ?, ?)",
+            (key, json.dumps(payload), time.time()),
+        )
+        self._conn.commit()
+
+    def put_many(self, entries: list[tuple[str, dict]]) -> None:
+        """Store a batch of (key, payload) pairs in one transaction."""
+        self._conn.executemany(
+            "INSERT OR REPLACE INTO evaluations (key, payload, created) "
+            "VALUES (?, ?, ?)",
+            [(key, json.dumps(payload), time.time()) for key, payload in entries],
+        )
+        self._conn.commit()
+
+    def __contains__(self, key: str) -> bool:
+        row = self._conn.execute(
+            "SELECT 1 FROM evaluations WHERE key = ?", (key,)
+        ).fetchone()
+        return row is not None
+
+    def __len__(self) -> int:
+        return int(
+            self._conn.execute("SELECT COUNT(*) FROM evaluations").fetchone()[0]
+        )
+
+    def keys(self) -> list[str]:
+        """All stored keys (diagnostics / tests)."""
+        rows = self._conn.execute("SELECT key FROM evaluations").fetchall()
+        return [row[0] for row in rows]
+
+    def clear(self) -> None:
+        """Drop every entry (keeps the file)."""
+        self._conn.execute("DELETE FROM evaluations")
+        self._conn.commit()
+
+    def close(self) -> None:
+        """Close the underlying connection (idempotent)."""
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None  # type: ignore[assignment]
+
+    def __enter__(self) -> "PersistentCache":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

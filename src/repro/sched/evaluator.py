@@ -163,6 +163,46 @@ class ScheduleEvaluator:
         self._schedule_cache[key] = result
         return result
 
+    def evaluate_batch(
+        self, schedules: list[PeriodicSchedule]
+    ) -> list[ScheduleEvaluation]:
+        """Evaluate many schedules, preserving order.
+
+        The plain evaluator runs them serially;
+        :class:`repro.sched.engine.SearchEngine` overrides this entry
+        point with parallel workers and a persistent cache.  Search
+        algorithms submit candidates through :func:`evaluate_many` so
+        either implementation can serve them.
+        """
+        return [self.evaluate(schedule) for schedule in schedules]
+
+    def adopt(self, evaluation: ScheduleEvaluation) -> None:
+        """Seed the memo with an externally computed evaluation.
+
+        Used by the search engine to install results coming back from
+        worker processes or the persistent disk cache, so later serial
+        lookups are free.
+        """
+        if evaluation.schedule.n_apps != len(self.apps):
+            raise ScheduleError(
+                f"evaluation has {evaluation.schedule.n_apps} apps, "
+                f"problem has {len(self.apps)}"
+            )
+        self._schedule_cache.setdefault(evaluation.schedule.counts, evaluation)
+
     def is_cached(self, schedule: PeriodicSchedule) -> bool:
         """Whether ``schedule`` has already been evaluated."""
         return schedule.counts in self._schedule_cache
+
+
+def evaluate_many(evaluator, schedules: list[PeriodicSchedule]) -> list[ScheduleEvaluation]:
+    """Evaluate ``schedules`` through ``evaluator``'s best batch entry point.
+
+    Ducks between :class:`ScheduleEvaluator` / the engine (both provide
+    ``evaluate_batch``) and minimal evaluator stand-ins that only expose
+    ``evaluate`` (e.g. the test fakes).
+    """
+    batch = getattr(evaluator, "evaluate_batch", None)
+    if batch is not None:
+        return batch(list(schedules))
+    return [evaluator.evaluate(schedule) for schedule in schedules]

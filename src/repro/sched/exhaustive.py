@@ -12,7 +12,7 @@ from __future__ import annotations
 from ..core.application import ControlApplication
 from ..errors import SearchError
 from ..units import Clock
-from .evaluator import ScheduleEvaluator
+from .evaluator import ScheduleEvaluator, evaluate_many
 from .feasibility import enumerate_idle_feasible
 from .results import SearchResult, SearchTrace
 
@@ -49,7 +49,9 @@ def exhaustive_search(
     if not schedules:
         raise SearchError("the idle-feasible schedule space is empty")
 
-    evaluations = [evaluator.evaluate(schedule) for schedule in schedules]
+    # One batch submission: embarrassingly parallel under the engine's
+    # process-pool backend, a plain serial loop otherwise.
+    evaluations = evaluate_many(evaluator, schedules)
     feasible = [e for e in evaluations if e.feasible]
     if not feasible:
         raise SearchError("no schedule satisfies the settling deadlines")

@@ -30,7 +30,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..errors import SearchError
-from .evaluator import ScheduleEvaluator
+from .evaluator import ScheduleEvaluator, evaluate_many
 from .results import SearchResult, SearchTrace
 from .schedule import PeriodicSchedule
 
@@ -81,20 +81,31 @@ def _run_single(
     visited = {current.counts}
 
     for _ in range(options.max_steps):
-        # Build the n per-dimension quadratic models.
-        gradients: list[float | None] = []
-        neighbor_values: dict[tuple[int, ...], float] = {}
+        # Collect the idle-feasible +-1 neighbors of every dimension and
+        # submit them as ONE batch: the 2n model evaluations of a step
+        # are independent, so the engine can fan them out to workers.
+        dim_neighbors: list[tuple[PeriodicSchedule | None, PeriodicSchedule | None]] = []
+        batch: list[PeriodicSchedule] = []
         for dim in range(current.n_apps):
             plus = current.neighbor(dim, +1)
             minus = current.neighbor(dim, -1)
-            plus_ok = plus is not None and idle_feasible_fn(plus)
-            minus_ok = minus is not None and idle_feasible_fn(minus)
-            v_plus = value(plus) if plus_ok else None
-            v_minus = value(minus) if minus_ok else None
-            if plus_ok:
-                neighbor_values[plus.counts] = v_plus
-            if minus_ok:
-                neighbor_values[minus.counts] = v_minus
+            if plus is not None and not idle_feasible_fn(plus):
+                plus = None
+            if minus is not None and not idle_feasible_fn(minus):
+                minus = None
+            dim_neighbors.append((plus, minus))
+            batch.extend(n for n in (plus, minus) if n is not None)
+        requested.update(n.counts for n in batch)
+        batch_evaluations = evaluate_many(evaluator, batch)
+        neighbor_values = {
+            n.counts: e.overall for n, e in zip(batch, batch_evaluations)
+        }
+
+        # Build the n per-dimension quadratic models.
+        gradients: list[float | None] = []
+        for plus, minus in dim_neighbors:
+            v_plus = neighbor_values[plus.counts] if plus is not None else None
+            v_minus = neighbor_values[minus.counts] if minus is not None else None
             if v_plus is not None and v_minus is not None:
                 gradients.append((v_plus - v_minus) / 2.0)
             elif v_plus is not None:

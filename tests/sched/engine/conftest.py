@@ -1,0 +1,40 @@
+"""Fixtures for the engine tests: a tiny, fast co-design problem."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.control.design import DesignOptions
+from repro.control.pso import PsoOptions
+from repro.sched.evaluator import ScheduleEvaluator
+
+
+@pytest.fixture(scope="session")
+def tiny_design_options() -> DesignOptions:
+    """The cheapest budget that still produces feasible designs."""
+    return DesignOptions(
+        restarts=1,
+        stage_a=PsoOptions(6, 6),
+        stage_b=PsoOptions(6, 6),
+    )
+
+
+@pytest.fixture(scope="session")
+def two_apps(case_study):
+    """A two-application problem (C1 + C2, weights renormalized)."""
+    c1, c2 = case_study.apps[0], case_study.apps[1]
+    return [replace(c1, weight=0.5), replace(c2, weight=0.5)]
+
+
+@pytest.fixture()
+def make_evaluator(two_apps, case_study, tiny_design_options):
+    """Factory for fresh (cold-memo) evaluators over the tiny problem."""
+
+    def build(design_options: DesignOptions | None = None) -> ScheduleEvaluator:
+        return ScheduleEvaluator(
+            two_apps, case_study.clock, design_options or tiny_design_options
+        )
+
+    return build

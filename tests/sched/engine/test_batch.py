@@ -1,0 +1,80 @@
+"""Batch scenario runner: synthesis determinism and suite execution."""
+
+import pytest
+
+from repro.errors import SearchError
+from repro.sched.engine import EngineOptions
+from repro.sched.engine.batch import (
+    Scenario,
+    run_batch,
+    run_scenario,
+    synthesize_scenarios,
+)
+from repro.sched.engine.keys import problem_digest
+
+
+class TestSynthesis:
+    def test_deterministic_for_seed(self, tiny_design_options):
+        first = synthesize_scenarios(3, seed=5, design_options=tiny_design_options)
+        second = synthesize_scenarios(3, seed=5, design_options=tiny_design_options)
+        assert len(first) == len(second) == 3
+        for a, b in zip(first, second):
+            assert a.name == b.name
+            assert problem_digest(a.apps, a.clock, tiny_design_options) == \
+                problem_digest(b.apps, b.clock, tiny_design_options)
+
+    def test_seeds_differ(self, tiny_design_options):
+        a = synthesize_scenarios(1, seed=5, design_options=tiny_design_options)[0]
+        b = synthesize_scenarios(1, seed=6, design_options=tiny_design_options)[0]
+        assert problem_digest(a.apps, a.clock, tiny_design_options) != \
+            problem_digest(b.apps, b.clock, tiny_design_options)
+
+    def test_weights_sum_to_one(self):
+        for scenario in synthesize_scenarios(4, seed=9):
+            total = sum(app.weight for app in scenario.apps)
+            assert abs(total - 1.0) <= 1e-9
+
+    def test_apps_within_choices(self):
+        scenarios = synthesize_scenarios(4, seed=3, n_apps_choices=(2,))
+        assert all(len(s.apps) == 2 for s in scenarios)
+
+    def test_bad_count_rejected(self):
+        with pytest.raises(SearchError):
+            synthesize_scenarios(0)
+
+    def test_bad_method_rejected(self, tiny_design_options):
+        scenario = synthesize_scenarios(1, design_options=tiny_design_options)[0]
+        with pytest.raises(SearchError):
+            Scenario(
+                name="bad",
+                apps=scenario.apps,
+                clock=scenario.clock,
+                method="gradient-descent",
+            )
+
+
+@pytest.mark.slow
+class TestRunBatch:
+    def test_suite_runs_and_reports(self, tiny_design_options, tmp_path):
+        scenarios = synthesize_scenarios(
+            2, seed=11, design_options=tiny_design_options, n_apps_choices=(2,)
+        )
+        outcomes = run_batch(scenarios, EngineOptions(cache_dir=tmp_path))
+        assert [o.name for o in outcomes] == ["synth-000", "synth-001"]
+        for outcome in outcomes:
+            assert outcome.method == "hybrid"
+            assert outcome.result.best.feasible
+            assert outcome.wall_time > 0
+            assert outcome.n_space > 0
+            assert outcome.engine_stats["n_computed"] > 0
+
+    def test_rerun_is_disk_served(self, tiny_design_options, tmp_path):
+        scenarios = synthesize_scenarios(
+            1, seed=11, design_options=tiny_design_options, n_apps_choices=(2,)
+        )
+        cold = run_scenario(scenarios[0], EngineOptions(cache_dir=tmp_path))
+        warm = run_scenario(scenarios[0], EngineOptions(cache_dir=tmp_path))
+        assert warm.engine_stats["n_computed"] == 0
+        assert warm.engine_stats["n_disk_hits"] > 0
+        assert warm.best_schedule == cold.best_schedule
+        assert warm.best_overall == cold.best_overall

@@ -1,0 +1,138 @@
+"""Engine behavior: layering, parallel equivalence, invalidation."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.sched import PeriodicSchedule, SearchEngine, exhaustive_search
+from repro.sched.engine import EngineOptions
+
+from .test_serialize import assert_evaluations_identical
+
+SCHEDULES = [
+    PeriodicSchedule.of(1, 1),
+    PeriodicSchedule.of(2, 1),
+    PeriodicSchedule.of(2, 2),
+]
+
+
+class TestLayering:
+    def test_serial_engine_matches_plain_evaluator(self, make_evaluator):
+        plain = make_evaluator().evaluate_batch(SCHEDULES)
+        with SearchEngine(make_evaluator()) as engine:
+            engined = engine.evaluate_batch(SCHEDULES)
+        for left, right in zip(plain, engined):
+            assert_evaluations_identical(left, right)
+
+    def test_memo_hits_on_repeat(self, make_evaluator):
+        with SearchEngine(make_evaluator()) as engine:
+            engine.evaluate_batch(SCHEDULES)
+            engine.evaluate_batch(SCHEDULES)
+            stats = engine.stats
+            assert stats.n_computed == len(SCHEDULES)
+            assert stats.n_memo_hits == len(SCHEDULES)
+
+    def test_duplicates_within_batch_computed_once(self, make_evaluator):
+        schedule = PeriodicSchedule.of(1, 2)
+        with SearchEngine(make_evaluator()) as engine:
+            results = engine.evaluate_batch([schedule, schedule, schedule])
+            assert engine.stats.n_computed == 1
+            assert results[0] is results[1] is results[2]
+
+    def test_single_evaluate_equals_batch(self, make_evaluator):
+        with SearchEngine(make_evaluator()) as engine:
+            single = engine.evaluate(SCHEDULES[0])
+            again = engine.evaluate_batch([SCHEDULES[0]])[0]
+            assert single is again
+
+
+class TestPersistentLayer:
+    def test_cold_then_warm(self, make_evaluator, tmp_path):
+        with SearchEngine(make_evaluator(), cache_dir=tmp_path) as engine:
+            cold = engine.evaluate_batch(SCHEDULES)
+            assert engine.stats.n_computed == len(SCHEDULES)
+            assert engine.stats.n_disk_hits == 0
+        # A fresh engine + evaluator over the same problem and cache dir
+        # must serve everything from disk, identically.
+        with SearchEngine(make_evaluator(), cache_dir=tmp_path) as warm_engine:
+            warm = warm_engine.evaluate_batch(SCHEDULES)
+            assert warm_engine.stats.n_computed == 0
+            assert warm_engine.stats.n_disk_hits == len(SCHEDULES)
+        for left, right in zip(cold, warm):
+            assert_evaluations_identical(left, right)
+
+    def test_design_options_invalidate_cache(
+        self, make_evaluator, tiny_design_options, tmp_path
+    ):
+        with SearchEngine(make_evaluator(), cache_dir=tmp_path) as engine:
+            engine.evaluate(SCHEDULES[0])
+        changed = replace(tiny_design_options, restarts=2)
+        with SearchEngine(make_evaluator(changed), cache_dir=tmp_path) as engine:
+            engine.evaluate(SCHEDULES[0])
+            assert engine.stats.n_disk_hits == 0
+            assert engine.stats.n_computed == 1
+
+    def test_problem_digest_shared_across_engines(self, make_evaluator, tmp_path):
+        first = SearchEngine(make_evaluator(), cache_dir=tmp_path)
+        second = SearchEngine(make_evaluator(), cache_dir=tmp_path)
+        try:
+            assert first.problem_key == second.problem_key
+        finally:
+            first.close()
+            second.close()
+
+
+class TestParallelBackend:
+    def test_parallel_matches_serial(self, make_evaluator):
+        serial = make_evaluator().evaluate_batch(SCHEDULES)
+        with SearchEngine(make_evaluator(), workers=2) as engine:
+            assert engine.backend_name == "process-pool"
+            assert engine.speculative
+            parallel = engine.evaluate_batch(SCHEDULES)
+        for left, right in zip(serial, parallel):
+            assert_evaluations_identical(left, right)
+
+    def test_parallel_fills_persistent_cache(self, make_evaluator, tmp_path):
+        with SearchEngine(make_evaluator(), workers=2, cache_dir=tmp_path) as engine:
+            engine.evaluate_batch(SCHEDULES[:2])
+        with SearchEngine(make_evaluator(), cache_dir=tmp_path) as warm:
+            warm.evaluate_batch(SCHEDULES[:2])
+            assert warm.stats.n_disk_hits == 2
+
+    def test_serial_engine_is_not_speculative(self, make_evaluator):
+        with SearchEngine(make_evaluator()) as engine:
+            assert not engine.speculative
+            assert engine.backend_name == "serial"
+
+
+class TestSearchIntegration:
+    def test_exhaustive_through_engine(self, make_evaluator):
+        direct = exhaustive_search(make_evaluator(), schedules=SCHEDULES)
+        with SearchEngine(make_evaluator()) as engine:
+            via_engine = exhaustive_search(engine, schedules=SCHEDULES)
+        assert via_engine.best_schedule == direct.best_schedule
+        assert via_engine.best_value == direct.best_value
+        assert via_engine.stats["n_feasible"] == direct.stats["n_feasible"]
+
+    def test_engine_duck_types_evaluator(self, make_evaluator, case_study):
+        with SearchEngine(make_evaluator()) as engine:
+            assert engine.clock is case_study.clock
+            assert len(engine.apps) == 2
+            engine.evaluate(SCHEDULES[0])
+            assert engine.is_cached(SCHEDULES[0])
+            assert engine.n_schedule_evaluations == 1
+
+
+class TestEngineOptions:
+    def test_build(self, make_evaluator, tmp_path):
+        options = EngineOptions(workers=0, cache_dir=tmp_path)
+        with options.build(make_evaluator()) as engine:
+            engine.evaluate(SCHEDULES[0])
+        assert (tmp_path / "evaluations.sqlite").exists()
+
+    def test_bad_worker_count_rejected(self, make_evaluator):
+        from repro.errors import SearchError
+        from repro.sched.engine.backends import ProcessPoolBackend
+
+        with pytest.raises(SearchError):
+            ProcessPoolBackend(make_evaluator(), workers=1)

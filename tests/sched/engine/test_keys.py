@@ -1,0 +1,59 @@
+"""Stable-hash tests: keys must move exactly when the problem moves."""
+
+from dataclasses import replace
+
+from repro.sched import PeriodicSchedule
+from repro.sched.engine.keys import (
+    evaluation_key,
+    problem_digest,
+    problem_fingerprint,
+)
+from repro.units import Clock
+
+
+class TestProblemDigest:
+    def test_deterministic(self, two_apps, case_study, tiny_design_options):
+        first = problem_digest(two_apps, case_study.clock, tiny_design_options)
+        second = problem_digest(two_apps, case_study.clock, tiny_design_options)
+        assert first == second
+        assert len(first) == 64  # sha256 hex
+
+    def test_design_options_invalidate(self, two_apps, case_study, tiny_design_options):
+        base = problem_digest(two_apps, case_study.clock, tiny_design_options)
+        changed = problem_digest(
+            two_apps, case_study.clock, replace(tiny_design_options, restarts=2)
+        )
+        assert base != changed
+
+    def test_clock_invalidates(self, two_apps, case_study, tiny_design_options):
+        base = problem_digest(two_apps, case_study.clock, tiny_design_options)
+        changed = problem_digest(two_apps, Clock(40e6), tiny_design_options)
+        assert base != changed
+
+    def test_app_constraints_invalidate(self, two_apps, case_study, tiny_design_options):
+        base = problem_digest(two_apps, case_study.clock, tiny_design_options)
+        widened = [two_apps[0], replace(two_apps[1], max_idle=1.0)]
+        changed = problem_digest(widened, case_study.clock, tiny_design_options)
+        assert base != changed
+
+    def test_fingerprint_includes_plant_and_wcets(
+        self, two_apps, case_study, tiny_design_options
+    ):
+        fingerprint = problem_fingerprint(
+            two_apps, case_study.clock, tiny_design_options
+        )
+        app = fingerprint["apps"][0]
+        assert app["wcets"]["cold_cycles"] == two_apps[0].wcets.cold_cycles
+        assert app["plant"]["name"] == two_apps[0].plant.name
+        assert len(app["plant"]["a"]) == two_apps[0].plant.order
+
+
+class TestEvaluationKey:
+    def test_distinct_schedules_distinct_keys(self):
+        assert evaluation_key("p", PeriodicSchedule.of(1, 2)) != evaluation_key(
+            "p", PeriodicSchedule.of(2, 1)
+        )
+
+    def test_key_is_readable(self):
+        key = evaluation_key("abc123", PeriodicSchedule.of(3, 2, 3))
+        assert key == "abc123:3,2,3"

@@ -1,0 +1,58 @@
+"""Round-trip tests: a deserialized evaluation is bit-identical."""
+
+import json
+import math
+
+import numpy as np
+
+from repro.sched import PeriodicSchedule
+from repro.sched.engine.serialize import evaluation_from_dict, evaluation_to_dict
+
+
+def assert_evaluations_identical(left, right):
+    """Every number of two evaluations matches exactly (no tolerance)."""
+    assert left.schedule == right.schedule
+    assert left.overall == right.overall
+    assert left.idle_ok == right.idle_ok
+    assert left.feasible == right.feasible
+    assert left.timing.hyperperiod == right.timing.hyperperiod
+    for lt, rt in zip(left.timing.apps, right.timing.apps):
+        assert lt == rt
+    for la, ra in zip(left.apps, right.apps):
+        assert la.app_name == ra.app_name
+        assert la.settling == ra.settling
+        assert la.performance == ra.performance
+        assert np.array_equal(la.design.gains, ra.design.gains)
+        assert np.array_equal(la.design.feedforward, ra.design.feedforward)
+        assert la.design.settling == ra.design.settling
+        assert la.design.u_peak == ra.design.u_peak
+        assert la.design.spectral_radius == ra.design.spectral_radius
+        assert la.timing == ra.timing
+
+
+class TestRoundTrip:
+    def test_bit_exact(self, make_evaluator):
+        evaluation = make_evaluator().evaluate(PeriodicSchedule.of(2, 2))
+        restored = evaluation_from_dict(evaluation_to_dict(evaluation))
+        assert_evaluations_identical(evaluation, restored)
+
+    def test_survives_json_text(self, make_evaluator):
+        """The payload must survive an actual dumps/loads cycle (the
+        store keeps TEXT), including float exactness."""
+        evaluation = make_evaluator().evaluate(PeriodicSchedule.of(1, 1))
+        text = json.dumps(evaluation_to_dict(evaluation))
+        restored = evaluation_from_dict(json.loads(text))
+        assert_evaluations_identical(evaluation, restored)
+
+    def test_shared_timing_objects(self, make_evaluator):
+        """Per-app timing is stored once and shared on revival, like the
+        live object the evaluator builds."""
+        evaluation = make_evaluator().evaluate(PeriodicSchedule.of(2, 1))
+        restored = evaluation_from_dict(evaluation_to_dict(evaluation))
+        for index, app in enumerate(restored.apps):
+            assert app.timing is restored.timing.apps[index]
+
+    def test_nonfinite_values_roundtrip(self):
+        """Infinity (unsettled design) survives the JSON layer."""
+        assert json.loads(json.dumps({"x": math.inf}))["x"] == math.inf
+        assert json.loads(json.dumps({"x": -math.inf}))["x"] == -math.inf

@@ -1,0 +1,54 @@
+"""Persistent store semantics: hits, misses, batches, reopen."""
+
+from repro.sched.engine.store import PersistentCache
+
+
+class TestPersistentCache:
+    def test_miss_returns_none(self, tmp_path):
+        with PersistentCache(tmp_path) as cache:
+            assert cache.get("absent") is None
+            assert "absent" not in cache
+
+    def test_put_get_roundtrip(self, tmp_path):
+        with PersistentCache(tmp_path) as cache:
+            cache.put("k", {"value": [1, 2.5, "x"]})
+            assert cache.get("k") == {"value": [1, 2.5, "x"]}
+            assert "k" in cache
+            assert len(cache) == 1
+
+    def test_put_overwrites(self, tmp_path):
+        with PersistentCache(tmp_path) as cache:
+            cache.put("k", {"v": 1})
+            cache.put("k", {"v": 2})
+            assert cache.get("k") == {"v": 2}
+            assert len(cache) == 1
+
+    def test_put_many(self, tmp_path):
+        with PersistentCache(tmp_path) as cache:
+            cache.put_many([(f"k{i}", {"i": i}) for i in range(5)])
+            assert len(cache) == 5
+            assert sorted(cache.keys()) == [f"k{i}" for i in range(5)]
+
+    def test_persists_across_reopen(self, tmp_path):
+        with PersistentCache(tmp_path) as cache:
+            cache.put("k", {"v": 7})
+        with PersistentCache(tmp_path) as reopened:
+            assert reopened.get("k") == {"v": 7}
+
+    def test_clear(self, tmp_path):
+        with PersistentCache(tmp_path) as cache:
+            cache.put("k", {"v": 1})
+            cache.clear()
+            assert len(cache) == 0
+            assert cache.get("k") is None
+
+    def test_creates_directory(self, tmp_path):
+        target = tmp_path / "nested" / "cache"
+        with PersistentCache(target) as cache:
+            cache.put("k", {"v": 1})
+        assert (target / "evaluations.sqlite").exists()
+
+    def test_close_idempotent(self, tmp_path):
+        cache = PersistentCache(tmp_path)
+        cache.close()
+        cache.close()
