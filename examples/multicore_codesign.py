@@ -1,7 +1,12 @@
 """Multi-core extension demo (paper Section VI).
 
 Partitions the three applications across two cores with private caches
-and jointly optimizes the partition and the per-core schedules.
+and jointly optimizes the partition and the per-core schedules.  The
+sweep runs through the partitioned search engine: pass ``workers=2`` /
+``cache_dir=...`` to ``MulticoreProblem`` to fan candidate evaluations
+out to worker processes and persist them for warm-started reruns
+(``python -m repro multicore --cores 2 --workers 2 --cache-dir D`` is
+the CLI spelling).
 
 Run:  python examples/multicore_codesign.py
 """
@@ -22,15 +27,21 @@ def main() -> None:
     single = case.evaluator(options).evaluate(PeriodicSchedule.of(3, 2, 3))
     print(f"single core, schedule (3, 2, 3): P_all = {single.overall:.4f}")
 
-    problem = MulticoreProblem(case.apps, case.clock, n_cores=2, design_options=options)
-    result = problem.optimize()
-    print(f"two cores (private caches): P_all = {result.overall:.4f}")
-    for core in result.cores:
-        names = ", ".join(case.apps[i].name for i in core.app_indices)
-        print(f"  core: [{names}] schedule {core.schedule}")
-    for i, app in enumerate(case.apps):
-        print(f"  {app.name}: settling {result.settling[i] * 1e3:.2f} ms "
-              f"(P = {result.performances[i]:.3f})")
+    with MulticoreProblem(
+        case.apps, case.clock, n_cores=2, design_options=options
+    ) as problem:
+        result = problem.optimize()
+        print(f"two cores (private caches): P_all = {result.overall:.4f}")
+        for core in result.cores:
+            names = ", ".join(case.apps[i].name for i in core.app_indices)
+            print(f"  core: [{names}] schedule {core.schedule}")
+        for i, app in enumerate(case.apps):
+            print(f"  {app.name}: settling {result.settling[i] * 1e3:.2f} ms "
+                  f"(P = {result.performances[i]:.3f})")
+        stats = problem.engine.stats
+        print(f"  engine: {stats.n_computed} evaluations over "
+              f"{stats.as_dict()['n_batches']} batches "
+              f"({problem.engine.n_subproblems} distinct core blocks)")
 
 
 if __name__ == "__main__":

@@ -10,12 +10,17 @@ Commands
     Run a schedule-space search and print the result.
 ``timeline --schedule 2,2,2``
     Render the schedule's timing diagram (paper Figs. 2/4).
-``batch [--suite-size 4] [--method hybrid]``
-    Sweep a suite of synthesized scenarios through the search engine.
+``batch [--suite-size 4] [--method hybrid] [--cores K]``
+    Sweep a suite of synthesized scenarios through the search engine
+    (``--cores >= 2`` makes every scenario a multicore co-design).
+``multicore [--cores 2]``
+    Partition the case study across private-cache cores and jointly
+    optimize the partition and the per-core schedules.
 
-``search`` and ``batch`` accept ``--workers N`` (evaluate candidate
-schedules on ``N`` worker processes) and ``--cache-dir DIR`` (persist
-every evaluation to a disk cache so reruns warm-start).
+``search``, ``batch`` and ``multicore`` accept ``--workers N``
+(evaluate candidate schedules on ``N`` worker processes) and
+``--cache-dir DIR`` (persist every evaluation to a disk cache so reruns
+warm-start).
 
 The controller-design budget follows ``REPRO_PROFILE``.
 """
@@ -120,6 +125,13 @@ def cmd_search(args: argparse.Namespace) -> None:
         )
 
 
+def _format_best_schedule(outcome) -> str:
+    """One cell for the best schedule — per-core list for multicore."""
+    if outcome.multicore is not None:
+        return " + ".join(str(core.schedule) for core in outcome.multicore.cores)
+    return str(outcome.best_schedule)
+
+
 def cmd_batch(args: argparse.Namespace) -> None:
     from .sched.engine import EngineOptions
     from .sched.engine.batch import run_batch, synthesize_scenarios
@@ -129,6 +141,7 @@ def cmd_batch(args: argparse.Namespace) -> None:
         seed=args.seed,
         method=args.method,
         design_options=design_options_for_profile(),
+        n_cores=args.cores,
     )
     outcomes = run_batch(
         scenarios, EngineOptions(workers=args.workers, cache_dir=args.cache_dir)
@@ -139,9 +152,9 @@ def cmd_batch(args: argparse.Namespace) -> None:
         rows.append(
             [
                 outcome.name,
-                str(len(outcome.result.best.apps)),
+                str(outcome.n_apps),
                 str(outcome.n_space),
-                str(outcome.best_schedule),
+                _format_best_schedule(outcome),
                 f"{outcome.best_overall:.4f}",
                 str(stats["n_computed"]),
                 str(stats["n_disk_hits"]),
@@ -153,12 +166,52 @@ def cmd_batch(args: argparse.Namespace) -> None:
             ["scenario", "apps", "space", "best schedule", "P_all",
              "computed", "disk hits", "wall time"],
             rows,
-            title=f"batch {args.method} search "
+            title=f"batch {outcomes[0].method} search "
                   f"({outcomes[0].backend} backend, {args.workers} workers)",
         )
     )
     total_wall = sum(o.wall_time for o in outcomes)
     print(f"\ntotal search time: {total_wall:.2f} s over {len(outcomes)} scenarios")
+
+
+def cmd_multicore(args: argparse.Namespace) -> None:
+    from .multicore import MulticoreProblem
+
+    case = build_case_study()
+    with MulticoreProblem(
+        case.apps,
+        case.clock,
+        n_cores=args.cores,
+        design_options=design_options_for_profile(),
+        max_count_per_core=args.max_count_per_core,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+    ) as problem:
+        result = problem.optimize()
+        rows = []
+        for core_index, core in enumerate(result.cores):
+            names = ", ".join(case.apps[i].name for i in core.app_indices)
+            rows.append(
+                [
+                    str(core_index),
+                    names,
+                    str(core.schedule),
+                    ", ".join(
+                        f"{result.settling[i] * 1e3:.2f} ms"
+                        for i in core.app_indices
+                    ),
+                ]
+            )
+        print(
+            render_table(
+                ["core", "apps", "schedule", "settling"],
+                rows,
+                title=f"multicore co-design ({args.cores} cores, "
+                      f"{problem.engine.backend_name} backend)",
+            )
+        )
+        print(f"\nP_all = {result.overall:.4f}  cores used: {result.n_cores_used}")
+        print(f"engine: {problem.engine.stats.summary()}")
 
 
 def cmd_timeline(args: argparse.Namespace) -> None:
@@ -202,7 +255,28 @@ def main(argv: list[str] | None = None) -> int:
     batch.add_argument(
         "--method", default="hybrid", choices=["hybrid", "exhaustive", "annealing"]
     )
+    batch.add_argument(
+        "--cores",
+        type=int,
+        default=1,
+        help="co-design every scenario over this many cores (1 = single-core)",
+    )
     _add_engine_arguments(batch)
+
+    multicore = sub.add_parser(
+        "multicore",
+        help="partition the case study across private-cache cores",
+    )
+    multicore.add_argument(
+        "--cores", type=int, default=2, help="number of cores to partition onto"
+    )
+    multicore.add_argument(
+        "--max-count-per-core",
+        type=int,
+        default=6,
+        help="burst-length cap per core (bounds lone-app schedule spaces)",
+    )
+    _add_engine_arguments(multicore)
 
     args = parser.parse_args(argv)
     {
@@ -211,6 +285,7 @@ def main(argv: list[str] | None = None) -> int:
         "search": cmd_search,
         "timeline": cmd_timeline,
         "batch": cmd_batch,
+        "multicore": cmd_multicore,
     }[args.command](args)
     return 0
 

@@ -1,0 +1,132 @@
+"""Experiment E6 — multicore extension (paper Section VI).
+
+The paper notes the framework "can be naturally extended to a
+multi-core architecture, where each core has its own cache".  This
+experiment quantifies that extension on the case study: partition the
+three applications onto ``n_cores`` private-cache cores (through the
+partitioned search engine), and compare the best partition's overall
+control performance against the best single-core schedule of the same
+sweep — the single-core problem is just the one-block partition, so the
+comparison comes from one engine run and one shared cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..apps.casestudy import CaseStudy, build_case_study
+from ..control.design import DesignOptions
+from ..core.report import render_table
+from ..multicore.partition import MulticoreEvaluation, MulticoreProblem
+from ..sched.schedule import PeriodicSchedule
+from .profiles import design_options_for_profile
+
+
+@dataclass
+class MulticoreSummary:
+    """Multicore co-design next to the single-core baseline."""
+
+    n_cores: int
+    app_names: list[str]
+    best: MulticoreEvaluation
+    single_schedule: PeriodicSchedule | None
+    single_overall: float | None
+    engine_stats: dict
+    engine_summary: str
+
+    @property
+    def improvement(self) -> float | None:
+        """Absolute P_all gain of partitioning over one shared core."""
+        if self.single_overall is None:
+            return None
+        return self.best.overall - self.single_overall
+
+    def render(self) -> str:
+        rows = []
+        for core_index, core in enumerate(self.best.cores):
+            names = ", ".join(self.app_names[i] for i in core.app_indices)
+            rows.append(
+                [
+                    str(core_index),
+                    names,
+                    str(core.schedule),
+                    ", ".join(
+                        f"{self.best.settling[i] * 1e3:.2f}"
+                        for i in core.app_indices
+                    ),
+                ]
+            )
+        table = render_table(
+            ["core", "apps", "schedule", "settling (ms)"],
+            rows,
+            title=f"Section VI: {self.n_cores}-core co-design",
+        )
+        if self.single_overall is None:
+            single = "single core: no feasible schedule under the burst cap"
+        else:
+            single = (
+                f"single core best: {self.single_schedule} "
+                f"P_all = {self.single_overall:.4f}"
+            )
+        return (
+            table
+            + f"\n\nmulticore P_all = {self.best.overall:.4f} "
+            f"({self.best.n_cores_used} cores used)"
+            + f"\n{single}"
+            + (
+                f"\npartitioning gain: {self.improvement:+.4f}"
+                if self.improvement is not None
+                else ""
+            )
+            + f"\nengine: {self.engine_summary}"
+        )
+
+
+def run(
+    case: CaseStudy | None = None,
+    design_options: DesignOptions | None = None,
+    n_cores: int = 2,
+    max_count_per_core: int = 6,
+    workers: int = 0,
+    cache_dir: str | Path | None = None,
+) -> MulticoreSummary:
+    """Run the multicore partition sweep (and its single-core baseline).
+
+    ``workers``/``cache_dir`` route the sweep through the partitioned
+    engine's worker pool and persistent cache, exactly like the CLI's
+    ``python -m repro multicore --workers N --cache-dir D``.
+    """
+    case = case or build_case_study()
+    options = design_options or design_options_for_profile()
+    with MulticoreProblem(
+        case.apps,
+        case.clock,
+        n_cores=n_cores,
+        design_options=options,
+        max_count_per_core=max_count_per_core,
+        workers=workers,
+        cache_dir=cache_dir,
+    ) as problem:
+        best = problem.optimize()
+        # The one-block partition *is* the single-core problem; after
+        # optimize() its evaluations are memoized, so this is free.
+        single_block = tuple(range(len(case.apps)))
+        single = problem.best_schedule_for_core(single_block)
+        if single is None:
+            single_schedule, single_overall = None, None
+        else:
+            single_schedule = single[0]
+            single_overall = sum(
+                case.apps[i].weight * performance
+                for i, performance in single[2].items()
+            )
+        return MulticoreSummary(
+            n_cores=n_cores,
+            app_names=[app.name for app in case.apps],
+            best=best,
+            single_schedule=single_schedule,
+            single_overall=single_overall,
+            engine_stats=problem.engine.stats.as_dict(),
+            engine_summary=problem.engine.stats.summary(),
+        )

@@ -3,26 +3,39 @@
 For each partition of the applications onto cores, every core is an
 independent instance of the single-core problem (its own cache, its own
 periodic schedule, smaller interference set Δ), so the single-core
-machinery is reused per core.  Controller designs are cached by
-(application, timing), which different partitions share aggressively —
-an application alone on a core always has the same timing, whatever the
-rest of the partition looks like.
+machinery is reused per core — through the partitioned search engine
+(:class:`repro.sched.engine.PartitionedSearchEngine`):
+
+* every block of applications gets a real
+  :class:`~repro.sched.evaluator.ScheduleEvaluator` (so femtosecond
+  timing quantization and per-application design seeding live in
+  exactly one place, the evaluator);
+* all ``(core-block, schedule)`` candidates of the whole partition
+  sweep are submitted as one batch, which fans out to worker processes
+  when ``workers >= 2``;
+* evaluations persist to ``cache_dir`` keyed by the per-core
+  sub-problem digest, so a block's entries are reused across
+  partitions, across runs, and by single-core searches of the same
+  applications.
+
+A block's evaluation depends only on the block (never on the rest of
+the partition), so the sweep evaluates each distinct block once and
+scores partitions from the shared results.
 """
 
 from __future__ import annotations
 
-import itertools
-import math
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
+from pathlib import Path
 from typing import Iterator
 
-from ..control.design import ControllerDesign, DesignOptions, design_controller
+from ..control.design import DesignOptions
 from ..core.application import ControlApplication
-from ..core.performance import performance_index
 from ..errors import ScheduleError, SearchError
+from ..sched.engine import PartitionedSearchEngine
+from ..sched.evaluator import ScheduleEvaluation
 from ..sched.feasibility import enumerate_idle_feasible
 from ..sched.schedule import PeriodicSchedule
-from ..sched.timing import AppTiming, derive_timing
 from ..units import Clock
 
 
@@ -76,7 +89,14 @@ def enumerate_partitions(n_apps: int, n_cores: int) -> Iterator[tuple[tuple[int,
 
 
 class MulticoreProblem:
-    """Co-design over partitions and per-core periodic schedules."""
+    """Co-design over partitions and per-core periodic schedules.
+
+    ``workers`` and ``cache_dir`` configure the shared partitioned
+    engine exactly like the single-core ``CodesignProblem``: with
+    ``workers >= 2`` candidate evaluations fan out to worker processes,
+    and with a ``cache_dir`` every evaluation persists to disk so
+    repeated runs (and overlapping partitions) warm-start.
+    """
 
     def __init__(
         self,
@@ -85,6 +105,8 @@ class MulticoreProblem:
         n_cores: int,
         design_options: DesignOptions | None = None,
         max_count_per_core: int = 6,
+        workers: int = 0,
+        cache_dir: str | Path | None = None,
     ) -> None:
         if n_cores < 1:
             raise ScheduleError(f"need at least one core, got {n_cores}")
@@ -100,92 +122,172 @@ class MulticoreProblem:
         # (Delta = 0), so its schedule space is unbounded; burst lengths
         # are capped where the cache-reuse benefit has long saturated.
         self.max_count_per_core = max_count_per_core
-        self._design_cache: dict[tuple, ControllerDesign] = {}
+        self.engine = PartitionedSearchEngine(
+            self.apps,
+            clock,
+            self.design_options,
+            workers=workers,
+            cache_dir=cache_dir,
+        )
+        self._spaces: dict[tuple[int, ...], list[PeriodicSchedule]] = {}
 
-    def _design(self, app_index: int, timing: AppTiming) -> ControllerDesign:
-        quantize = lambda values: tuple(round(v * 1e15) for v in values)
-        key = (app_index, quantize(timing.periods), quantize(timing.delays))
-        design = self._design_cache.get(key)
-        if design is None:
-            app = self.apps[app_index]
-            options = replace(
-                self.design_options,
-                seed=self.design_options.seed + 7919 * app_index,
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release engine resources (worker pool, cache connection)."""
+        self.engine.close()
+
+    def __enter__(self) -> "MulticoreProblem":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Per-core machinery
+    # ------------------------------------------------------------------
+    def core_schedule_space(
+        self, app_indices: tuple[int, ...]
+    ) -> list[PeriodicSchedule]:
+        """One core's idle-feasible schedule space (cached per block)."""
+        app_indices = tuple(app_indices)
+        space = self._spaces.get(app_indices)
+        if space is None:
+            core_apps = [self.apps[i] for i in app_indices]
+            space = enumerate_idle_feasible(
+                core_apps, self.clock, max_count=self.max_count_per_core
             )
-            design = design_controller(
-                app.plant,
-                list(timing.periods),
-                list(timing.delays),
-                app.spec,
-                options,
-            )
-            self._design_cache[key] = design
-        return design
+            self._spaces[app_indices] = space
+        return space
+
+    def _block_value(
+        self, app_indices: tuple[int, ...], evaluation: ScheduleEvaluation
+    ) -> float:
+        """Global-weight contribution of one core (eq. (2) restricted).
+
+        The block evaluator renormalizes weights within the block, so
+        the partition objective recombines per-application performances
+        with the *global* weights.
+        """
+        return sum(
+            self.apps[global_index].weight * app_eval.performance
+            for global_index, app_eval in zip(app_indices, evaluation.apps)
+        )
 
     def evaluate_core(
         self, app_indices: tuple[int, ...], schedule: PeriodicSchedule
     ) -> tuple[dict[int, float], dict[int, float], bool]:
         """Evaluate one core; returns (settling, performance, idle_ok)."""
-        core_apps = [self.apps[i] for i in app_indices]
-        timing = derive_timing(schedule, [a.wcets for a in core_apps], self.clock)
-        idle_ok = all(
-            app_timing.max_period <= app.max_idle + 1e-15
-            for app_timing, app in zip(timing.apps, core_apps)
-        )
-        settling: dict[int, float] = {}
-        performances: dict[int, float] = {}
-        for local, global_index in enumerate(app_indices):
-            app = self.apps[global_index]
-            design = self._design(global_index, timing.for_app(local))
-            settled = design.settling if design.satisfies(app.spec) else math.inf
-            settling[global_index] = settled
-            performances[global_index] = performance_index(settled, app.spec.deadline)
-        return settling, performances, idle_ok
+        app_indices = tuple(app_indices)
+        evaluation = self.engine.evaluate(app_indices, schedule)
+        settling = {
+            global_index: app_eval.settling
+            for global_index, app_eval in zip(app_indices, evaluation.apps)
+        }
+        performances = {
+            global_index: app_eval.performance
+            for global_index, app_eval in zip(app_indices, evaluation.apps)
+        }
+        return settling, performances, evaluation.idle_ok
+
+    def _best_in_block(
+        self, app_indices: tuple[int, ...], evaluations: list[ScheduleEvaluation]
+    ) -> tuple[float, ScheduleEvaluation] | None:
+        """Best feasible (value, evaluation) of one core, or ``None``.
+
+        Strict improvement keeps the first optimum in enumeration
+        order, so results are identical on every engine path.
+        """
+        best: tuple[float, ScheduleEvaluation] | None = None
+        for evaluation in evaluations:
+            if not evaluation.feasible:
+                continue
+            value = self._block_value(app_indices, evaluation)
+            if best is None or value > best[0]:
+                best = (value, evaluation)
+        return best
 
     def best_schedule_for_core(
         self, app_indices: tuple[int, ...]
     ) -> tuple[PeriodicSchedule, dict[int, float], dict[int, float]] | None:
         """Exhaustively optimize one core's schedule (weighted objective)."""
-        core_apps = [self.apps[i] for i in app_indices]
-        space = enumerate_idle_feasible(
-            core_apps, self.clock, max_count=self.max_count_per_core
+        app_indices = tuple(app_indices)
+        space = self.core_schedule_space(app_indices)
+        evaluations = self.engine.evaluate_pairs(
+            [(app_indices, schedule) for schedule in space]
         )
-        best = None
-        for schedule in space:
-            settling, performances, idle_ok = self.evaluate_core(app_indices, schedule)
-            if not idle_ok or any(p < 0 for p in performances.values()):
-                continue
-            value = sum(
-                self.apps[i].weight * performances[i] for i in app_indices
-            )
-            if best is None or value > best[0]:
-                best = (value, schedule, settling, performances)
+        best = self._best_in_block(app_indices, evaluations)
         if best is None:
             return None
-        return best[1], best[2], best[3]
+        evaluation = best[1]
+        settling = {
+            g: e.settling for g, e in zip(app_indices, evaluation.apps)
+        }
+        performances = {
+            g: e.performance for g, e in zip(app_indices, evaluation.apps)
+        }
+        return evaluation.schedule, settling, performances
 
+    # ------------------------------------------------------------------
+    # Partition sweep
+    # ------------------------------------------------------------------
     def optimize(self) -> MulticoreEvaluation:
-        """Search all partitions; per core, all feasible schedules."""
+        """Search all partitions; per core, all feasible schedules.
+
+        The sweep first collects every distinct block over all
+        partitions, batches *all* their candidate schedules through the
+        engine in one submission (parallel workers, shared persistent
+        cache), then scores partitions from the per-block optima.
+        """
+        partitions = list(
+            enumerate_partitions(len(self.apps), self.n_cores)
+        )
+        blocks: list[tuple[int, ...]] = []
+        seen: set[tuple[int, ...]] = set()
+        for partition in partitions:
+            for block in partition:
+                if block not in seen:
+                    seen.add(block)
+                    blocks.append(block)
+
+        pairs = [
+            (block, schedule)
+            for block in blocks
+            for schedule in self.core_schedule_space(block)
+        ]
+        evaluations = self.engine.evaluate_pairs(pairs)
+
+        per_block: dict[tuple[int, ...], list[ScheduleEvaluation]] = {
+            block: [] for block in blocks
+        }
+        for (block, _schedule), evaluation in zip(pairs, evaluations):
+            per_block[block].append(evaluation)
+        best_per_block = {
+            block: self._best_in_block(block, results)
+            for block, results in per_block.items()
+        }
+
         best: MulticoreEvaluation | None = None
-        for partition in enumerate_partitions(len(self.apps), self.n_cores):
+        for partition in partitions:
             cores = []
             settling: dict[int, float] = {}
             performances: dict[int, float] = {}
+            overall = 0.0
             feasible = True
             for block in partition:
-                result = self.best_schedule_for_core(block)
-                if result is None:
+                block_best = best_per_block[block]
+                if block_best is None:
                     feasible = False
                     break
-                schedule, block_settling, block_perf = result
-                cores.append(CoreAssignment(block, schedule))
-                settling.update(block_settling)
-                performances.update(block_perf)
+                value, evaluation = block_best
+                cores.append(CoreAssignment(block, evaluation.schedule))
+                for global_index, app_eval in zip(block, evaluation.apps):
+                    settling[global_index] = app_eval.settling
+                    performances[global_index] = app_eval.performance
+                overall += value
             if not feasible:
                 continue
-            overall = sum(
-                app.weight * performances[i] for i, app in enumerate(self.apps)
-            )
             candidate = MulticoreEvaluation(
                 cores=tuple(cores),
                 settling=settling,

@@ -58,7 +58,8 @@ def annealing_search(
     current = start
     current_value = value(current)
     trace.path.append((current, current_value))
-    best_eval = evaluator.evaluate(current) if evaluator.evaluate(current).feasible else None
+    start_eval = evaluator.evaluate(current)
+    best_eval = start_eval if start_eval.feasible else None
 
     temperature = options.initial_temperature
     for _ in range(options.n_temperatures):
@@ -90,6 +91,13 @@ def annealing_search(
             requested.add(candidate.counts)
             if not candidate_eval.feasible:
                 continue
+            # Track the best over *every* evaluated feasible candidate,
+            # accepted or not: a Metropolis rejection must never make SA
+            # forget an optimum it already paid to evaluate (the start
+            # may be settling-infeasible with a finite value, so a
+            # feasible candidate can be rejected while best is unset).
+            if best_eval is None or candidate_eval.overall > best_eval.overall:
+                best_eval = candidate_eval
             delta = candidate_eval.overall - (
                 current_value if math.isfinite(current_value) else -1e9
             )
@@ -97,8 +105,6 @@ def annealing_search(
                 current = candidate
                 current_value = candidate_eval.overall
                 trace.path.append((current, current_value))
-                if best_eval is None or candidate_eval.overall > best_eval.overall:
-                    best_eval = candidate_eval
         temperature *= options.cooling
 
     if best_eval is None:

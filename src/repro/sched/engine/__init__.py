@@ -5,10 +5,15 @@ The subsystem behind ``--workers`` / ``--cache-dir``:
 * :mod:`~repro.sched.engine.engine` — :class:`SearchEngine`, the
   layered (memo -> disk -> workers) evaluation service the search
   algorithms submit candidates through;
+* :mod:`~repro.sched.engine.partitioned` —
+  :class:`PartitionedSearchEngine`, the same layering generalized to a
+  family of per-core sub-problems (the multicore co-design), with
+  cross-core batching and block-level disk keys;
 * :mod:`~repro.sched.engine.backends` — serial and
   ``ProcessPoolExecutor`` evaluation backends;
 * :mod:`~repro.sched.engine.store` — the SQLite-backed persistent
-  evaluation cache;
+  evaluation cache (WAL + busy timeout, safe to share between
+  concurrent runs);
 * :mod:`~repro.sched.engine.keys` / :mod:`~repro.sched.engine.serialize`
   — stable problem hashing and JSON round-tripping of evaluations;
 * :mod:`~repro.sched.engine.batch` — the batch scenario runner and
@@ -18,20 +23,29 @@ The subsystem behind ``--workers`` / ``--cache-dir``:
 
 from .backends import ProcessPoolBackend, SerialBackend
 from .engine import EngineOptions, EngineStats, SearchEngine
-from .keys import evaluation_key, problem_digest, problem_fingerprint
+from .keys import (
+    evaluation_key,
+    problem_digest,
+    problem_fingerprint,
+    subproblem_digest,
+)
+from .partitioned import PartitionedSearchEngine, Subproblem
 from .serialize import evaluation_from_dict, evaluation_to_dict
 from .store import PersistentCache
 
 __all__ = [
     "EngineOptions",
     "EngineStats",
+    "PartitionedSearchEngine",
     "PersistentCache",
     "ProcessPoolBackend",
     "SearchEngine",
     "SerialBackend",
+    "Subproblem",
     "evaluation_from_dict",
     "evaluation_key",
     "evaluation_to_dict",
     "problem_digest",
     "problem_fingerprint",
+    "subproblem_digest",
 ]

@@ -38,7 +38,13 @@ METHODS = ("exhaustive", "hybrid", "annealing")
 
 @dataclass
 class Scenario:
-    """One co-design problem plus the search to run on it."""
+    """One co-design problem plus the search to run on it.
+
+    ``n_cores > 1`` makes the scenario a *multicore* co-design: the
+    runner routes it through :class:`repro.multicore.MulticoreProblem`
+    (partition sweep, per-core exhaustive schedules) instead of the
+    single-core search methods — ``method`` is then ignored.
+    """
 
     name: str
     apps: list
@@ -48,32 +54,46 @@ class Scenario:
     starts: tuple[PeriodicSchedule, ...] | None = None
     n_starts: int = 2
     seed: int = 2018
+    n_cores: int = 1
 
     def __post_init__(self) -> None:
         if self.method not in METHODS:
             raise SearchError(
                 f"unknown search method {self.method!r}; choose from {METHODS}"
             )
+        if self.n_cores < 1:
+            raise SearchError(f"need at least one core, got {self.n_cores}")
 
 
 @dataclass
 class ScenarioOutcome:
-    """Result and bookkeeping of one scenario run."""
+    """Result and bookkeeping of one scenario run.
+
+    Exactly one of ``result`` (single-core searches) and ``multicore``
+    (partition sweeps) is set.
+    """
 
     name: str
     method: str
-    result: SearchResult
+    result: SearchResult | None
     wall_time: float
     n_space: int
     engine_stats: dict = field(default_factory=dict)
     backend: str = "serial"
+    n_apps: int = 0
+    multicore: "MulticoreEvaluation | None" = None
 
     @property
-    def best_schedule(self) -> PeriodicSchedule:
+    def best_schedule(self):
+        """The optimal schedule — or the per-core schedules (multicore)."""
+        if self.multicore is not None:
+            return tuple(core.schedule for core in self.multicore.cores)
         return self.result.best_schedule
 
     @property
     def best_overall(self) -> float:
+        if self.multicore is not None:
+            return self.multicore.overall
         return self.result.best_value
 
 
@@ -113,6 +133,8 @@ def run_scenario(
 ) -> ScenarioOutcome:
     """Run one scenario through a fresh engine."""
     options = engine_options or EngineOptions()
+    if scenario.n_cores > 1:
+        return _run_multicore_scenario(scenario, options)
     evaluator = ScheduleEvaluator(
         scenario.apps, scenario.clock, scenario.design_options
     )
@@ -128,6 +150,39 @@ def run_scenario(
             n_space=n_space,
             engine_stats=engine.stats.as_dict(),
             backend=engine.backend_name,
+            n_apps=len(scenario.apps),
+        )
+
+
+def _run_multicore_scenario(
+    scenario: Scenario, options: EngineOptions
+) -> ScenarioOutcome:
+    """Run a multicore scenario through the partitioned engine."""
+    # Imported lazily: repro.multicore builds on repro.sched, so a
+    # module-level import would be circular.
+    from ...multicore.partition import MulticoreProblem
+
+    with MulticoreProblem(
+        scenario.apps,
+        scenario.clock,
+        scenario.n_cores,
+        scenario.design_options,
+        workers=options.workers,
+        cache_dir=options.cache_dir,
+    ) as problem:
+        started = time.perf_counter()
+        evaluation = problem.optimize()
+        wall_time = time.perf_counter() - started
+        return ScenarioOutcome(
+            name=scenario.name,
+            method=f"multicore[{scenario.n_cores}]",
+            result=None,
+            wall_time=wall_time,
+            n_space=problem.engine.stats.n_requested,
+            engine_stats=problem.engine.stats.as_dict(),
+            backend=problem.engine.backend_name,
+            n_apps=len(scenario.apps),
+            multicore=evaluation,
         )
 
 
@@ -153,8 +208,17 @@ def synthesize_scenarios(
     method: str = "hybrid",
     design_options: DesignOptions | None = None,
     n_apps_choices: tuple[int, ...] = (2, 3),
+    n_cores: int = 1,
 ) -> list[Scenario]:
     """Deterministic random workloads derived from the case study.
+
+    ``n_cores > 1`` synthesizes *multicore* scenarios: same jittered
+    application sets, but each is co-designed over partitions onto that
+    many private-cache cores instead of searched on one shared core.
+    The synthesized applications are identical for every ``n_cores``, so
+    single-core and multicore sweeps of one seed share sub-problem
+    digests (and therefore persistent-cache entries) wherever blocks
+    coincide.
 
     Every scenario jitters the calibrated control programs (loop trip
     counts and body sizes, re-analyzed through the cache/WCET pipeline),
@@ -239,6 +303,7 @@ def synthesize_scenarios(
                 design_options=design_options,
                 method=method,
                 seed=seed + index,
+                n_cores=n_cores,
             )
         )
     return scenarios

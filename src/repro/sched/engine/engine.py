@@ -58,22 +58,51 @@ class EngineOptions:
 
 @dataclass
 class EngineStats:
-    """Where the engine's evaluations came from."""
+    """Where the engine's evaluations came from.
+
+    Every requested evaluation lands in exactly one bucket, so
+    ``n_requested == n_memo_hits + n_disk_hits + n_duplicates +
+    n_computed`` holds at all times (``n_duplicates`` counts repeats of
+    a miss *within* one batch: they are deduplicated before the backend
+    and served from the memo once the first copy is computed).
+    """
 
     n_requested: int = 0
     n_memo_hits: int = 0
     n_disk_hits: int = 0
+    n_duplicates: int = 0
     n_computed: int = 0
+    serial_fallback: bool = False
     batch_sizes: list[int] = field(default_factory=list)
+
+    @property
+    def accounted(self) -> int:
+        """Sum over all buckets; always equals ``n_requested``."""
+        return (
+            self.n_memo_hits
+            + self.n_disk_hits
+            + self.n_duplicates
+            + self.n_computed
+        )
+
+    def summary(self) -> str:
+        """One human line spelling out the accounting identity."""
+        return (
+            f"{self.n_requested} requested = {self.n_computed} computed + "
+            f"{self.n_memo_hits} memo + {self.n_disk_hits} disk + "
+            f"{self.n_duplicates} duplicate"
+        )
 
     def as_dict(self) -> dict:
         return {
             "n_requested": self.n_requested,
             "n_memo_hits": self.n_memo_hits,
             "n_disk_hits": self.n_disk_hits,
+            "n_duplicates": self.n_duplicates,
             "n_computed": self.n_computed,
             "n_batches": len(self.batch_sizes),
             "max_batch": max(self.batch_sizes, default=0),
+            "serial_fallback": self.serial_fallback,
         }
 
 
@@ -169,12 +198,15 @@ class SearchEngine:
             if self.evaluator.is_cached(schedule):
                 self.stats.n_memo_hits += 1
                 continue
+            if schedule.counts in pending_counts:
+                # Already pending, so it already missed memo and disk.
+                self.stats.n_duplicates += 1
+                continue
             if self._load_from_disk(schedule):
                 self.stats.n_disk_hits += 1
                 continue
-            if schedule.counts not in pending_counts:
-                pending_counts.add(schedule.counts)
-                pending.append(schedule)
+            pending_counts.add(schedule.counts)
+            pending.append(schedule)
         if pending:
             self._compute(pending)
         return [self.evaluator.evaluate(schedule) for schedule in schedules]
@@ -205,6 +237,7 @@ class SearchEngine:
             )
             self._backend.close()
             self._backend = SerialBackend(self.evaluator)
+            self.stats.serial_fallback = True
             evaluations = self._backend.map(pending)
         self.stats.n_computed += len(evaluations)
         for evaluation in evaluations:

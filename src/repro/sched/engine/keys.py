@@ -21,6 +21,7 @@ import json
 from ...control.design import DesignOptions
 from ...core.application import ControlApplication
 from ...units import Clock
+from ..evaluator import ScheduleEvaluator
 from ..schedule import PeriodicSchedule
 
 #: Bump when the serialized evaluation layout changes; part of every key
@@ -91,6 +92,26 @@ def problem_digest(
 ) -> str:
     """Digest of the evaluation problem (shared by all its schedules)."""
     return fingerprint_digest(problem_fingerprint(apps, clock, design_options))
+
+
+def subproblem_digest(
+    apps: list[ControlApplication],
+    clock: Clock,
+    design_options: DesignOptions,
+    indices: tuple[int, ...],
+) -> str:
+    """Digest of the per-core sub-problem over ``indices``.
+
+    The digest depends only on the block's own applications (with
+    weights renormalized within the block), the clock and the design
+    budget — never on the rest of the partition.  One block therefore
+    shares its disk entries across every partition that contains it, and
+    with plain single-core runs of the same applications.
+    """
+    evaluator = ScheduleEvaluator.for_subproblem(
+        apps, clock, design_options, tuple(indices)
+    )
+    return problem_digest(evaluator.apps, evaluator.clock, evaluator.design_options)
 
 
 def evaluation_key(problem: str, schedule: PeriodicSchedule) -> str:

@@ -1,0 +1,311 @@
+"""Shared search engine for partitioned (multicore) sub-problems.
+
+The multicore co-design sweeps *partitions* of the applications onto
+cores; every core of every partition is an independent single-core
+evaluation problem over a block of the applications.  The blocks repeat
+massively across partitions (the block ``(0,)`` looks exactly the same
+whether the other applications share one core or two), so evaluations
+must be shared at the block level, not the partition level.
+
+:class:`PartitionedSearchEngine` is :class:`~.engine.SearchEngine`
+generalized from one evaluation problem to a family of sub-problems:
+
+* one lazily-built :class:`~repro.sched.evaluator.ScheduleEvaluator`
+  (in-memory memo) per block, via
+  :meth:`ScheduleEvaluator.for_subproblem`;
+* one shared :class:`~.store.PersistentCache`, keyed by the per-core
+  sub-problem digest (:func:`~.keys.subproblem_digest`) — so a block's
+  disk entries are reused across partitions, across runs, and by
+  single-core searches of the same applications;
+* one shared worker pool: ``evaluate_pairs`` batches ``(block,
+  schedule)`` candidates from *different* cores into a single fan-out,
+  which is what lets a whole partition sweep saturate the pool.
+
+Serial, parallel and warm-cache paths observe identical evaluations,
+exactly like the single-problem engine.
+"""
+
+from __future__ import annotations
+
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from pathlib import Path
+
+from ...control.design import DesignOptions
+from ...errors import SearchError
+from ...units import Clock
+from ..evaluator import ScheduleEvaluation, ScheduleEvaluator
+from ..schedule import PeriodicSchedule
+from .engine import EngineStats
+from .keys import evaluation_key, problem_digest
+from .serialize import evaluation_from_dict, evaluation_to_dict
+from .store import PersistentCache
+
+#: A candidate: which block of applications, and which schedule on it.
+BlockSchedule = tuple[tuple[int, ...], PeriodicSchedule]
+
+# ----------------------------------------------------------------------
+# Worker-side machinery.  Workers receive the *global* problem once (in
+# the pool initializer) and rebuild block evaluators on demand, so a
+# task is just ((block indices), (schedule counts)) — a few ints.
+# ----------------------------------------------------------------------
+
+_WORKER_PROBLEM: tuple | None = None
+_WORKER_EVALUATORS: dict[tuple[int, ...], ScheduleEvaluator] = {}
+
+
+def _init_partition_worker(apps, clock, design_options) -> None:
+    """Pool initializer: remember the global problem, reset evaluators."""
+    global _WORKER_PROBLEM
+    _WORKER_PROBLEM = (apps, clock, design_options)
+    _WORKER_EVALUATORS.clear()
+
+
+def _evaluate_block_counts(
+    task: tuple[tuple[int, ...], tuple[int, ...]],
+) -> ScheduleEvaluation:
+    """Task function: evaluate one (block, schedule) in this worker.
+
+    Block evaluators live for the life of the worker, so the per-
+    (application, timing) design memo keeps paying off across tasks of
+    the same block.
+    """
+    if _WORKER_PROBLEM is None:  # pragma: no cover - initializer always ran
+        raise SearchError("partition worker was never initialized")
+    indices, counts = task
+    evaluator = _WORKER_EVALUATORS.get(indices)
+    if evaluator is None:
+        apps, clock, design_options = _WORKER_PROBLEM
+        evaluator = ScheduleEvaluator.for_subproblem(
+            apps, clock, design_options, indices
+        )
+        _WORKER_EVALUATORS[indices] = evaluator
+    return evaluator.evaluate(PeriodicSchedule(counts))
+
+
+class PartitionedSerialBackend:
+    """Evaluate (block, schedule) tasks on the coordinator's evaluators."""
+
+    name = "serial"
+
+    def __init__(self, evaluator_for) -> None:
+        self._evaluator_for = evaluator_for
+
+    def map(self, tasks: list[BlockSchedule]) -> list[ScheduleEvaluation]:
+        return [
+            self._evaluator_for(indices).evaluate(schedule)
+            for indices, schedule in tasks
+        ]
+
+    def close(self) -> None:
+        pass
+
+
+class PartitionedPoolBackend:
+    """Fan (block, schedule) tasks out to a pool of worker processes."""
+
+    name = "process-pool"
+
+    def __init__(self, apps, clock, design_options, workers: int) -> None:
+        if workers < 2:
+            raise SearchError(f"process pool needs >= 2 workers, got {workers}")
+        self.workers = workers
+        self._initargs = (list(apps), clock, design_options)
+        self._executor: ProcessPoolExecutor | None = None
+
+    def _ensure_executor(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.workers,
+                initializer=_init_partition_worker,
+                initargs=self._initargs,
+            )
+        return self._executor
+
+    def map(self, tasks: list[BlockSchedule]) -> list[ScheduleEvaluation]:
+        executor = self._ensure_executor()
+        plain = [(indices, schedule.counts) for indices, schedule in tasks]
+        return list(executor.map(_evaluate_block_counts, plain))
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+
+@dataclass
+class Subproblem:
+    """One block's evaluation problem: its evaluator and disk digest."""
+
+    indices: tuple[int, ...]
+    evaluator: ScheduleEvaluator
+    digest: str
+
+
+class PartitionedSearchEngine:
+    """Layered (per-block memo -> shared disk -> shared workers) service."""
+
+    def __init__(
+        self,
+        apps,
+        clock: Clock,
+        design_options: DesignOptions | None = None,
+        workers: int = 0,
+        cache_dir: str | Path | None = None,
+    ) -> None:
+        self.apps = list(apps)
+        self.clock = clock
+        self.design_options = design_options or DesignOptions()
+        self.workers = int(workers)
+        self.stats = EngineStats()
+        self._store = PersistentCache(cache_dir) if cache_dir is not None else None
+        self._subproblems: dict[tuple[int, ...], Subproblem] = {}
+        if self.workers >= 2:
+            self._backend: PartitionedSerialBackend | PartitionedPoolBackend = (
+                PartitionedPoolBackend(
+                    self.apps, self.clock, self.design_options, self.workers
+                )
+            )
+        else:
+            self._backend = PartitionedSerialBackend(self.evaluator_for)
+
+    # ------------------------------------------------------------------
+    # Sub-problems
+    # ------------------------------------------------------------------
+    def subproblem(self, indices: tuple[int, ...]) -> Subproblem:
+        """The (lazily built, cached) sub-problem for one block."""
+        indices = tuple(int(i) for i in indices)
+        sub = self._subproblems.get(indices)
+        if sub is None:
+            evaluator = ScheduleEvaluator.for_subproblem(
+                self.apps, self.clock, self.design_options, indices
+            )
+            digest = problem_digest(
+                evaluator.apps, evaluator.clock, evaluator.design_options
+            )
+            sub = Subproblem(indices=indices, evaluator=evaluator, digest=digest)
+            self._subproblems[indices] = sub
+        return sub
+
+    def evaluator_for(self, indices: tuple[int, ...]) -> ScheduleEvaluator:
+        """The memoizing evaluator of one block."""
+        return self.subproblem(indices).evaluator
+
+    def digest_for(self, indices: tuple[int, ...]) -> str:
+        """Persistent-cache digest of one block's sub-problem."""
+        return self.subproblem(indices).digest
+
+    @property
+    def backend_name(self) -> str:
+        return self._backend.name
+
+    @property
+    def n_subproblems(self) -> int:
+        """Distinct blocks materialized so far."""
+        return len(self._subproblems)
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def evaluate(
+        self, indices: tuple[int, ...], schedule: PeriodicSchedule
+    ) -> ScheduleEvaluation:
+        """Evaluate one schedule on one block through all cache layers."""
+        return self.evaluate_pairs([(tuple(indices), schedule)])[0]
+
+    def evaluate_pairs(
+        self, pairs: list[BlockSchedule]
+    ) -> list[ScheduleEvaluation]:
+        """Evaluate many (block, schedule) candidates, preserving order.
+
+        Misses after the per-block memos and the shared disk cache are
+        computed as *one* batch on the backend — candidates from
+        different cores (and different partitions) fan out together.
+        Duplicates within the batch are computed once.
+        """
+        self.stats.n_requested += len(pairs)
+        pending: list[BlockSchedule] = []
+        pending_keys: set[tuple[tuple[int, ...], tuple[int, ...]]] = set()
+        for indices, schedule in pairs:
+            sub = self.subproblem(indices)
+            if sub.evaluator.is_cached(schedule):
+                self.stats.n_memo_hits += 1
+                continue
+            key = (sub.indices, schedule.counts)
+            if key in pending_keys:
+                # Already pending, so it already missed memo and disk.
+                self.stats.n_duplicates += 1
+                continue
+            if self._load_from_disk(sub, schedule):
+                self.stats.n_disk_hits += 1
+                continue
+            pending_keys.add(key)
+            pending.append((sub.indices, schedule))
+        if pending:
+            self._compute(pending)
+        return [
+            self.subproblem(indices).evaluator.evaluate(schedule)
+            for indices, schedule in pairs
+        ]
+
+    def _load_from_disk(
+        self, sub: Subproblem, schedule: PeriodicSchedule
+    ) -> bool:
+        """Try to satisfy one block's miss from the persistent store."""
+        if self._store is None:
+            return False
+        payload = self._store.get(evaluation_key(sub.digest, schedule))
+        if payload is None:
+            return False
+        sub.evaluator.adopt(evaluation_from_dict(payload))
+        return True
+
+    def _compute(self, pending: list[BlockSchedule]) -> None:
+        """Evaluate the de-duplicated misses on the backend."""
+        self.stats.batch_sizes.append(len(pending))
+        try:
+            evaluations = self._backend.map(pending)
+        except (BrokenProcessPool, OSError) as exc:
+            # Same contract as the single-problem engine: a dead pool
+            # finishes the batch serially and stays serial from here on.
+            warnings.warn(
+                f"parallel evaluation backend failed ({exc!r}); "
+                "falling back to serial evaluation",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            self._backend.close()
+            self._backend = PartitionedSerialBackend(self.evaluator_for)
+            self.stats.serial_fallback = True
+            evaluations = self._backend.map(pending)
+        self.stats.n_computed += len(evaluations)
+        entries = []
+        for (indices, _schedule), evaluation in zip(pending, evaluations):
+            sub = self.subproblem(indices)
+            sub.evaluator.adopt(evaluation)
+            entries.append(
+                (
+                    evaluation_key(sub.digest, evaluation.schedule),
+                    evaluation_to_dict(evaluation),
+                )
+            )
+        if self._store is not None:
+            self._store.put_many(entries)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut down workers and the store (idempotent)."""
+        self._backend.close()
+        if self._store is not None:
+            self._store.close()
+            self._store = None
+
+    def __enter__(self) -> "PartitionedSearchEngine":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

@@ -7,9 +7,11 @@ concurrent readers and O(1) lookups without inventing a file-per-entry
 layout; payloads are the JSON documents of
 :mod:`repro.sched.engine.serialize`.
 
-Only the engine's coordinating process writes to the store (workers
-return results by value), so no cross-process write locking is needed
-beyond SQLite's own.
+The store runs in WAL mode with a busy timeout, so several engine
+processes (e.g. two ``python -m repro batch`` runs pointed at the same
+``--cache-dir``) can read and write the same cache concurrently: WAL
+lets readers proceed during a write, and writers that do collide wait
+out the lock instead of dying with "database is locked".
 """
 
 from __future__ import annotations
@@ -23,6 +25,9 @@ from ...errors import ConfigurationError
 
 #: File name inside the cache directory.
 DB_FILENAME = "evaluations.sqlite"
+
+#: How long a writer waits on a locked database before giving up (s).
+BUSY_TIMEOUT_S = 10.0
 
 
 class PersistentCache:
@@ -38,7 +43,13 @@ class PersistentCache:
                 "existing file; pass a directory path"
             ) from exc
         self.path = self.cache_dir / DB_FILENAME
-        self._conn = sqlite3.connect(str(self.path))
+        self._conn: sqlite3.Connection | None = sqlite3.connect(
+            str(self.path), timeout=BUSY_TIMEOUT_S
+        )
+        # WAL survives in the database file, but setting it is idempotent
+        # and some filesystems silently refuse it — never assert the mode.
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute(f"PRAGMA busy_timeout={int(BUSY_TIMEOUT_S * 1000)}")
         self._conn.execute(
             "CREATE TABLE IF NOT EXISTS evaluations ("
             "  key TEXT PRIMARY KEY,"
@@ -48,9 +59,23 @@ class PersistentCache:
         )
         self._conn.commit()
 
+    def _connection(self) -> sqlite3.Connection:
+        """The live connection, or a clear error after :meth:`close`."""
+        if self._conn is None:
+            raise ConfigurationError(
+                f"persistent cache {str(self.path)!r} is closed; "
+                "create a new PersistentCache (or SearchEngine) to keep using it"
+            )
+        return self._conn
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called."""
+        return self._conn is None
+
     def get(self, key: str) -> dict | None:
         """The stored payload for ``key``, or ``None`` on a miss."""
-        row = self._conn.execute(
+        row = self._connection().execute(
             "SELECT payload FROM evaluations WHERE key = ?", (key,)
         ).fetchone()
         if row is None:
@@ -59,48 +84,53 @@ class PersistentCache:
 
     def put(self, key: str, payload: dict) -> None:
         """Store (or overwrite) the payload for ``key``."""
-        self._conn.execute(
+        conn = self._connection()
+        conn.execute(
             "INSERT OR REPLACE INTO evaluations (key, payload, created) "
             "VALUES (?, ?, ?)",
             (key, json.dumps(payload), time.time()),
         )
-        self._conn.commit()
+        conn.commit()
 
     def put_many(self, entries: list[tuple[str, dict]]) -> None:
         """Store a batch of (key, payload) pairs in one transaction."""
-        self._conn.executemany(
+        conn = self._connection()
+        conn.executemany(
             "INSERT OR REPLACE INTO evaluations (key, payload, created) "
             "VALUES (?, ?, ?)",
             [(key, json.dumps(payload), time.time()) for key, payload in entries],
         )
-        self._conn.commit()
+        conn.commit()
 
     def __contains__(self, key: str) -> bool:
-        row = self._conn.execute(
+        row = self._connection().execute(
             "SELECT 1 FROM evaluations WHERE key = ?", (key,)
         ).fetchone()
         return row is not None
 
     def __len__(self) -> int:
         return int(
-            self._conn.execute("SELECT COUNT(*) FROM evaluations").fetchone()[0]
+            self._connection().execute(
+                "SELECT COUNT(*) FROM evaluations"
+            ).fetchone()[0]
         )
 
     def keys(self) -> list[str]:
         """All stored keys (diagnostics / tests)."""
-        rows = self._conn.execute("SELECT key FROM evaluations").fetchall()
+        rows = self._connection().execute("SELECT key FROM evaluations").fetchall()
         return [row[0] for row in rows]
 
     def clear(self) -> None:
         """Drop every entry (keeps the file)."""
-        self._conn.execute("DELETE FROM evaluations")
-        self._conn.commit()
+        conn = self._connection()
+        conn.execute("DELETE FROM evaluations")
+        conn.commit()
 
     def close(self) -> None:
         """Close the underlying connection (idempotent)."""
         if self._conn is not None:
             self._conn.close()
-            self._conn = None  # type: ignore[assignment]
+            self._conn = None
 
     def __enter__(self) -> "PersistentCache":
         return self

@@ -77,6 +77,36 @@ class ScheduleEvaluator:
         self._schedule_cache: dict[tuple[int, ...], ScheduleEvaluation] = {}
         self._design_cache: dict[tuple, ControllerDesign] = {}
 
+    @classmethod
+    def for_subproblem(
+        cls,
+        apps: list[ControlApplication],
+        clock: Clock,
+        design_options: DesignOptions | None,
+        indices: tuple[int, ...],
+    ) -> "ScheduleEvaluator":
+        """Evaluator over the sub-problem ``[apps[i] for i in indices]``.
+
+        This is how the multicore layer spells "one core": a block of a
+        larger application set is an independent single-core evaluation
+        problem.  Weights are renormalized within the block so eq. (2)
+        stays a unit-weight sum; designs and settling times never depend
+        on weights, so only ``overall`` rescales (by the block's weight
+        mass).  Construction is deterministic in ``(apps, indices)``, so
+        the coordinating process and every worker process build
+        bit-identical sub-problem evaluators — and therefore identical
+        persistent-cache digests — for the same block, whatever
+        partition it came from.
+        """
+        if not indices:
+            raise ScheduleError("a sub-problem needs at least one application")
+        block = [apps[i] for i in indices]
+        total = sum(app.weight for app in block)
+        if total <= 0:
+            raise ScheduleError(f"block weights must be positive, got {total}")
+        normalized = [replace(app, weight=app.weight / total) for app in block]
+        return cls(normalized, clock, design_options)
+
     @property
     def n_schedule_evaluations(self) -> int:
         """Number of distinct schedules evaluated so far."""

@@ -40,6 +40,16 @@ def quick_design_options() -> DesignOptions:
     )
 
 
+@pytest.fixture(scope="session")
+def tiny_design_options() -> DesignOptions:
+    """The cheapest budget that still produces feasible designs."""
+    return DesignOptions(
+        restarts=1,
+        stage_a=PsoOptions(6, 6),
+        stage_b=PsoOptions(6, 6),
+    )
+
+
 @pytest.fixture()
 def rng() -> np.random.Generator:
     """Deterministic RNG for tests that need randomness."""

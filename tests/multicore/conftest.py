@@ -1,0 +1,11 @@
+"""Fixtures for the multicore tests (cheap budgets live in tests/conftest.py)."""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def three_apps(case_study):
+    """The full three-application case study (weights 0.4/0.4/0.2)."""
+    return list(case_study.apps)

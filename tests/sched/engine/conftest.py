@@ -1,4 +1,7 @@
-"""Fixtures for the engine tests: a tiny, fast co-design problem."""
+"""Fixtures for the engine tests: a tiny, fast co-design problem.
+
+(``tiny_design_options`` lives in the top-level ``tests/conftest.py``.)
+"""
 
 from __future__ import annotations
 
@@ -7,18 +10,7 @@ from dataclasses import replace
 import pytest
 
 from repro.control.design import DesignOptions
-from repro.control.pso import PsoOptions
 from repro.sched.evaluator import ScheduleEvaluator
-
-
-@pytest.fixture(scope="session")
-def tiny_design_options() -> DesignOptions:
-    """The cheapest budget that still produces feasible designs."""
-    return DesignOptions(
-        restarts=1,
-        stage_a=PsoOptions(6, 6),
-        stage_b=PsoOptions(6, 6),
-    )
 
 
 @pytest.fixture(scope="session")

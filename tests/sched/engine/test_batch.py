@@ -52,6 +52,29 @@ class TestSynthesis:
                 method="gradient-descent",
             )
 
+    def test_bad_core_count_rejected(self, tiny_design_options):
+        scenario = synthesize_scenarios(1, design_options=tiny_design_options)[0]
+        with pytest.raises(SearchError):
+            Scenario(
+                name="bad",
+                apps=scenario.apps,
+                clock=scenario.clock,
+                n_cores=0,
+            )
+
+    def test_multicore_synthesis_shares_apps_with_single_core(
+        self, tiny_design_options
+    ):
+        """n_cores only changes the co-design, never the workload."""
+        single = synthesize_scenarios(2, seed=5, design_options=tiny_design_options)
+        multi = synthesize_scenarios(
+            2, seed=5, design_options=tiny_design_options, n_cores=2
+        )
+        for a, b in zip(single, multi):
+            assert a.n_cores == 1 and b.n_cores == 2
+            assert problem_digest(a.apps, a.clock, tiny_design_options) == \
+                problem_digest(b.apps, b.clock, tiny_design_options)
+
 
 @pytest.mark.slow
 class TestRunBatch:
@@ -76,5 +99,22 @@ class TestRunBatch:
         warm = run_scenario(scenarios[0], EngineOptions(cache_dir=tmp_path))
         assert warm.engine_stats["n_computed"] == 0
         assert warm.engine_stats["n_disk_hits"] > 0
+        assert warm.best_schedule == cold.best_schedule
+        assert warm.best_overall == cold.best_overall
+
+    def test_multicore_scenario_dispatch(self, tiny_design_options, tmp_path):
+        scenario = synthesize_scenarios(
+            1, seed=11, design_options=tiny_design_options,
+            n_apps_choices=(2,), n_cores=2,
+        )[0]
+        cold = run_scenario(scenario, EngineOptions(cache_dir=tmp_path))
+        assert cold.method == "multicore[2]"
+        assert cold.result is None
+        assert cold.multicore is not None
+        assert cold.multicore.feasible
+        assert cold.n_apps == 2
+        assert len(cold.best_schedule) == cold.multicore.n_cores_used
+        warm = run_scenario(scenario, EngineOptions(cache_dir=tmp_path))
+        assert warm.engine_stats["n_computed"] == 0
         assert warm.best_schedule == cold.best_schedule
         assert warm.best_overall == cold.best_overall

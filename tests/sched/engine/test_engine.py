@@ -37,6 +37,7 @@ class TestLayering:
         with SearchEngine(make_evaluator()) as engine:
             results = engine.evaluate_batch([schedule, schedule, schedule])
             assert engine.stats.n_computed == 1
+            assert engine.stats.n_duplicates == 2
             assert results[0] is results[1] is results[2]
 
     def test_single_evaluate_equals_batch(self, make_evaluator):
@@ -44,6 +45,75 @@ class TestLayering:
             single = engine.evaluate(SCHEDULES[0])
             again = engine.evaluate_batch([SCHEDULES[0]])[0]
             assert single is again
+
+
+class TestStatsAccounting:
+    """Every request lands in exactly one stats bucket."""
+
+    @staticmethod
+    def assert_identity(stats):
+        assert stats.n_requested == (
+            stats.n_memo_hits
+            + stats.n_disk_hits
+            + stats.n_duplicates
+            + stats.n_computed
+        )
+        assert stats.accounted == stats.n_requested
+
+    def test_identity_with_duplicates_and_memo_hits(self, make_evaluator):
+        schedule = PeriodicSchedule.of(1, 2)
+        with SearchEngine(make_evaluator()) as engine:
+            # 3 copies cold: 1 computed + 2 intra-batch duplicates.
+            engine.evaluate_batch([schedule, schedule, schedule])
+            self.assert_identity(engine.stats)
+            # Repeat batch: all memo hits.
+            engine.evaluate_batch([schedule, schedule])
+            self.assert_identity(engine.stats)
+            assert engine.stats.n_requested == 5
+            assert engine.stats.n_memo_hits == 2
+            assert engine.stats.n_duplicates == 2
+            assert engine.stats.n_computed == 1
+
+    def test_identity_with_disk_hits(self, make_evaluator, tmp_path):
+        with SearchEngine(make_evaluator(), cache_dir=tmp_path) as engine:
+            engine.evaluate_batch(SCHEDULES + SCHEDULES)
+            self.assert_identity(engine.stats)
+        with SearchEngine(make_evaluator(), cache_dir=tmp_path) as warm:
+            warm.evaluate_batch(SCHEDULES + [SCHEDULES[0]])
+            self.assert_identity(warm.stats)
+            assert warm.stats.n_disk_hits == len(SCHEDULES)
+            assert warm.stats.n_memo_hits == 1
+
+    def test_as_dict_reports_duplicates_and_fallback(self, make_evaluator):
+        with SearchEngine(make_evaluator()) as engine:
+            engine.evaluate(SCHEDULES[0])
+            stats = engine.stats.as_dict()
+        assert stats["n_duplicates"] == 0
+        assert stats["serial_fallback"] is False
+
+    def test_broken_pool_falls_back_and_reports(self, make_evaluator):
+        """A dead pool finishes the batch serially and flags it."""
+        with SearchEngine(make_evaluator(), workers=2) as engine:
+            class _BrokenBackend:
+                name = "process-pool"
+
+                def map(self, _schedules):
+                    from concurrent.futures.process import BrokenProcessPool
+
+                    raise BrokenProcessPool("worker died")
+
+                def close(self):
+                    pass
+
+            engine._backend.close()
+            engine._backend = _BrokenBackend()
+            with pytest.warns(RuntimeWarning, match="falling back to serial"):
+                results = engine.evaluate_batch(SCHEDULES)
+            assert len(results) == len(SCHEDULES)
+            assert engine.backend_name == "serial"
+            assert engine.stats.serial_fallback
+            assert engine.stats.as_dict()["serial_fallback"] is True
+            self.assert_identity(engine.stats)
 
 
 class TestPersistentLayer:

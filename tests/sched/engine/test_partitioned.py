@@ -1,0 +1,132 @@
+"""PartitionedSearchEngine: layering, batching, digests, fallback."""
+
+import pytest
+
+from repro.sched import PeriodicSchedule
+from repro.sched.engine import PartitionedSearchEngine, subproblem_digest
+from repro.sched.evaluator import ScheduleEvaluator
+
+from .test_serialize import assert_evaluations_identical
+
+BLOCK_A = (0,)
+BLOCK_B = (1,)
+BLOCK_AB = (0, 1)
+
+PAIRS = [
+    (BLOCK_A, PeriodicSchedule.of(1)),
+    (BLOCK_B, PeriodicSchedule.of(2)),
+    (BLOCK_AB, PeriodicSchedule.of(1, 1)),
+]
+
+
+@pytest.fixture()
+def make_engine(two_apps, case_study, tiny_design_options):
+    def build(**kwargs) -> PartitionedSearchEngine:
+        return PartitionedSearchEngine(
+            two_apps, case_study.clock, tiny_design_options, **kwargs
+        )
+
+    return build
+
+
+class TestLayering:
+    def test_matches_plain_subproblem_evaluators(
+        self, make_engine, two_apps, case_study, tiny_design_options
+    ):
+        with make_engine() as engine:
+            engined = engine.evaluate_pairs(PAIRS)
+        for (block, schedule), via_engine in zip(PAIRS, engined):
+            plain = ScheduleEvaluator.for_subproblem(
+                two_apps, case_study.clock, tiny_design_options, block
+            ).evaluate(schedule)
+            assert_evaluations_identical(plain, via_engine)
+
+    def test_memo_hits_per_block(self, make_engine):
+        with make_engine() as engine:
+            engine.evaluate_pairs(PAIRS)
+            engine.evaluate_pairs(PAIRS)
+            assert engine.stats.n_computed == len(PAIRS)
+            assert engine.stats.n_memo_hits == len(PAIRS)
+            assert engine.n_subproblems == 3
+
+    def test_same_counts_different_blocks_are_distinct(self, make_engine):
+        """(1,) on block (0,) and (1,) on block (1,) are different
+        evaluations — the block is part of the identity."""
+        schedule = PeriodicSchedule.of(1)
+        with make_engine() as engine:
+            results = engine.evaluate_pairs(
+                [(BLOCK_A, schedule), (BLOCK_B, schedule)]
+            )
+            assert engine.stats.n_computed == 2
+            assert engine.stats.n_duplicates == 0
+        assert results[0].apps[0].app_name != results[1].apps[0].app_name
+
+    def test_duplicates_within_batch_computed_once(self, make_engine):
+        pair = (BLOCK_A, PeriodicSchedule.of(2))
+        with make_engine() as engine:
+            results = engine.evaluate_pairs([pair, pair, pair])
+            assert engine.stats.n_computed == 1
+            assert engine.stats.n_duplicates == 2
+            assert results[0] is results[1] is results[2]
+            assert engine.stats.accounted == engine.stats.n_requested
+
+    def test_evaluate_single(self, make_engine):
+        with make_engine() as engine:
+            single = engine.evaluate(BLOCK_A, PeriodicSchedule.of(1))
+            again = engine.evaluate_pairs([(BLOCK_A, PeriodicSchedule.of(1))])[0]
+            assert single is again
+
+
+class TestPersistentLayer:
+    def test_cold_then_warm(self, make_engine, tmp_path):
+        with make_engine(cache_dir=tmp_path) as engine:
+            cold = engine.evaluate_pairs(PAIRS)
+            assert engine.stats.n_computed == len(PAIRS)
+        with make_engine(cache_dir=tmp_path) as warm_engine:
+            warm = warm_engine.evaluate_pairs(PAIRS)
+            assert warm_engine.stats.n_computed == 0
+            assert warm_engine.stats.n_disk_hits == len(PAIRS)
+        for left, right in zip(cold, warm):
+            assert_evaluations_identical(left, right)
+
+    def test_digest_matches_subproblem_helper(
+        self, make_engine, two_apps, case_study, tiny_design_options
+    ):
+        with make_engine() as engine:
+            for block in (BLOCK_A, BLOCK_B, BLOCK_AB):
+                assert engine.digest_for(block) == subproblem_digest(
+                    two_apps, case_study.clock, tiny_design_options, block
+                )
+
+
+class TestParallelBackend:
+    def test_parallel_matches_serial(self, make_engine):
+        with make_engine() as engine:
+            serial = engine.evaluate_pairs(PAIRS)
+        with make_engine(workers=2) as parallel_engine:
+            assert parallel_engine.backend_name == "process-pool"
+            parallel = parallel_engine.evaluate_pairs(PAIRS)
+        for left, right in zip(serial, parallel):
+            assert_evaluations_identical(left, right)
+
+    def test_broken_pool_falls_back_to_serial(self, make_engine):
+        with make_engine(workers=2) as engine:
+            class _BrokenBackend:
+                name = "process-pool"
+
+                def map(self, _tasks):
+                    from concurrent.futures.process import BrokenProcessPool
+
+                    raise BrokenProcessPool("worker died")
+
+                def close(self):
+                    pass
+
+            engine._backend.close()
+            engine._backend = _BrokenBackend()
+            with pytest.warns(RuntimeWarning, match="falling back to serial"):
+                results = engine.evaluate_pairs(PAIRS)
+            assert len(results) == len(PAIRS)
+            assert engine.backend_name == "serial"
+            assert engine.stats.serial_fallback
+            assert engine.stats.accounted == engine.stats.n_requested

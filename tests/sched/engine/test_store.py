@@ -1,5 +1,8 @@
 """Persistent store semantics: hits, misses, batches, reopen."""
 
+import pytest
+
+from repro.errors import ConfigurationError
 from repro.sched.engine.store import PersistentCache
 
 
@@ -52,3 +55,58 @@ class TestPersistentCache:
         cache = PersistentCache(tmp_path)
         cache.close()
         cache.close()
+
+
+class TestConcurrency:
+    def test_wal_mode_enabled(self, tmp_path):
+        with PersistentCache(tmp_path) as cache:
+            mode = cache._connection().execute(
+                "PRAGMA journal_mode"
+            ).fetchone()[0]
+            # Some filesystems (network mounts) refuse WAL; everywhere
+            # normal it must be on.
+            assert mode in ("wal", "memory", "delete")
+            timeout = cache._connection().execute(
+                "PRAGMA busy_timeout"
+            ).fetchone()[0]
+            assert timeout >= 1000
+
+    def test_two_open_stores_share_one_directory(self, tmp_path):
+        """Two live connections (two engine processes in real life) can
+        interleave reads and writes without 'database is locked'."""
+        with PersistentCache(tmp_path) as first, PersistentCache(tmp_path) as second:
+            first.put("a", {"v": 1})
+            second.put("b", {"v": 2})
+            first.put_many([(f"c{i}", {"i": i}) for i in range(10)])
+            assert second.get("a") == {"v": 1}
+            assert first.get("b") == {"v": 2}
+            assert len(second) == 12
+
+
+class TestClosedStore:
+    def test_get_after_close_raises_configuration_error(self, tmp_path):
+        cache = PersistentCache(tmp_path)
+        cache.close()
+        assert cache.closed
+        with pytest.raises(ConfigurationError, match="closed"):
+            cache.get("k")
+
+    def test_put_after_close_raises_configuration_error(self, tmp_path):
+        cache = PersistentCache(tmp_path)
+        cache.close()
+        with pytest.raises(ConfigurationError, match="closed"):
+            cache.put("k", {"v": 1})
+        with pytest.raises(ConfigurationError, match="closed"):
+            cache.put_many([("k", {"v": 1})])
+
+    def test_introspection_after_close_raises(self, tmp_path):
+        cache = PersistentCache(tmp_path)
+        cache.close()
+        with pytest.raises(ConfigurationError):
+            "k" in cache
+        with pytest.raises(ConfigurationError):
+            len(cache)
+        with pytest.raises(ConfigurationError):
+            cache.keys()
+        with pytest.raises(ConfigurationError):
+            cache.clear()

@@ -78,3 +78,40 @@ class TestConstruction:
     def test_needs_apps(self, case_study):
         with pytest.raises(ScheduleError):
             ScheduleEvaluator([], case_study.clock)
+
+
+class TestForSubproblem:
+    """Block evaluators for the multicore layer (per-core sub-problems)."""
+
+    def test_selects_block_and_renormalizes_weights(self, case_study):
+        sub = ScheduleEvaluator.for_subproblem(
+            case_study.apps, case_study.clock, None, (1, 2)
+        )
+        assert [app.name for app in sub.apps] == ["C2", "C3"]
+        # Global weights 0.4 / 0.2 renormalize to 2/3 / 1/3.
+        assert sub.apps[0].weight == pytest.approx(2 / 3)
+        assert sub.apps[1].weight == pytest.approx(1 / 3)
+        assert abs(sum(app.weight for app in sub.apps) - 1.0) <= 1e-9
+
+    def test_full_block_is_identity(self, case_study):
+        """Weights already summing to one must stay bit-identical, so
+        the sub-problem digest matches a plain single-core problem."""
+        sub = ScheduleEvaluator.for_subproblem(
+            case_study.apps, case_study.clock, None, (0, 1, 2)
+        )
+        assert [app.weight for app in sub.apps] == [
+            app.weight for app in case_study.apps
+        ]
+
+    def test_single_app_block(self, case_study):
+        sub = ScheduleEvaluator.for_subproblem(
+            case_study.apps, case_study.clock, None, (2,)
+        )
+        assert len(sub.apps) == 1
+        assert sub.apps[0].weight == 1.0
+
+    def test_empty_block_rejected(self, case_study):
+        with pytest.raises(ScheduleError):
+            ScheduleEvaluator.for_subproblem(
+                case_study.apps, case_study.clock, None, ()
+            )

@@ -93,6 +93,30 @@ class TestAnnealing:
             runs.append((result.best_schedule.counts, result.n_evaluations))
         assert runs[0] == runs[1]
 
+    def test_metropolis_rejection_keeps_best_so_far(self):
+        """Regression: a feasible candidate turned down by the Metropolis
+        test must still update the best-so-far.  The start is
+        idle-feasible but settling-infeasible with a *finite* value, so
+        the walk can reject the only feasible schedule forever; the old
+        code then returned "annealing never visited a feasible schedule"
+        despite having evaluated the feasible optimum."""
+        values = {(1, 1): 1.0, (2, 1): 0.3, (1, 2): 0.0, (2, 2): 0.0}
+        evaluator = FakeEvaluator(
+            lambda counts: values[counts],
+            feasible=lambda counts: counts == (2, 1),
+        )
+        # Tiny temperature: exp(delta / T) underflows to zero for the
+        # downhill move onto (2, 1), so it is rejected at every step
+        # regardless of the seed.
+        result = annealing_search(
+            evaluator,
+            PeriodicSchedule.of(1, 1),
+            self.feasible_fn(2),
+            AnnealingOptions(initial_temperature=1e-3, seed=0),
+        )
+        assert result.best_schedule.counts == (2, 1)
+        assert result.best.overall == 0.3
+
     def test_infeasible_start_rejected(self):
         evaluator = FakeEvaluator(concave_peak((1, 1, 1)))
         with pytest.raises(SearchError):

@@ -36,3 +36,18 @@ class TestCli:
     def test_invalid_schedule_exits(self):
         with pytest.raises(SystemExit):
             main(["evaluate", "--schedule", "banana"])
+
+    @pytest.mark.slow
+    def test_multicore_warm_rerun_disk_served(self, capsys, tmp_path):
+        args = [
+            "multicore", "--cores", "2", "--max-count-per-core", "2",
+            "--cache-dir", str(tmp_path),
+        ]
+        assert main(args) == 0
+        cold = capsys.readouterr().out
+        assert "P_all" in cold and "cores used: " in cold
+        assert main(args) == 0
+        warm = capsys.readouterr().out
+        assert "= 0 computed" in warm
+        # Identical result on the warm, fully disk-served rerun.
+        assert cold.split("engine:")[0] == warm.split("engine:")[0]
