@@ -11,8 +11,10 @@ The library implements the paper's complete stack from scratch:
   (:mod:`repro.control`);
 * the schedule model, timing derivation, feasibility constraints and
   the hybrid schedule-space search (:mod:`repro.sched`);
-* the automotive case study (:mod:`repro.apps`) and the two-stage
-  co-design facade (:mod:`repro.core`);
+* the automotive case study (:mod:`repro.apps`), the two-stage
+  co-design facade (:mod:`repro.core`), the pluggable search-strategy
+  registry (:mod:`repro.sched.strategies`) and the unified study API
+  with persisted run reports (:mod:`repro.study`);
 * the paper's named extensions: multi-core partitioning
   (:mod:`repro.multicore`) and interleaved schedules
   (:mod:`repro.sched.interleaved`).
@@ -50,11 +52,16 @@ from .sched import (
     PeriodicSchedule,
     ScheduleEvaluator,
     SearchEngine,
+    StrategySpec,
+    available_strategies,
     derive_timing,
     enumerate_idle_feasible,
     exhaustive_search,
+    get_strategy,
     hybrid_search,
+    register_strategy,
 )
+from .study import RunReport, Study
 from .units import Clock
 from .wcet import analyze_task_wcets
 
@@ -76,16 +83,22 @@ __all__ = [
     "Program",
     "ProgramBuilder",
     "ReproError",
+    "RunReport",
     "ScheduleEvaluator",
     "SearchEngine",
+    "StrategySpec",
+    "Study",
     "TrackingSpec",
     "analyze_task_wcets",
+    "available_strategies",
     "build_case_study",
     "derive_timing",
     "design_controller",
     "enumerate_idle_feasible",
     "exhaustive_search",
+    "get_strategy",
     "hybrid_search",
     "make_control_program",
+    "register_strategy",
     "__version__",
 ]

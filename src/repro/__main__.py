@@ -6,21 +6,28 @@ Commands
     Case-study summary: Table I WCETs, Table II parameters, space size.
 ``evaluate --schedule 3,2,3``
     Evaluate one periodic schedule (timing, per-app settling, P_all).
-``search [--method hybrid|exhaustive|annealing] [--starts 4,2,2 1,2,1]``
-    Run a schedule-space search and print the result.
+``strategies``
+    List the registered search strategies (the strategy registry).
+``search [--strategy hybrid] [--starts 4,2,2 1,2,1]``
+    Run a schedule-space search on the case study and print the result.
 ``timeline --schedule 2,2,2``
     Render the schedule's timing diagram (paper Figs. 2/4).
-``batch [--suite-size 4] [--method hybrid] [--cores K]``
+``batch [--suite-size 4] [--strategy hybrid] [--cores K]``
     Sweep a suite of synthesized scenarios through the search engine
     (``--cores >= 2`` makes every scenario a multicore co-design).
-``multicore [--cores 2]``
+``multicore [--cores 2] [--strategy exhaustive]``
     Partition the case study across private-cache cores and jointly
     optimize the partition and the per-core schedules.
 
-``search``, ``batch`` and ``multicore`` accept ``--workers N``
-(evaluate candidate schedules on ``N`` worker processes) and
-``--cache-dir DIR`` (persist every evaluation to a disk cache so reruns
-warm-start).
+``search``, ``batch`` and ``multicore`` all run through the unified
+:class:`repro.study.Study` facade and share one flag set:
+``--strategy`` picks any registered search strategy (``--method`` is
+its deprecated alias), ``--json`` prints the structured
+:class:`~repro.study.RunReport` artifact(s) to stdout instead of
+tables, ``--run-dir DIR`` persists every report as JSON (matching
+reruns resume from disk), ``--workers N`` evaluates candidates on
+worker processes and ``--cache-dir DIR`` persists every evaluation so
+reruns warm-start.
 
 The controller-design budget follows ``REPRO_PROFILE``.
 """
@@ -28,12 +35,20 @@ The controller-design budget follows ``REPRO_PROFILE``.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import warnings
 
 from .apps import build_case_study
 from .core.report import format_seconds_ms, render_table
+from .errors import ReproError
 from .experiments.profiles import current_profile, design_options_for_profile
 from .sched import PeriodicSchedule, enumerate_idle_feasible
+from .sched.strategies import (
+    available_strategies,
+    get_strategy,
+    strategy_description,
+)
 from .units import Clock
 from .viz import render_schedule_timeline
 
@@ -100,65 +115,131 @@ def cmd_evaluate(args: argparse.Namespace) -> None:
     print(f"\nP_all = {evaluation.overall:.4f}  feasible: {evaluation.feasible}")
 
 
-def cmd_search(args: argparse.Namespace) -> None:
-    case = build_case_study()
-    from .core.codesign import CodesignProblem
-
-    with CodesignProblem(
-        case.apps,
-        case.clock,
-        design_options_for_profile(),
-        workers=args.workers,
-        cache_dir=args.cache_dir,
-    ) as problem:
-        starts = [_parse_schedule(s) for s in args.starts] if args.starts else None
-        result = problem.optimize(method=args.method, starts=starts)
-        print(f"method: {result.method}  backend: {problem.engine.backend_name}")
-        for trace in result.search.traces:
-            path = " -> ".join(str(s) for s, _v in trace.path)
-            print(f"  from {trace.start}: {trace.n_evaluations} evaluations; {path}")
-        print(f"best: {result.best_schedule}  P_all = {result.best_overall:.4f}")
-        stats = problem.engine.stats.as_dict()
-        print(
-            f"engine: {stats['n_computed']} computed, "
-            f"{stats['n_memo_hits']} memo hits, {stats['n_disk_hits']} disk hits"
+def cmd_strategies(_args: argparse.Namespace) -> None:
+    rows = []
+    for name in available_strategies():
+        strategy = get_strategy(name)
+        rows.append(
+            [name, strategy.options_type.__name__, strategy_description(strategy)]
         )
+    print(
+        render_table(
+            ["strategy", "options", "description"],
+            rows,
+            title="registered search strategies",
+        )
+    )
+    print(
+        "\nregister your own with @repro.sched.strategies.register_strategy"
+    )
 
 
-def _format_best_schedule(outcome) -> str:
+def _resolve_strategy(args: argparse.Namespace) -> str | None:
+    """``--strategy``, honoring the deprecated ``--method`` alias."""
+    if getattr(args, "method", None):
+        warnings.warn(
+            "--method is deprecated; use --strategy",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if args.strategy is None:
+            return args.method
+    return args.strategy
+
+
+def _engine_options(args: argparse.Namespace):
+    from .sched.engine import EngineOptions
+
+    return EngineOptions(workers=args.workers, cache_dir=args.cache_dir)
+
+
+def _format_schedule_counts(counts: list[int]) -> str:
+    return "(" + ", ".join(str(m) for m in counts) + ")"
+
+
+def _format_report_schedule(report) -> str:
     """One cell for the best schedule — per-core list for multicore."""
-    if outcome.multicore is not None:
-        return " + ".join(str(core.schedule) for core in outcome.multicore.cores)
-    return str(outcome.best_schedule)
+    if report.cores is not None:
+        return " + ".join(
+            _format_schedule_counts(core["schedule"]) for core in report.cores
+        )
+    return _format_schedule_counts(report.best_schedule)
+
+
+def cmd_search(args: argparse.Namespace) -> None:
+    from .study import Study
+
+    starts = [_parse_schedule(s) for s in args.starts] if args.starts else None
+    study = Study.from_case_study(
+        design_options_for_profile(),
+        strategy=_resolve_strategy(args),
+        starts=starts,
+        engine_options=_engine_options(args),
+        run_dir=args.run_dir,
+    )
+    report = study.run()[0]
+    if args.json:
+        print(report.to_json())
+        return
+    print(f"strategy: {report.strategy}  backend: {report.backend}")
+    rows = [
+        [
+            app["name"],
+            format_seconds_ms(app["settling"], 2),
+            f"{app['performance']:.3f}",
+        ]
+        for app in report.apps
+    ]
+    print(
+        render_table(
+            ["App", "settling", "P_i"],
+            rows,
+            title=f"best schedule {_format_report_schedule(report)}",
+        )
+    )
+    print(
+        f"best: {_format_report_schedule(report)}  P_all = {report.overall:.4f}"
+    )
+    stats = report.engine_stats
+    print(
+        f"engine: {stats['n_computed']} computed, "
+        f"{stats['n_memo_hits']} memo hits, {stats['n_disk_hits']} disk hits"
+    )
 
 
 def cmd_batch(args: argparse.Namespace) -> None:
-    from .sched.engine import EngineOptions
-    from .sched.engine.batch import run_batch, synthesize_scenarios
+    from .study import Study
 
-    scenarios = synthesize_scenarios(
+    study = Study.from_suite(
         args.suite_size,
         seed=args.seed,
-        method=args.method,
+        strategy=_resolve_strategy(args),
         design_options=design_options_for_profile(),
         n_cores=args.cores,
+        engine_options=_engine_options(args),
+        run_dir=args.run_dir,
     )
-    outcomes = run_batch(
-        scenarios, EngineOptions(workers=args.workers, cache_dir=args.cache_dir)
-    )
+    reports = study.run()
+    if args.json:
+        print(
+            json.dumps(
+                [report.to_dict() for report in reports], indent=2, sort_keys=True
+            )
+        )
+        return
     rows = []
-    for outcome in outcomes:
-        stats = outcome.engine_stats
+    for report in reports:
+        stats = report.engine_stats
         rows.append(
             [
-                outcome.name,
-                str(outcome.n_apps),
-                str(outcome.n_space),
-                _format_best_schedule(outcome),
-                f"{outcome.best_overall:.4f}",
+                report.scenario,
+                str(report.n_apps),
+                str(report.n_space),
+                _format_report_schedule(report),
+                f"{report.overall:.4f}",
                 str(stats["n_computed"]),
                 str(stats["n_disk_hits"]),
-                f"{outcome.wall_time:.2f} s",
+                f"{report.wall_time:.2f} s",
             ]
         )
     print(
@@ -166,52 +247,65 @@ def cmd_batch(args: argparse.Namespace) -> None:
             ["scenario", "apps", "space", "best schedule", "P_all",
              "computed", "disk hits", "wall time"],
             rows,
-            title=f"batch {outcomes[0].method} search "
-                  f"({outcomes[0].backend} backend, {args.workers} workers)",
+            title=f"batch {reports[0].strategy} search "
+                  f"({reports[0].backend} backend, {args.workers} workers)",
         )
     )
-    total_wall = sum(o.wall_time for o in outcomes)
-    print(f"\ntotal search time: {total_wall:.2f} s over {len(outcomes)} scenarios")
+    total_wall = sum(r.wall_time for r in reports)
+    print(f"\ntotal search time: {total_wall:.2f} s over {len(reports)} scenarios")
 
 
 def cmd_multicore(args: argparse.Namespace) -> None:
-    from .multicore import MulticoreProblem
+    from .study import Study
 
-    case = build_case_study()
-    with MulticoreProblem(
-        case.apps,
-        case.clock,
+    study = Study.from_case_study(
+        design_options_for_profile(),
+        strategy=_resolve_strategy(args),
         n_cores=args.cores,
-        design_options=design_options_for_profile(),
         max_count_per_core=args.max_count_per_core,
-        workers=args.workers,
-        cache_dir=args.cache_dir,
-    ) as problem:
-        result = problem.optimize()
-        rows = []
-        for core_index, core in enumerate(result.cores):
-            names = ", ".join(case.apps[i].name for i in core.app_indices)
-            rows.append(
-                [
-                    str(core_index),
-                    names,
-                    str(core.schedule),
-                    ", ".join(
-                        f"{result.settling[i] * 1e3:.2f} ms"
-                        for i in core.app_indices
-                    ),
-                ]
-            )
-        print(
-            render_table(
-                ["core", "apps", "schedule", "settling"],
-                rows,
-                title=f"multicore co-design ({args.cores} cores, "
-                      f"{problem.engine.backend_name} backend)",
-            )
+        engine_options=_engine_options(args),
+        run_dir=args.run_dir,
+    )
+    report = study.run()[0]
+    if args.json:
+        print(report.to_json())
+        return
+    settling = {app["name"]: app["settling"] for app in report.apps}
+    # --cores 1 degenerates to the single-core search, whose report has
+    # a best schedule instead of a partition: render it as one core.
+    cores = report.cores or [
+        {
+            "apps": [app["name"] for app in report.apps],
+            "schedule": report.best_schedule,
+        }
+    ]
+    rows = []
+    for core_index, core in enumerate(cores):
+        rows.append(
+            [
+                str(core_index),
+                ", ".join(core["apps"]),
+                _format_schedule_counts(core["schedule"]),
+                ", ".join(
+                    f"{settling[name] * 1e3:.2f} ms" for name in core["apps"]
+                ),
+            ]
         )
-        print(f"\nP_all = {result.overall:.4f}  cores used: {result.n_cores_used}")
-        print(f"engine: {problem.engine.stats.summary()}")
+    print(
+        render_table(
+            ["core", "apps", "schedule", "settling"],
+            rows,
+            title=f"multicore co-design ({args.cores} cores, "
+                  f"{report.backend} backend)",
+        )
+    )
+    print(f"\nP_all = {report.overall:.4f}  cores used: {len(cores)}")
+    stats = report.engine_stats
+    print(
+        f"engine: {stats['n_requested']} requested = "
+        f"{stats['n_computed']} computed + {stats['n_memo_hits']} memo + "
+        f"{stats['n_disk_hits']} disk + {stats['n_duplicates']} duplicate"
+    )
 
 
 def cmd_timeline(args: argparse.Namespace) -> None:
@@ -235,12 +329,11 @@ def main(argv: list[str] | None = None) -> int:
     evaluate = sub.add_parser("evaluate", help="evaluate one schedule")
     evaluate.add_argument("--schedule", required=True, help="e.g. 3,2,3")
 
+    sub.add_parser("strategies", help="list registered search strategies")
+
     search = sub.add_parser("search", help="schedule-space search")
-    search.add_argument(
-        "--method", default="hybrid", choices=["hybrid", "exhaustive", "annealing"]
-    )
     search.add_argument("--starts", nargs="*", help="e.g. --starts 4,2,2 1,2,1")
-    _add_engine_arguments(search)
+    _add_search_arguments(search)
 
     timeline = sub.add_parser("timeline", help="render a schedule timeline")
     timeline.add_argument("--schedule", required=True, help="e.g. 2,2,2")
@@ -253,15 +346,12 @@ def main(argv: list[str] | None = None) -> int:
     )
     batch.add_argument("--seed", type=int, default=2018, help="synthesis seed")
     batch.add_argument(
-        "--method", default="hybrid", choices=["hybrid", "exhaustive", "annealing"]
-    )
-    batch.add_argument(
         "--cores",
         type=int,
         default=1,
         help="co-design every scenario over this many cores (1 = single-core)",
     )
-    _add_engine_arguments(batch)
+    _add_search_arguments(batch)
 
     multicore = sub.add_parser(
         "multicore",
@@ -276,22 +366,50 @@ def main(argv: list[str] | None = None) -> int:
         default=6,
         help="burst-length cap per core (bounds lone-app schedule spaces)",
     )
-    _add_engine_arguments(multicore)
+    _add_search_arguments(multicore)
 
     args = parser.parse_args(argv)
-    {
+    command = {
         "info": cmd_info,
         "evaluate": cmd_evaluate,
+        "strategies": cmd_strategies,
         "search": cmd_search,
         "timeline": cmd_timeline,
         "batch": cmd_batch,
         "multicore": cmd_multicore,
-    }[args.command](args)
+    }[args.command]
+    try:
+        command(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     return 0
 
 
-def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
-    """``--workers`` / ``--cache-dir`` shared by search and batch."""
+def _add_search_arguments(parser: argparse.ArgumentParser) -> None:
+    """The flag set shared by ``search``, ``batch`` and ``multicore``."""
+    parser.add_argument(
+        "--strategy",
+        default=None,
+        help="registered search strategy (see `python -m repro strategies`); "
+        "default: hybrid (exhaustive per core for multicore)",
+    )
+    parser.add_argument(
+        "--method",
+        default=None,
+        help=argparse.SUPPRESS,  # deprecated alias of --strategy
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print the structured RunReport JSON to stdout instead of tables",
+    )
+    parser.add_argument(
+        "--run-dir",
+        default=None,
+        help="persist per-scenario RunReport JSON artifacts here "
+        "(matching reruns resume from disk)",
+    )
     parser.add_argument(
         "--workers",
         type=int,

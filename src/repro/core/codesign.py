@@ -2,29 +2,27 @@
 
 :class:`CodesignProblem` bundles an application set with a clock and
 design options, exposes schedule evaluation (stage 1: holistic
-controller design per schedule) and schedule optimization (stage 2:
-hybrid / exhaustive / annealing search), and provides the Table-III
-style comparison between two schedules.
+controller design per schedule) and schedule optimization (stage 2: any
+registered search strategy — see :mod:`repro.sched.strategies`), and
+provides the Table-III style comparison between two schedules.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
-import numpy as np
+import warnings
+from dataclasses import dataclass
 
 from pathlib import Path
 
 from ..control.design import DesignOptions
-from ..errors import SearchError
-from ..sched.annealing import AnnealingOptions, annealing_search
+from ..sched.annealing import AnnealingOptions
 from ..sched.engine import SearchEngine
 from ..sched.evaluator import ScheduleEvaluation, ScheduleEvaluator
-from ..sched.exhaustive import exhaustive_search
 from ..sched.feasibility import enumerate_idle_feasible, idle_feasible
-from ..sched.hybrid import HybridOptions, hybrid_search
+from ..sched.hybrid import HybridOptions
 from ..sched.results import SearchResult
 from ..sched.schedule import PeriodicSchedule
+from ..sched.strategies import StrategySpec, get_strategy
 from ..units import Clock
 from .application import ControlApplication
 
@@ -33,8 +31,13 @@ from .application import ControlApplication
 class CodesignResult:
     """Outcome of a schedule optimization."""
 
-    method: str
+    strategy: str
     search: SearchResult
+
+    @property
+    def method(self) -> str:
+        """Deprecated alias of :attr:`strategy`."""
+        return self.strategy
 
     @property
     def best_schedule(self) -> PeriodicSchedule:
@@ -121,45 +124,55 @@ class CodesignProblem:
     # ------------------------------------------------------------------
     def optimize(
         self,
-        method: str = "hybrid",
+        strategy: str | None = None,
         starts: list[PeriodicSchedule] | None = None,
         n_starts: int = 2,
         seed: int = 2018,
+        options: object | None = None,
         hybrid_options: HybridOptions | None = None,
         annealing_options: AnnealingOptions | None = None,
+        method: str | None = None,
     ) -> CodesignResult:
-        """Find an optimal schedule.
+        """Find an optimal schedule with a registered search strategy.
 
-        ``method`` is ``"hybrid"`` (the paper's algorithm, default),
-        ``"exhaustive"`` or ``"annealing"``.  For the hybrid method,
-        ``starts`` overrides the ``n_starts`` random initializations.
+        ``strategy`` names any strategy in the registry
+        (:func:`repro.sched.strategies.available_strategies`); the
+        default is ``"hybrid"``, the paper's algorithm.  ``starts``
+        overrides the ``n_starts`` seeded random initializations, and
+        ``options`` carries the strategy-specific options dataclass.
+        Unknown strategy names raise
+        :class:`~repro.errors.ConfigurationError` naming the registered
+        strategies.
+
+        ``method=`` is the deprecated spelling of ``strategy=``;
+        ``hybrid_options=`` / ``annealing_options=`` are older aliases
+        of ``options=`` and are consulted only when their type matches
+        the chosen strategy.
         """
-        if method == "exhaustive":
-            search = exhaustive_search(
-                self.engine, schedules=self.schedule_space()
+        if method is not None:
+            warnings.warn(
+                "CodesignProblem.optimize(method=...) is deprecated; "
+                "use strategy=...",
+                DeprecationWarning,
+                stacklevel=2,
             )
-        elif method == "hybrid":
-            if starts is None:
-                rng = np.random.default_rng(seed)
-                space = self.schedule_space()
-                if not space:
-                    raise SearchError("the idle-feasible schedule space is empty")
-                indices = rng.choice(len(space), size=min(n_starts, len(space)), replace=False)
-                starts = [space[int(i)] for i in indices]
-            search = hybrid_search(
-                self.engine, starts, self.idle_feasible, hybrid_options
-            )
-        elif method == "annealing":
-            if starts is None:
-                rng = np.random.default_rng(seed)
-                space = self.schedule_space()
-                starts = [space[int(rng.integers(0, len(space)))]]
-            search = annealing_search(
-                self.engine, starts[0], self.idle_feasible, annealing_options
-            )
-        else:
-            raise SearchError(f"unknown optimization method {method!r}")
-        return CodesignResult(method=method, search=search)
+            if strategy is None:
+                strategy = method
+        strat = get_strategy(strategy if strategy is not None else "hybrid")
+        if options is None:
+            for legacy in (hybrid_options, annealing_options):
+                if legacy is not None and isinstance(legacy, strat.options_type):
+                    options = legacy
+                    break
+        spec = StrategySpec(
+            starts=tuple(starts) if starts else None,
+            n_starts=n_starts,
+            seed=seed,
+            options=options,
+            feasible=self.idle_feasible,
+        )
+        search = strat.run(self.engine, self.schedule_space(), spec)
+        return CodesignResult(strategy=strat.name, search=search)
 
     # ------------------------------------------------------------------
     # Reporting

@@ -18,11 +18,9 @@ from ..apps.casestudy import CaseStudy, PAPER_BEST_OVERALL, build_case_study
 from ..control.design import DesignOptions
 from ..core.report import render_table
 from ..sched.engine import SearchEngine
-from ..sched.evaluator import ScheduleEvaluator
-from ..sched.exhaustive import exhaustive_search
-from ..sched.feasibility import enumerate_idle_feasible, idle_feasible
-from ..sched.hybrid import HybridOptions, hybrid_search
+from ..sched.feasibility import enumerate_idle_feasible
 from ..sched.schedule import PeriodicSchedule
+from ..sched.strategies import StrategySpec, get_strategy
 from .profiles import design_options_for_profile
 
 #: The paper's two random hybrid-search starts.
@@ -124,9 +122,11 @@ def run(
 
     with fresh_engine() as evaluator:
         space = enumerate_idle_feasible(case.apps, case.clock)
-        exhaustive = exhaustive_search(evaluator, schedules=space)
+        exhaustive = get_strategy("exhaustive").run(
+            evaluator, space, StrategySpec()
+        )
 
-        feasible_fn = lambda s: idle_feasible(s, case.apps, case.clock)
+        hybrid = get_strategy("hybrid")
         hybrid_counts: dict[tuple[int, ...], int] = {}
         hybrid_optima: dict[tuple[int, ...], PeriodicSchedule] = {}
         for start in starts:
@@ -135,7 +135,7 @@ def run(
             # engine is closed as soon as its search ends so worker pools
             # don't pile up across starts.
             with fresh_engine() as fresh:
-                result = hybrid_search(fresh, [start], feasible_fn)
+                result = hybrid.run(fresh, space, StrategySpec(starts=(start,)))
                 hybrid_counts[start.counts] = result.traces[0].n_evaluations
                 hybrid_optima[start.counts] = result.best_schedule
 

@@ -9,6 +9,7 @@ over both the partition and the per-core schedules.
 """
 
 from .partition import (
+    BlockSearchEngine,
     CoreAssignment,
     MulticoreEvaluation,
     MulticoreProblem,
@@ -16,6 +17,7 @@ from .partition import (
 )
 
 __all__ = [
+    "BlockSearchEngine",
     "CoreAssignment",
     "MulticoreEvaluation",
     "MulticoreProblem",

@@ -34,9 +34,52 @@ from ..core.application import ControlApplication
 from ..errors import ScheduleError, SearchError
 from ..sched.engine import PartitionedSearchEngine
 from ..sched.evaluator import ScheduleEvaluation
-from ..sched.feasibility import enumerate_idle_feasible
+from ..sched.feasibility import enumerate_idle_feasible, idle_feasible
 from ..sched.schedule import PeriodicSchedule
+from ..sched.strategies import StrategySpec, get_strategy
 from ..units import Clock
+
+
+class BlockSearchEngine:
+    """One core's block as a duck-:class:`ScheduleEvaluator`.
+
+    Search strategies operate on single-core evaluation problems; this
+    adapter exposes one block of a :class:`PartitionedSearchEngine` as
+    exactly that, so any registered strategy can optimize a core's
+    schedule while evaluations still flow through the shared engine
+    (per-block memo, shared persistent cache and worker pool).
+    """
+
+    def __init__(self, engine: PartitionedSearchEngine, indices: tuple[int, ...]) -> None:
+        self._engine = engine
+        self.indices = tuple(int(i) for i in indices)
+        sub = engine.subproblem(self.indices)
+        self.apps = sub.evaluator.apps
+        self.clock = engine.clock
+        self.design_options = engine.design_options
+
+    def evaluate(self, schedule: PeriodicSchedule) -> ScheduleEvaluation:
+        return self._engine.evaluate(self.indices, schedule)
+
+    def evaluate_batch(
+        self, schedules: list[PeriodicSchedule]
+    ) -> list[ScheduleEvaluation]:
+        return self._engine.evaluate_pairs(
+            [(self.indices, schedule) for schedule in schedules]
+        )
+
+    def is_cached(self, schedule: PeriodicSchedule) -> bool:
+        return self._engine.subproblem(self.indices).evaluator.is_cached(schedule)
+
+    @property
+    def workers(self) -> int:
+        return self._engine.workers
+
+    @property
+    def speculative(self) -> bool:
+        """Speculative batch prefetching pays off exactly when the
+        shared engine fans batches out to a worker pool."""
+        return self._engine.workers >= 2
 
 
 @dataclass(frozen=True)
@@ -208,6 +251,40 @@ class MulticoreProblem:
                 best = (value, evaluation)
         return best
 
+    def _search_block(
+        self,
+        strat,
+        block: tuple[int, ...],
+        n_starts: int,
+        seed: int,
+        options: object | None,
+    ) -> tuple[float, ScheduleEvaluation] | None:
+        """Optimize one core's schedule with a registered strategy.
+
+        Returns the same ``(global-weight value, evaluation)`` shape as
+        :meth:`_best_in_block`; ``None`` marks the block infeasible
+        (empty space or no feasible schedule found).
+        """
+        space = self.core_schedule_space(block)
+        if not space:
+            return None
+        engine = BlockSearchEngine(self.engine, block)
+        # Strategies walk the space through eq. (4) only; re-add the
+        # burst-length cap so a lone-app core (Delta = 0, everything
+        # idle-feasible) cannot wander past the enumerated space.
+        block_apps, clock, cap = engine.apps, self.clock, self.max_count_per_core
+        feasible = lambda s: (
+            max(s.counts) <= cap and idle_feasible(s, block_apps, clock)
+        )
+        spec = StrategySpec(
+            n_starts=n_starts, seed=seed, options=options, feasible=feasible
+        )
+        try:
+            result = strat.run(engine, space, spec)
+        except SearchError:
+            return None
+        return self._block_value(block, result.best), result.best
+
     def best_schedule_for_core(
         self, app_indices: tuple[int, ...]
     ) -> tuple[PeriodicSchedule, dict[int, float], dict[int, float]] | None:
@@ -232,14 +309,28 @@ class MulticoreProblem:
     # ------------------------------------------------------------------
     # Partition sweep
     # ------------------------------------------------------------------
-    def optimize(self) -> MulticoreEvaluation:
-        """Search all partitions; per core, all feasible schedules.
+    def optimize(
+        self,
+        strategy: str = "exhaustive",
+        n_starts: int = 2,
+        seed: int = 2018,
+        options: object | None = None,
+    ) -> MulticoreEvaluation:
+        """Search all partitions; per core, search the schedule space.
 
-        The sweep first collects every distinct block over all
-        partitions, batches *all* their candidate schedules through the
-        engine in one submission (parallel workers, shared persistent
-        cache), then scores partitions from the per-block optima.
+        ``strategy`` names the registered search strategy each core's
+        schedule is optimized with (resolved through the registry —
+        unknown names raise :class:`~repro.errors.ConfigurationError`).
+        The default ``"exhaustive"`` evaluates a core's complete
+        idle-feasible space; since that sweep needs no start points, the
+        runner collects every distinct block over all partitions and
+        batches *all* their candidate schedules through the engine in
+        one submission (parallel workers, shared persistent cache).
+        Other strategies (e.g. ``"hybrid"``) run per block through a
+        :class:`BlockSearchEngine`, still sharing the engine's caches
+        and pool.  Partitions are then scored from the per-block optima.
         """
+        strat = get_strategy(strategy)
         partitions = list(
             enumerate_partitions(len(self.apps), self.n_cores)
         )
@@ -251,22 +342,28 @@ class MulticoreProblem:
                     seen.add(block)
                     blocks.append(block)
 
-        pairs = [
-            (block, schedule)
-            for block in blocks
-            for schedule in self.core_schedule_space(block)
-        ]
-        evaluations = self.engine.evaluate_pairs(pairs)
+        if getattr(strat, "evaluates_full_space", False):
+            pairs = [
+                (block, schedule)
+                for block in blocks
+                for schedule in self.core_schedule_space(block)
+            ]
+            evaluations = self.engine.evaluate_pairs(pairs)
 
-        per_block: dict[tuple[int, ...], list[ScheduleEvaluation]] = {
-            block: [] for block in blocks
-        }
-        for (block, _schedule), evaluation in zip(pairs, evaluations):
-            per_block[block].append(evaluation)
-        best_per_block = {
-            block: self._best_in_block(block, results)
-            for block, results in per_block.items()
-        }
+            per_block: dict[tuple[int, ...], list[ScheduleEvaluation]] = {
+                block: [] for block in blocks
+            }
+            for (block, _schedule), evaluation in zip(pairs, evaluations):
+                per_block[block].append(evaluation)
+            best_per_block = {
+                block: self._best_in_block(block, results)
+                for block, results in per_block.items()
+            }
+        else:
+            best_per_block = {
+                block: self._search_block(strat, block, n_starts, seed, options)
+                for block in blocks
+            }
 
         best: MulticoreEvaluation | None = None
         for partition in partitions:

@@ -15,6 +15,10 @@ Implements Sections II-C and IV of the paper:
   annealing search (Section IV);
 * :mod:`~repro.sched.exhaustive`, :mod:`~repro.sched.annealing` —
   baselines;
+* :mod:`~repro.sched.strategies` — the pluggable strategy registry all
+  entry points dispatch through (``exhaustive`` / ``hybrid`` /
+  ``annealing`` / ``interleaved`` builtin, third-party strategies via
+  :func:`~repro.sched.strategies.register_strategy`);
 * :mod:`~repro.sched.engine` — the parallel batch search engine with a
   persistent evaluation cache (``--workers`` / ``--cache-dir``).
 """
@@ -27,6 +31,13 @@ from .results import SearchResult, SearchTrace
 from .hybrid import HybridOptions, hybrid_search
 from .exhaustive import exhaustive_search
 from .annealing import AnnealingOptions, annealing_search
+from .strategies import (
+    SearchStrategy,
+    StrategySpec,
+    available_strategies,
+    get_strategy,
+    register_strategy,
+)
 from .engine import EngineOptions, EngineStats, SearchEngine
 
 __all__ = [
@@ -43,8 +54,13 @@ __all__ = [
     "ScheduleTiming",
     "SearchEngine",
     "SearchResult",
+    "SearchStrategy",
     "SearchTrace",
+    "StrategySpec",
     "annealing_search",
+    "available_strategies",
+    "get_strategy",
+    "register_strategy",
     "derive_timing",
     "evaluate_many",
     "derive_timing_interleaved",

@@ -2,11 +2,11 @@
 
 A *scenario* is one complete co-design problem — an application set
 (plants, tracking constraints, analyzed control programs), a clock and
-a design budget — plus the search method to run on it.  The runner
-executes a suite of scenarios through one :class:`EngineOptions`
-configuration, so a single invocation can e.g. re-search fifty
-synthesized workloads with eight workers and a shared persistent cache
-(``python -m repro batch ...``).
+a design budget — plus the registered search strategy to run on it
+(see :mod:`repro.sched.strategies`).  The runner executes a suite of
+scenarios through one :class:`EngineOptions` configuration, so a single
+invocation can e.g. re-search fifty synthesized workloads with eight
+workers and a shared persistent cache (``python -m repro batch ...``).
 
 :func:`synthesize_scenarios` generates deterministic random workloads by
 jittering the case study's calibrated programs, plants and constraints —
@@ -16,53 +16,68 @@ the scenario-diversity axis of the roadmap.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+import warnings
+from dataclasses import InitVar, dataclass, field
 
 import numpy as np
 
 from ...control.design import DesignOptions, TrackingSpec
 from ...errors import SearchError
 from ...units import Clock
-from ..annealing import AnnealingOptions, annealing_search
 from ..evaluator import ScheduleEvaluator
-from ..exhaustive import exhaustive_search
-from ..feasibility import enumerate_idle_feasible, idle_feasible
-from ..hybrid import hybrid_search
+from ..feasibility import enumerate_idle_feasible
 from ..results import SearchResult
 from ..schedule import PeriodicSchedule
-from .engine import EngineOptions, SearchEngine
-
-#: Search methods the runner dispatches.
-METHODS = ("exhaustive", "hybrid", "annealing")
+from ..strategies import StrategySpec, get_strategy
+from .engine import EngineOptions
 
 
 @dataclass
 class Scenario:
-    """One co-design problem plus the search to run on it.
+    """One co-design problem plus the search strategy to run on it.
+
+    ``strategy`` names a registered search strategy
+    (:func:`repro.sched.strategies.available_strategies` lists them);
+    ``None`` picks the default for the run type — ``"hybrid"`` for
+    single-core scenarios, ``"exhaustive"`` (per core) for multicore
+    ones.  Unknown names raise
+    :class:`~repro.errors.ConfigurationError` listing the registered
+    strategies.
 
     ``n_cores > 1`` makes the scenario a *multicore* co-design: the
     runner routes it through :class:`repro.multicore.MulticoreProblem`
-    (partition sweep, per-core exhaustive schedules) instead of the
-    single-core search methods — ``method`` is then ignored.
+    (partition sweep, per-core schedule search with ``strategy``).
+
+    ``method=`` is the deprecated spelling of ``strategy=``.
     """
 
     name: str
     apps: list
     clock: Clock
     design_options: DesignOptions | None = None
-    method: str = "hybrid"
+    strategy: str | None = None
     starts: tuple[PeriodicSchedule, ...] | None = None
     n_starts: int = 2
     seed: int = 2018
     n_cores: int = 1
+    options: object | None = None
+    max_count_per_core: int = 6
+    method: InitVar[str | None] = None
 
-    def __post_init__(self) -> None:
-        if self.method not in METHODS:
-            raise SearchError(
-                f"unknown search method {self.method!r}; choose from {METHODS}"
+    def __post_init__(self, method: str | None) -> None:
+        if method is not None:
+            warnings.warn(
+                "Scenario(method=...) is deprecated; use strategy=...",
+                DeprecationWarning,
+                stacklevel=2,
             )
+            if self.strategy is None:
+                self.strategy = method
         if self.n_cores < 1:
             raise SearchError(f"need at least one core, got {self.n_cores}")
+        if self.strategy is None:
+            self.strategy = "hybrid" if self.n_cores == 1 else "exhaustive"
+        get_strategy(self.strategy)  # fail fast on unknown names
 
 
 @dataclass
@@ -74,14 +89,23 @@ class ScenarioOutcome:
     """
 
     name: str
-    method: str
+    strategy: str
     result: SearchResult | None
     wall_time: float
     n_space: int
     engine_stats: dict = field(default_factory=dict)
     backend: str = "serial"
     n_apps: int = 0
+    n_cores: int = 1
     multicore: "MulticoreEvaluation | None" = None
+
+    @property
+    def method(self) -> str:
+        """Deprecated label kept for old callers: the strategy name, or
+        ``multicore[K]`` for partition sweeps."""
+        if self.multicore is not None:
+            return f"multicore[{self.n_cores}]"
+        return self.strategy
 
     @property
     def best_schedule(self):
@@ -97,42 +121,18 @@ class ScenarioOutcome:
         return self.result.best_value
 
 
-def _dispatch(engine: SearchEngine, scenario: Scenario) -> tuple[SearchResult, int]:
-    """Run the scenario's search through the engine."""
-    space = enumerate_idle_feasible(engine.apps, engine.clock)
-    if not space:
-        raise SearchError(
-            f"scenario {scenario.name!r}: idle-feasible space is empty"
-        )
-    feasible_fn = lambda s: idle_feasible(s, engine.apps, engine.clock)
-    if scenario.method == "exhaustive":
-        return exhaustive_search(engine, schedules=space), len(space)
-    rng = np.random.default_rng(scenario.seed)
-    if scenario.starts is not None:
-        starts = list(scenario.starts)
-    else:
-        indices = rng.choice(
-            len(space), size=min(scenario.n_starts, len(space)), replace=False
-        )
-        starts = [space[int(i)] for i in indices]
-    if scenario.method == "hybrid":
-        return hybrid_search(engine, starts, feasible_fn), len(space)
-    return (
-        annealing_search(
-            engine,
-            starts[0],
-            feasible_fn,
-            AnnealingOptions(seed=scenario.seed),
-        ),
-        len(space),
-    )
-
-
 def run_scenario(
     scenario: Scenario, engine_options: EngineOptions | None = None
 ) -> ScenarioOutcome:
-    """Run one scenario through a fresh engine."""
+    """Run one scenario through a fresh engine.
+
+    The scenario's ``strategy`` is resolved through the strategy
+    registry — never by name comparison — so a typo'd or unregistered
+    strategy raises :class:`~repro.errors.ConfigurationError` naming
+    the valid strategies instead of silently running some default.
+    """
     options = engine_options or EngineOptions()
+    strategy = get_strategy(scenario.strategy)
     if scenario.n_cores > 1:
         return _run_multicore_scenario(scenario, options)
     evaluator = ScheduleEvaluator(
@@ -140,14 +140,25 @@ def run_scenario(
     )
     with options.build(evaluator) as engine:
         started = time.perf_counter()
-        result, n_space = _dispatch(engine, scenario)
+        space = enumerate_idle_feasible(engine.apps, engine.clock)
+        if not space:
+            raise SearchError(
+                f"scenario {scenario.name!r}: idle-feasible space is empty"
+            )
+        spec = StrategySpec(
+            starts=tuple(scenario.starts) if scenario.starts else None,
+            n_starts=scenario.n_starts,
+            seed=scenario.seed,
+            options=scenario.options,
+        )
+        result = strategy.run(engine, space, spec)
         wall_time = time.perf_counter() - started
         return ScenarioOutcome(
             name=scenario.name,
-            method=scenario.method,
+            strategy=strategy.name,
             result=result,
             wall_time=wall_time,
-            n_space=n_space,
+            n_space=len(space),
             engine_stats=engine.stats.as_dict(),
             backend=engine.backend_name,
             n_apps=len(scenario.apps),
@@ -167,21 +178,28 @@ def _run_multicore_scenario(
         scenario.clock,
         scenario.n_cores,
         scenario.design_options,
+        max_count_per_core=scenario.max_count_per_core,
         workers=options.workers,
         cache_dir=options.cache_dir,
     ) as problem:
         started = time.perf_counter()
-        evaluation = problem.optimize()
+        evaluation = problem.optimize(
+            strategy=scenario.strategy,
+            n_starts=scenario.n_starts,
+            seed=scenario.seed,
+            options=scenario.options,
+        )
         wall_time = time.perf_counter() - started
         return ScenarioOutcome(
             name=scenario.name,
-            method=f"multicore[{scenario.n_cores}]",
+            strategy=scenario.strategy,
             result=None,
             wall_time=wall_time,
             n_space=problem.engine.stats.n_requested,
             engine_stats=problem.engine.stats.as_dict(),
             backend=problem.engine.backend_name,
             n_apps=len(scenario.apps),
+            n_cores=scenario.n_cores,
             multicore=evaluation,
         )
 
@@ -205,12 +223,16 @@ def run_batch(
 def synthesize_scenarios(
     n_scenarios: int,
     seed: int = 2018,
-    method: str = "hybrid",
+    strategy: str | None = None,
     design_options: DesignOptions | None = None,
     n_apps_choices: tuple[int, ...] = (2, 3),
     n_cores: int = 1,
+    method: str | None = None,
 ) -> list[Scenario]:
     """Deterministic random workloads derived from the case study.
+
+    ``strategy`` names a registered search strategy (``None`` = the
+    run-type default); ``method=`` is its deprecated spelling.
 
     ``n_cores > 1`` synthesizes *multicore* scenarios: same jittered
     application sets, but each is co-designed over partitions onto that
@@ -240,6 +262,14 @@ def synthesize_scenarios(
     from ...program.synth import make_control_program
     from ...wcet.reuse import analyze_task_wcets
 
+    if method is not None:
+        warnings.warn(
+            "synthesize_scenarios(method=...) is deprecated; use strategy=...",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if strategy is None:
+            strategy = method
     if n_scenarios < 1:
         raise SearchError(f"need at least one scenario, got {n_scenarios}")
     plant_builders = {
@@ -301,7 +331,7 @@ def synthesize_scenarios(
                 apps=apps,
                 clock=clock,
                 design_options=design_options,
-                method=method,
+                strategy=strategy,
                 seed=seed + index,
                 n_cores=n_cores,
             )

@@ -1,0 +1,194 @@
+"""Strategy protocol, run spec and the pluggable strategy registry.
+
+A *search strategy* is the unit of extensibility of the schedule
+search: it receives an engine (anything duck-compatible with
+:class:`~repro.sched.evaluator.ScheduleEvaluator`), the enumerated
+idle-feasible schedule space and a :class:`StrategySpec`, and returns a
+:class:`~repro.sched.results.SearchResult`.  Strategies register
+themselves by name with :func:`register_strategy`; every entry point
+(``CodesignProblem.optimize``, the batch scenario runner, the
+``Study`` facade, the CLI) resolves names through :func:`get_strategy`,
+so an unknown name fails fast with the list of registered strategies
+instead of silently falling back to some default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, is_dataclass
+from typing import Callable, Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+from ...errors import ConfigurationError, SearchError
+from ..feasibility import idle_feasible
+from ..results import SearchResult
+from ..schedule import PeriodicSchedule
+
+
+@dataclass(frozen=True)
+class StrategySpec:
+    """Strategy-independent inputs of one search run.
+
+    Parameters
+    ----------
+    starts:
+        Explicit start schedules.  ``None`` lets the strategy draw its
+        own starts from the schedule space (seeded by ``seed``).
+    n_starts:
+        How many random starts to draw when ``starts`` is ``None``.
+    seed:
+        Seed of the start-selection RNG (and, for stochastic strategies
+        without explicit options, of the strategy itself).
+    options:
+        Strategy-specific options dataclass (e.g.
+        :class:`~repro.sched.hybrid.HybridOptions`); ``None`` uses the
+        strategy's defaults.  Passing the wrong options type raises
+        :class:`~repro.errors.ConfigurationError`.
+    feasible:
+        Optional override of the idle-feasibility predicate; ``None``
+        derives eq. (4) from the engine's applications and clock.  The
+        multicore layer uses this to add its per-core burst-length cap.
+    """
+
+    starts: tuple[PeriodicSchedule, ...] | None = None
+    n_starts: int = 2
+    seed: int = 2018
+    options: object | None = None
+    feasible: Callable[[PeriodicSchedule], bool] | None = None
+
+
+@runtime_checkable
+class SearchStrategy(Protocol):
+    """What a pluggable search strategy must provide.
+
+    ``name`` is the registry key, ``options_type`` the strategy-specific
+    options dataclass accepted via :attr:`StrategySpec.options`, and
+    ``run`` executes the search.  ``engine`` is any object
+    duck-compatible with :class:`~repro.sched.evaluator.ScheduleEvaluator`
+    (``evaluate`` / ``evaluate_batch`` / ``apps`` / ``clock``) — in
+    practice a :class:`~repro.sched.engine.SearchEngine`, so candidate
+    evaluations inherit its memo, persistent cache and worker pool.
+    """
+
+    name: str
+    options_type: type
+
+    def run(
+        self,
+        engine,
+        space: Sequence[PeriodicSchedule],
+        spec: StrategySpec,
+    ) -> SearchResult:
+        ...
+
+
+#: The global registry: strategy name -> strategy instance.
+_REGISTRY: dict[str, SearchStrategy] = {}
+
+
+def register_strategy(strategy):
+    """Register a strategy class (or instance) under its ``name``.
+
+    Usable as a class decorator::
+
+        @register_strategy
+        class MyStrategy:
+            name = "mine"
+            options_type = MyOptions
+
+            def run(self, engine, space, spec):
+                ...
+
+    Returns its argument so the decorated class stays usable.  Double
+    registration of one name raises
+    :class:`~repro.errors.ConfigurationError`.
+    """
+    instance = strategy() if isinstance(strategy, type) else strategy
+    name = getattr(instance, "name", None)
+    if not isinstance(name, str) or not name:
+        raise ConfigurationError(
+            f"strategy {strategy!r} must define a non-empty string `name`"
+        )
+    if not callable(getattr(instance, "run", None)):
+        raise ConfigurationError(f"strategy {name!r} must define a `run` method")
+    if name in _REGISTRY:
+        raise ConfigurationError(f"search strategy {name!r} is already registered")
+    _REGISTRY[name] = instance
+    return strategy
+
+
+def unregister_strategy(name: str) -> None:
+    """Remove a registered strategy (mainly for tests of third-party
+    registration; the builtin strategies should stay registered)."""
+    _REGISTRY.pop(name, None)
+
+
+def available_strategies() -> tuple[str, ...]:
+    """Names of all registered strategies, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def get_strategy(name: str) -> SearchStrategy:
+    """Resolve a strategy name, failing fast on unknown names."""
+    strategy = _REGISTRY.get(name)
+    if strategy is None:
+        raise ConfigurationError(
+            f"unknown search strategy {name!r}; registered strategies: "
+            f"{', '.join(available_strategies())}"
+        )
+    return strategy
+
+
+def strategy_description(strategy: SearchStrategy) -> str:
+    """First docstring line of a strategy (for listings)."""
+    doc = (getattr(strategy, "__doc__", None) or "").strip()
+    return doc.splitlines()[0] if doc else ""
+
+
+# ----------------------------------------------------------------------
+# Helpers shared by the builtin strategies (and useful to third-party
+# ones): options resolution, feasibility predicate, start selection.
+# ----------------------------------------------------------------------
+
+def resolve_options(strategy: SearchStrategy, spec: StrategySpec):
+    """``spec.options`` validated against the strategy, or defaults."""
+    if spec.options is None:
+        return strategy.options_type()
+    if not isinstance(spec.options, strategy.options_type):
+        raise ConfigurationError(
+            f"strategy {strategy.name!r} takes {strategy.options_type.__name__} "
+            f"options, got {type(spec.options).__name__}"
+        )
+    return spec.options
+
+
+def feasibility_fn(engine, spec: StrategySpec):
+    """The idle-feasibility predicate a strategy should search under."""
+    if spec.feasible is not None:
+        return spec.feasible
+    apps, clock = engine.apps, engine.clock
+    return lambda schedule: idle_feasible(schedule, apps, clock)
+
+
+def random_starts(
+    space: Sequence[PeriodicSchedule], spec: StrategySpec
+) -> list[PeriodicSchedule]:
+    """Draw ``spec.n_starts`` distinct random starts from the space."""
+    if not space:
+        raise SearchError("the idle-feasible schedule space is empty")
+    rng = np.random.default_rng(spec.seed)
+    indices = rng.choice(
+        len(space), size=min(spec.n_starts, len(space)), replace=False
+    )
+    return [space[int(i)] for i in indices]
+
+
+def options_as_dict(options) -> dict:
+    """Strategy options as a JSON-friendly dict (for run reports)."""
+    if options is None:
+        return {}
+    if is_dataclass(options) and not isinstance(options, type):
+        return {f.name: getattr(options, f.name) for f in fields(options)}
+    if isinstance(options, dict):
+        return dict(options)
+    return {"repr": repr(options)}

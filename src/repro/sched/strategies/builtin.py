@@ -1,0 +1,188 @@
+"""The builtin search strategies, ported onto the registry.
+
+``exhaustive``, ``hybrid`` and ``annealing`` wrap the search algorithms
+of :mod:`repro.sched.exhaustive` / :mod:`repro.sched.hybrid` /
+:mod:`repro.sched.annealing`; ``interleaved`` promotes the paper's
+Section-VI future-work question (do interleaved schedules beat the
+periodic optimum?) to a first-class strategy: the periodic sweep runs
+through the engine (memo, persistent cache, workers) and the
+interleaving refinement of the periodic optimum is reported in the
+result's ``stats``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Sequence
+
+import numpy as np
+
+from ...errors import SearchError
+from ..annealing import AnnealingOptions, annealing_search
+from ..exhaustive import exhaustive_search
+from ..hybrid import HybridOptions, hybrid_search
+from ..results import SearchResult
+from ..schedule import PeriodicSchedule
+from .base import (
+    StrategySpec,
+    feasibility_fn,
+    random_starts,
+    register_strategy,
+    resolve_options,
+)
+
+
+@dataclass(frozen=True)
+class ExhaustiveOptions:
+    """The exhaustive sweep has no knobs; the type exists so every
+    strategy has an options dataclass."""
+
+
+@register_strategy
+class ExhaustiveStrategy:
+    """Evaluate every idle-feasible schedule (the paper's baseline)."""
+
+    name = "exhaustive"
+    options_type = ExhaustiveOptions
+    #: The whole space is evaluated regardless of starts, so callers
+    #: (e.g. the multicore partition sweep) may batch it up-front.
+    evaluates_full_space = True
+
+    def run(
+        self, engine, space: Sequence[PeriodicSchedule], spec: StrategySpec
+    ) -> SearchResult:
+        resolve_options(self, spec)
+        return exhaustive_search(engine, schedules=list(space))
+
+
+@register_strategy
+class HybridStrategy:
+    """The paper's hybrid gradient search with SA-style escapes (Section IV)."""
+
+    name = "hybrid"
+    options_type = HybridOptions
+
+    def run(
+        self, engine, space: Sequence[PeriodicSchedule], spec: StrategySpec
+    ) -> SearchResult:
+        options = resolve_options(self, spec)
+        starts = list(spec.starts) if spec.starts else random_starts(space, spec)
+        return hybrid_search(engine, starts, feasibility_fn(engine, spec), options)
+
+
+@register_strategy
+class AnnealingStrategy:
+    """Simulated-annealing baseline (multi-start: best over all starts)."""
+
+    name = "annealing"
+    options_type = AnnealingOptions
+
+    def run(
+        self, engine, space: Sequence[PeriodicSchedule], spec: StrategySpec
+    ) -> SearchResult:
+        if spec.options is None:
+            options = AnnealingOptions(seed=spec.seed)
+        else:
+            options = resolve_options(self, spec)
+        if spec.starts:
+            starts = list(spec.starts)
+        elif spec.n_starts <= 1:
+            if not space:
+                raise SearchError("the idle-feasible schedule space is empty")
+            rng = np.random.default_rng(spec.seed)
+            starts = [space[int(rng.integers(0, len(space)))]]
+        else:
+            starts = random_starts(space, spec)
+        feasible = feasibility_fn(engine, spec)
+        # Every requested start gets its own (deterministically reseeded)
+        # walk; the best feasible evaluation over all walks wins.  The
+        # first walk uses the base seed, so single-start runs reproduce
+        # a plain annealing_search call exactly.  A start whose walk
+        # fails (idle-infeasible start, no feasible candidate visited)
+        # must not discard the optima other starts already found.
+        best = None
+        traces = []
+        n_evaluations = 0
+        failures: list[SearchError] = []
+        for index, start in enumerate(starts):
+            try:
+                result = annealing_search(
+                    engine,
+                    start,
+                    feasible,
+                    replace(options, seed=options.seed + index),
+                )
+            except SearchError as exc:
+                failures.append(exc)
+                continue
+            traces.extend(result.traces)
+            n_evaluations += result.n_evaluations
+            if best is None or result.best.overall > best.overall:
+                best = result.best
+        if best is None:
+            if failures:
+                raise SearchError(
+                    f"annealing failed from all {len(starts)} starts: "
+                    f"{failures[0]}"
+                )
+            raise SearchError("need at least one start schedule")
+        return SearchResult(best=best, n_evaluations=n_evaluations, traces=traces)
+
+
+@dataclass(frozen=True)
+class InterleavedOptions:
+    """Knobs of the interleaved refinement step."""
+
+    #: Cap on the number of interleavings enumerated around the
+    #: periodic optimum (the space grows combinatorially).
+    max_schedules: int = 200
+
+
+@register_strategy
+class InterleavedStrategy:
+    """Periodic sweep through the engine, then interleaved refinement
+    of the optimum (the paper's Section-VI future-work question)."""
+
+    name = "interleaved"
+    options_type = InterleavedOptions
+
+    def run(
+        self, engine, space: Sequence[PeriodicSchedule], spec: StrategySpec
+    ) -> SearchResult:
+        # Imported lazily: repro.sched.interleaved pulls in repro.core,
+        # which imports this package back at module level.
+        from ..interleaved import search_interleavings
+
+        options = resolve_options(self, spec)
+        if spec.starts:
+            # Explicit starts restrict the periodic stage to those
+            # candidates (cheap, engine-cached); otherwise the full
+            # space is swept exhaustively.
+            periodic = exhaustive_search(engine, schedules=list(spec.starts))
+        else:
+            periodic = exhaustive_search(engine, schedules=list(space))
+        base = periodic.best_schedule
+        refinement = search_interleavings(
+            engine.apps,
+            engine.clock,
+            base,
+            engine.design_options,
+            max_schedules=options.max_schedules,
+        )
+        result = SearchResult(
+            best=periodic.best,
+            n_evaluations=periodic.n_evaluations + refinement.n_evaluated,
+            traces=periodic.traces,
+            stats=dict(periodic.stats),
+        )
+        result.stats["interleaved"] = {
+            "base_schedule": list(base.counts),
+            "base_overall": refinement.base_evaluation.overall,
+            "best_overall": refinement.best.overall,
+            "best_bursts": [
+                [app, count] for app, count in refinement.best.schedule.bursts
+            ],
+            "n_evaluated": refinement.n_evaluated,
+            "interleaving_helps": refinement.interleaving_helps,
+        }
+        return result

@@ -1,0 +1,23 @@
+"""Unified study API: one front door for every search run.
+
+:class:`Study` builds a run — from the paper case study
+(:meth:`Study.from_case_study`), a synthesized suite
+(:meth:`Study.from_suite`) or an explicit scenario list
+(:meth:`Study.from_scenarios`) — and drives single-core, batch and
+multicore scenarios through one code path: the strategy registry
+(:mod:`repro.sched.strategies`) over the batch search engine
+(:mod:`repro.sched.engine`).  Every scenario yields a
+:class:`RunReport`, a JSON round-trippable artifact that persists under
+a run directory for resumable, cross-commit-comparable sweeps.
+
+    >>> from repro.study import Study
+    >>> reports = Study.from_case_study(strategy="hybrid",
+    ...                                 run_dir=".runs").run()
+    >>> reports[0].best_schedule, reports[0].overall
+    ([3, 2, 3], 0.195...)
+"""
+
+from .report import RunReport, scenario_digest
+from .study import Study
+
+__all__ = ["RunReport", "Study", "scenario_digest"]

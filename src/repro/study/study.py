@@ -1,0 +1,222 @@
+"""The unified `Study` facade.
+
+A :class:`Study` is a list of scenarios plus one engine configuration
+and an optional run directory.  It is the single front door to the
+search machinery: the paper case study, a synthesized workload suite
+and explicit scenario lists all run through exactly one code path
+(:func:`repro.sched.engine.batch.run_scenario` → strategy registry →
+engine), whether the scenarios are single-core searches, batch sweeps
+or multicore co-designs.  Every run produces a
+:class:`~repro.study.report.RunReport`; with a ``run_dir`` the reports
+persist as JSON and matching reruns are served from disk (resumable
+sweeps, comparable across commits).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+from pathlib import Path
+
+from ..control.design import DesignOptions
+from ..sched.engine import EngineOptions
+from ..sched.engine.batch import Scenario, run_scenario, synthesize_scenarios
+from ..sched.schedule import PeriodicSchedule
+from ..sched.strategies import options_as_dict
+from .report import RunReport, _json_safe, scenario_digest
+
+
+def _slug(text: str) -> str:
+    """Filesystem-safe fragment of a scenario/strategy name."""
+    return re.sub(r"[^A-Za-z0-9._-]+", "_", text)
+
+
+class Study:
+    """A suite of scenarios behind one engine configuration.
+
+    Parameters
+    ----------
+    scenarios:
+        The :class:`~repro.sched.engine.batch.Scenario` list to run.
+    engine_options:
+        Worker-pool / persistent-cache configuration shared by every
+        scenario (each scenario still gets its own engine instance).
+    run_dir:
+        Directory the per-scenario :class:`RunReport` JSON artifacts
+        persist under; ``None`` keeps reports in memory only.
+    """
+
+    def __init__(
+        self,
+        scenarios: list[Scenario],
+        engine_options: EngineOptions | None = None,
+        run_dir: str | Path | None = None,
+    ) -> None:
+        self.scenarios = list(scenarios)
+        self.engine_options = engine_options or EngineOptions()
+        self.run_dir = Path(run_dir) if run_dir is not None else None
+
+    # ------------------------------------------------------------------
+    # Builders
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_case_study(
+        cls,
+        design_options: DesignOptions | None = None,
+        strategy: str | None = None,
+        starts: list[PeriodicSchedule] | None = None,
+        n_starts: int = 2,
+        seed: int = 2018,
+        n_cores: int = 1,
+        options: object | None = None,
+        max_count_per_core: int = 6,
+        engine_options: EngineOptions | None = None,
+        run_dir: str | Path | None = None,
+        name: str = "casestudy",
+    ) -> "Study":
+        """One-scenario study over the paper's automotive case study.
+
+        ``n_cores > 1`` makes it a multicore co-design of the case
+        study (the CLI's ``multicore`` command); otherwise it is the
+        single-core search (the CLI's ``search`` command).
+        """
+        # Imported lazily: repro.apps builds on repro.sched.
+        from ..apps import build_case_study
+
+        case = build_case_study()
+        scenario = Scenario(
+            name=name,
+            apps=case.apps,
+            clock=case.clock,
+            design_options=design_options,
+            strategy=strategy,
+            starts=tuple(starts) if starts else None,
+            n_starts=n_starts,
+            seed=seed,
+            n_cores=n_cores,
+            options=options,
+            max_count_per_core=max_count_per_core,
+        )
+        return cls([scenario], engine_options=engine_options, run_dir=run_dir)
+
+    @classmethod
+    def from_suite(
+        cls,
+        suite_size: int,
+        seed: int = 2018,
+        strategy: str | None = None,
+        design_options: DesignOptions | None = None,
+        n_apps_choices: tuple[int, ...] = (2, 3),
+        n_cores: int = 1,
+        engine_options: EngineOptions | None = None,
+        run_dir: str | Path | None = None,
+    ) -> "Study":
+        """Study over a deterministic synthesized workload suite."""
+        scenarios = synthesize_scenarios(
+            suite_size,
+            seed=seed,
+            strategy=strategy,
+            design_options=design_options,
+            n_apps_choices=n_apps_choices,
+            n_cores=n_cores,
+        )
+        return cls(scenarios, engine_options=engine_options, run_dir=run_dir)
+
+    @classmethod
+    def from_scenarios(
+        cls,
+        scenarios: list[Scenario],
+        engine_options: EngineOptions | None = None,
+        run_dir: str | Path | None = None,
+    ) -> "Study":
+        """Study over an explicit scenario list."""
+        return cls(scenarios, engine_options=engine_options, run_dir=run_dir)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def report_path(self, scenario: Scenario) -> Path | None:
+        """Where one scenario's report persists (``None`` without a
+        run directory).
+
+        The filename carries every run input that is not already in the
+        name/strategy/seed/cores prefix — starts, strategy options,
+        ``n_starts``, the per-core cap — as a short digest, so
+        differently-configured runs of one scenario never collide on
+        (and thrash) a single artifact.
+        """
+        if self.run_dir is None:
+            return None
+        spec = json.dumps(
+            [
+                [list(s.counts) for s in scenario.starts]
+                if scenario.starts
+                else None,
+                _json_safe(options_as_dict(scenario.options)),
+                scenario.n_starts,
+                scenario.max_count_per_core,
+            ],
+            sort_keys=True,
+        )
+        tag = hashlib.sha256(spec.encode()).hexdigest()[:8]
+        filename = (
+            f"{_slug(scenario.name)}--{_slug(scenario.strategy)}"
+            f"--seed{scenario.seed}--c{scenario.n_cores}--{tag}.json"
+        )
+        return self.run_dir / filename
+
+    def _resumable(self, scenario: Scenario, report: RunReport) -> bool:
+        """Whether a persisted report answers this exact scenario run.
+
+        Every search input is compared — problem digest, strategy and
+        its options, seed, starts, core count and per-core cap — so a
+        stale artifact can never shadow a differently-configured run.
+        """
+        return (
+            report.schema_version == RunReport.schema_version
+            and report.problem == scenario_digest(scenario)
+            and report.strategy == scenario.strategy
+            and report.options == _json_safe(options_as_dict(scenario.options))
+            and report.seed == scenario.seed
+            and report.n_starts == scenario.n_starts
+            and report.n_cores == scenario.n_cores
+            and report.max_count_per_core == scenario.max_count_per_core
+            and report.starts
+            == (
+                [list(s.counts) for s in scenario.starts]
+                if scenario.starts
+                else None
+            )
+        )
+
+    def _load_existing(self, scenario: Scenario) -> RunReport | None:
+        path = self.report_path(scenario)
+        if path is None or not path.exists():
+            return None
+        try:
+            report = RunReport.from_json(path.read_text())
+        except (ValueError, KeyError, TypeError):
+            return None  # corrupt or foreign artifact: recompute
+        return report if self._resumable(scenario, report) else None
+
+    def run(self, resume: bool = True) -> list[RunReport]:
+        """Run every scenario; one :class:`RunReport` per scenario.
+
+        With a run directory, reports persist as JSON after each
+        scenario, and (``resume=True``) scenarios whose persisted
+        report matches — same problem digest, strategy, seed, starts
+        and core count — are served from disk without re-searching.
+        """
+        reports = []
+        for scenario in self.scenarios:
+            report = self._load_existing(scenario) if resume else None
+            if report is None:
+                outcome = run_scenario(scenario, self.engine_options)
+                report = RunReport.from_outcome(scenario, outcome)
+                path = self.report_path(scenario)
+                if path is not None:
+                    path.parent.mkdir(parents=True, exist_ok=True)
+                    path.write_text(report.to_json() + "\n")
+            reports.append(report)
+        return reports

@@ -30,6 +30,25 @@ from .static import AbstractState, analyze_program
 Method = Literal["static", "concrete"]
 
 
+def _static_task_wcets(program: Program, config: CacheConfig) -> TaskWcets:
+    cold = analyze_program(program, config, AbstractState.unknown(config))
+    warm_start = AbstractState(cold.must_out.copy(), MayCache.unknown(config))
+    warm = analyze_program(program, config, warm_start)
+    return TaskWcets(program.name, cold.cycles, warm.cycles)
+
+
+def _concrete_task_wcets(program: Program, config: CacheConfig) -> TaskWcets:
+    cold = simulate_worst_case(program, config)
+    warm = simulate_worst_case(program, config, initial_cache=cold.final_cache)
+    return TaskWcets(program.name, cold.cycles, warm.cycles)
+
+
+_ANALYSES = {
+    "static": _static_task_wcets,
+    "concrete": _concrete_task_wcets,
+}
+
+
 def analyze_task_wcets(
     program: Program, config: CacheConfig, method: Method = "static"
 ) -> TaskWcets:
@@ -39,16 +58,10 @@ def analyze_task_wcets(
     applications ran before); the warm WCET assumes the task directly
     follows a completed run of itself.
     """
-    if method == "static":
-        cold = analyze_program(program, config, AbstractState.unknown(config))
-        warm_start = AbstractState(cold.must_out.copy(), MayCache.unknown(config))
-        warm = analyze_program(program, config, warm_start)
-        return TaskWcets(program.name, cold.cycles, warm.cycles)
-    if method == "concrete":
-        cold = simulate_worst_case(program, config)
-        warm = simulate_worst_case(program, config, initial_cache=cold.final_cache)
-        return TaskWcets(program.name, cold.cycles, warm.cycles)
-    raise AnalysisError(f"unknown reuse-analysis method: {method!r}")
+    analysis = _ANALYSES.get(method)
+    if analysis is None:
+        raise AnalysisError(f"unknown reuse-analysis method: {method!r}")
+    return analysis(program, config)
 
 
 def guaranteed_reduction(

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core import CodesignProblem
-from repro.errors import SearchError
+from repro.errors import ConfigurationError
 from repro.sched import PeriodicSchedule
 
 
@@ -39,27 +39,58 @@ class TestStageOne:
 class TestStageTwo:
     def test_hybrid_with_explicit_starts(self, problem):
         result = problem.optimize(
-            method="hybrid",
+            strategy="hybrid",
             starts=[PeriodicSchedule.of(2, 2, 2)],
         )
-        assert result.method == "hybrid"
+        assert result.strategy == "hybrid"
+        assert result.method == "hybrid"  # deprecated alias
         assert result.search.best.feasible
         assert result.best_overall >= problem.evaluate(PeriodicSchedule.of(2, 2, 2)).overall - 1e-12
 
     def test_hybrid_random_starts_deterministic(self, problem):
-        a = problem.optimize(method="hybrid", n_starts=1, seed=3)
-        b = problem.optimize(method="hybrid", n_starts=1, seed=3)
+        a = problem.optimize(strategy="hybrid", n_starts=1, seed=3)
+        b = problem.optimize(strategy="hybrid", n_starts=1, seed=3)
         assert a.best_schedule == b.best_schedule
 
     def test_annealing_runs(self, problem):
         result = problem.optimize(
-            method="annealing", starts=[PeriodicSchedule.of(1, 1, 1)]
+            strategy="annealing", starts=[PeriodicSchedule.of(1, 1, 1)]
         )
         assert result.search.best.feasible
 
-    def test_unknown_method_rejected(self, problem):
-        with pytest.raises(SearchError):
-            problem.optimize(method="oracle")
+    def test_unknown_strategy_rejected(self, problem):
+        with pytest.raises(ConfigurationError) as excinfo:
+            problem.optimize(strategy="oracle")
+        assert "hybrid" in str(excinfo.value)
+
+    def test_method_kwarg_deprecated_but_works(self, problem):
+        with pytest.warns(DeprecationWarning) as record:
+            result = problem.optimize(
+                method="hybrid", starts=[PeriodicSchedule.of(2, 2, 2)]
+            )
+        assert len(record) == 1
+        assert result.strategy == "hybrid"
+        assert result.search.best.feasible
+
+    def test_explicit_strategy_beats_deprecated_method(self, problem):
+        with pytest.warns(DeprecationWarning):
+            result = problem.optimize(
+                strategy="annealing",
+                method="hybrid",
+                starts=[PeriodicSchedule.of(1, 1, 1)],
+            )
+        assert result.strategy == "annealing"
+
+    def test_legacy_options_kwargs_still_apply(self, problem):
+        from repro.sched.hybrid import HybridOptions
+
+        result = problem.optimize(
+            strategy="hybrid",
+            starts=[PeriodicSchedule.of(2, 2, 2)],
+            hybrid_options=HybridOptions(max_steps=1),
+        )
+        # One step only: the walk path is at most start + one move.
+        assert len(result.search.traces[0].path) <= 2
 
 
 class TestComparison:

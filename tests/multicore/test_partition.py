@@ -71,3 +71,38 @@ class TestMulticoreProblem:
     def test_validation(self, case_study):
         with pytest.raises(ScheduleError):
             MulticoreProblem(case_study.apps, case_study.clock, 0)
+
+    def test_unknown_strategy_rejected(self, problem):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError) as excinfo:
+            problem.optimize(strategy="oracle")
+        assert "exhaustive" in str(excinfo.value)
+
+    def test_block_engine_forwards_parallelism(self, case_study, quick_design_options):
+        from repro.multicore import BlockSearchEngine
+        from repro.sched.engine import PartitionedSearchEngine
+
+        serial = PartitionedSearchEngine(
+            case_study.apps, case_study.clock, quick_design_options
+        )
+        assert BlockSearchEngine(serial, (0,)).speculative is False
+        parallel = PartitionedSearchEngine(
+            case_study.apps, case_study.clock, quick_design_options, workers=2
+        )
+        try:
+            block = BlockSearchEngine(parallel, (0,))
+            assert block.speculative is True
+            assert block.workers == 2
+        finally:
+            parallel.close()
+
+    def test_per_core_hybrid_strategy(self, problem):
+        """Non-exhaustive strategies run per block through the shared
+        engine; the exhaustive sweep bounds them from above."""
+        exhaustive = problem.optimize()
+        hybrid = problem.optimize(strategy="hybrid", n_starts=1, seed=7)
+        assert hybrid.feasible
+        assert hybrid.overall <= exhaustive.overall + 1e-12
+        for core in hybrid.cores:
+            assert max(core.schedule.counts) <= problem.max_count_per_core

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import SearchError
+from repro.errors import ConfigurationError, SearchError
 from repro.sched.engine import EngineOptions
 from repro.sched.engine.batch import (
     Scenario,
@@ -42,15 +42,66 @@ class TestSynthesis:
         with pytest.raises(SearchError):
             synthesize_scenarios(0)
 
-    def test_bad_method_rejected(self, tiny_design_options):
+    def test_bad_strategy_rejected_with_listing(self, tiny_design_options):
         scenario = synthesize_scenarios(1, design_options=tiny_design_options)[0]
-        with pytest.raises(SearchError):
+        with pytest.raises(ConfigurationError) as excinfo:
             Scenario(
                 name="bad",
                 apps=scenario.apps,
                 clock=scenario.clock,
-                method="gradient-descent",
+                strategy="gradient-descent",
             )
+        assert "hybrid" in str(excinfo.value)
+
+    def test_typo_strategy_never_runs_silently(self, tiny_design_options):
+        """Regression: a typo like 'anealing' must raise, not silently
+        dispatch to annealing (the old `_dispatch` trailing-else bug)."""
+        scenario = synthesize_scenarios(1, design_options=tiny_design_options)[0]
+        scenario.strategy = "anealing"  # bypasses __post_init__ validation
+        with pytest.raises(ConfigurationError) as excinfo:
+            run_scenario(scenario)
+        message = str(excinfo.value)
+        assert "anealing" in message and "annealing" in message
+
+    def test_method_kwarg_deprecated_but_works(self, tiny_design_options):
+        scenario = synthesize_scenarios(1, design_options=tiny_design_options)[0]
+        with pytest.warns(DeprecationWarning) as record:
+            renamed = Scenario(
+                name="legacy",
+                apps=scenario.apps,
+                clock=scenario.clock,
+                method="annealing",
+            )
+        assert len(record) == 1
+        assert renamed.strategy == "annealing"
+
+    def test_explicit_strategy_beats_deprecated_method(self, tiny_design_options):
+        scenario = synthesize_scenarios(1, design_options=tiny_design_options)[0]
+        with pytest.warns(DeprecationWarning):
+            mixed = Scenario(
+                name="mixed",
+                apps=scenario.apps,
+                clock=scenario.clock,
+                strategy="exhaustive",
+                method="annealing",
+            )
+        assert mixed.strategy == "exhaustive"
+
+    def test_synthesize_method_kwarg_deprecated(self, tiny_design_options):
+        with pytest.warns(DeprecationWarning) as record:
+            scenarios = synthesize_scenarios(
+                1, design_options=tiny_design_options, method="annealing"
+            )
+        assert len(record) == 1
+        assert scenarios[0].strategy == "annealing"
+
+    def test_default_strategy_per_run_type(self, tiny_design_options):
+        single = synthesize_scenarios(1, design_options=tiny_design_options)[0]
+        multi = synthesize_scenarios(
+            1, design_options=tiny_design_options, n_cores=2
+        )[0]
+        assert single.strategy == "hybrid"
+        assert multi.strategy == "exhaustive"
 
     def test_bad_core_count_rejected(self, tiny_design_options):
         scenario = synthesize_scenarios(1, design_options=tiny_design_options)[0]
@@ -85,7 +136,8 @@ class TestRunBatch:
         outcomes = run_batch(scenarios, EngineOptions(cache_dir=tmp_path))
         assert [o.name for o in outcomes] == ["synth-000", "synth-001"]
         for outcome in outcomes:
-            assert outcome.method == "hybrid"
+            assert outcome.strategy == "hybrid"
+            assert outcome.method == "hybrid"  # deprecated alias
             assert outcome.result.best.feasible
             assert outcome.wall_time > 0
             assert outcome.n_space > 0
@@ -108,7 +160,8 @@ class TestRunBatch:
             n_apps_choices=(2,), n_cores=2,
         )[0]
         cold = run_scenario(scenario, EngineOptions(cache_dir=tmp_path))
-        assert cold.method == "multicore[2]"
+        assert cold.strategy == "exhaustive"
+        assert cold.method == "multicore[2]"  # deprecated alias
         assert cold.result is None
         assert cold.multicore is not None
         assert cold.multicore.feasible

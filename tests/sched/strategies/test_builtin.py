@@ -1,0 +1,206 @@
+"""Builtin strategies vs the underlying search algorithms (fake landscapes)."""
+
+import pytest
+
+from repro.sched.annealing import AnnealingOptions, annealing_search
+from repro.sched.exhaustive import exhaustive_search
+from repro.sched.hybrid import HybridOptions, hybrid_search
+from repro.sched.schedule import PeriodicSchedule
+from repro.sched.strategies import StrategySpec, get_strategy
+
+from ..fakes import FakeEvaluator, box_feasible, concave_peak
+
+
+def small_space(limit: int = 4, n_apps: int = 2) -> list[PeriodicSchedule]:
+    """The full count grid (1..limit)^n_apps."""
+    assert n_apps == 2
+    return [
+        PeriodicSchedule.of(a, b)
+        for a in range(1, limit + 1)
+        for b in range(1, limit + 1)
+    ]
+
+
+class TestExhaustiveStrategy:
+    def test_matches_direct_search(self):
+        space = small_space()
+        direct = exhaustive_search(
+            FakeEvaluator(concave_peak((3, 2))), schedules=space
+        )
+        via_registry = get_strategy("exhaustive").run(
+            FakeEvaluator(concave_peak((3, 2))), space, StrategySpec()
+        )
+        assert via_registry.best_schedule == direct.best_schedule
+        assert via_registry.best_value == direct.best_value
+        assert via_registry.n_evaluations == direct.n_evaluations
+
+
+class TestHybridStrategy:
+    def test_matches_direct_search_with_explicit_starts(self):
+        space = small_space()
+        feasible = lambda s: box_feasible(4)(s.counts)
+        start = PeriodicSchedule.of(1, 1)
+        direct = hybrid_search(
+            FakeEvaluator(concave_peak((3, 2))), [start], feasible
+        )
+        via_registry = get_strategy("hybrid").run(
+            FakeEvaluator(concave_peak((3, 2))),
+            space,
+            StrategySpec(starts=(start,), feasible=feasible),
+        )
+        assert via_registry.best_schedule == direct.best_schedule
+        assert via_registry.best_value == direct.best_value
+
+    def test_random_starts_deterministic_in_seed(self):
+        space = small_space()
+        feasible = lambda s: box_feasible(4)(s.counts)
+        runs = [
+            get_strategy("hybrid").run(
+                FakeEvaluator(concave_peak((2, 4))),
+                space,
+                StrategySpec(seed=7, n_starts=2, feasible=feasible),
+            )
+            for _ in range(2)
+        ]
+        assert runs[0].best_schedule == runs[1].best_schedule
+        assert [t.start for t in runs[0].traces] == [t.start for t in runs[1].traces]
+
+    def test_options_forwarded(self):
+        space = small_space()
+        feasible = lambda s: box_feasible(4)(s.counts)
+        result = get_strategy("hybrid").run(
+            FakeEvaluator(concave_peak((4, 4))),
+            space,
+            StrategySpec(
+                starts=(PeriodicSchedule.of(1, 1),),
+                options=HybridOptions(max_steps=1),
+                feasible=feasible,
+            ),
+        )
+        # One step only: the walk cannot have moved more than once.
+        assert len(result.traces[0].path) <= 2
+
+
+class TestAnnealingStrategy:
+    def test_single_start_matches_direct_search(self):
+        space = small_space()
+        feasible = lambda s: box_feasible(4)(s.counts)
+        start = PeriodicSchedule.of(2, 2)
+        direct = annealing_search(
+            FakeEvaluator(concave_peak((3, 2))),
+            start,
+            feasible,
+            AnnealingOptions(seed=11),
+        )
+        via_registry = get_strategy("annealing").run(
+            FakeEvaluator(concave_peak((3, 2))),
+            space,
+            StrategySpec(
+                starts=(start,), options=AnnealingOptions(seed=11), feasible=feasible
+            ),
+        )
+        assert via_registry.best_schedule == direct.best_schedule
+        assert via_registry.best_value == direct.best_value
+        assert via_registry.n_evaluations == direct.n_evaluations
+
+    def test_multi_start_keeps_best_across_starts(self):
+        """Regression: annealing must run from *every* requested start.
+
+        The landscape has two islands disconnected by an infeasible
+        band at counts[0] in {3, 4}; the high-value peak lives on the
+        second island, reachable only from the second start.  The old
+        batch dispatch dropped all but ``starts[0]`` and could never
+        leave the low island.
+        """
+        objective = lambda counts: float(counts[0])
+        feasible = lambda s: s.counts[0] <= 2 or s.counts[0] >= 5
+        space = [
+            PeriodicSchedule.of(a, b)
+            for a in (1, 2, 5, 6)
+            for b in (1, 2)
+        ]
+        low_island_max = 2.0
+
+        starts = (PeriodicSchedule.of(1, 1), PeriodicSchedule.of(6, 1))
+        multi = get_strategy("annealing").run(
+            FakeEvaluator(objective),
+            space,
+            StrategySpec(
+                starts=starts, options=AnnealingOptions(seed=3), feasible=feasible
+            ),
+        )
+        assert multi.best_value > low_island_max
+        # Two walks, one per start, both recorded.
+        assert [trace.start for trace in multi.traces] == list(starts)
+
+        single = get_strategy("annealing").run(
+            FakeEvaluator(objective),
+            space,
+            StrategySpec(
+                starts=starts[:1],
+                options=AnnealingOptions(seed=3),
+                feasible=feasible,
+            ),
+        )
+        assert single.best_value <= low_island_max
+
+    def test_failed_start_does_not_discard_other_optima(self):
+        """A start whose walk raises (idle-infeasible start) must be
+        skipped, not abort the multi-start run."""
+        objective = concave_peak((2, 2))
+        feasible = lambda s: s.counts != (4, 4)  # second start is infeasible
+        starts = (PeriodicSchedule.of(2, 2), PeriodicSchedule.of(4, 4))
+        result = get_strategy("annealing").run(
+            FakeEvaluator(objective),
+            small_space(),
+            StrategySpec(
+                starts=starts, options=AnnealingOptions(seed=3), feasible=feasible
+            ),
+        )
+        assert result.best_schedule == PeriodicSchedule.of(2, 2)
+        assert [trace.start for trace in result.traces] == [starts[0]]
+
+    def test_all_starts_failing_raises(self):
+        from repro.errors import SearchError
+
+        with pytest.raises(SearchError, match="all 1 starts"):
+            get_strategy("annealing").run(
+                FakeEvaluator(concave_peak((2, 2))),
+                small_space(),
+                StrategySpec(
+                    starts=(PeriodicSchedule.of(4, 4),),
+                    feasible=lambda s: False,
+                ),
+            )
+
+    def test_default_single_start_selection_deterministic(self):
+        space = small_space()
+        feasible = lambda s: box_feasible(4)(s.counts)
+        runs = [
+            get_strategy("annealing").run(
+                FakeEvaluator(concave_peak((3, 3))),
+                space,
+                StrategySpec(seed=5, n_starts=1, feasible=feasible),
+            )
+            for _ in range(2)
+        ]
+        assert runs[0].best_schedule == runs[1].best_schedule
+        assert runs[0].traces[0].start == runs[1].traces[0].start
+
+
+class TestSpaceGuards:
+    def test_empty_space_raises_search_error(self):
+        from repro.errors import SearchError
+
+        with pytest.raises(SearchError):
+            get_strategy("hybrid").run(
+                FakeEvaluator(concave_peak((1, 1))),
+                [],
+                StrategySpec(feasible=lambda s: True),
+            )
+        with pytest.raises(SearchError):
+            get_strategy("annealing").run(
+                FakeEvaluator(concave_peak((1, 1))),
+                [],
+                StrategySpec(n_starts=1, feasible=lambda s: True),
+            )

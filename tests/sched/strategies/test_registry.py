@@ -1,0 +1,105 @@
+"""The strategy registry: lookup, registration, failure modes."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sched.results import SearchResult
+from repro.sched.strategies import (
+    StrategySpec,
+    available_strategies,
+    get_strategy,
+    register_strategy,
+    resolve_options,
+    strategy_description,
+    unregister_strategy,
+)
+from repro.sched.strategies.builtin import ExhaustiveOptions
+
+
+class TestLookup:
+    def test_builtins_registered(self):
+        names = available_strategies()
+        for expected in ("annealing", "exhaustive", "hybrid", "interleaved"):
+            assert expected in names
+
+    def test_unknown_name_fails_fast_with_listing(self):
+        with pytest.raises(ConfigurationError) as excinfo:
+            get_strategy("gradient-descent")
+        message = str(excinfo.value)
+        assert "gradient-descent" in message
+        # The error must name every registered strategy.
+        for name in available_strategies():
+            assert name in message
+
+    def test_typo_is_not_silently_accepted(self):
+        """Regression: 'anealing' must never silently run annealing."""
+        with pytest.raises(ConfigurationError):
+            get_strategy("anealing")
+
+    def test_descriptions_exist(self):
+        for name in available_strategies():
+            assert strategy_description(get_strategy(name))
+
+
+class TestRegistration:
+    def test_third_party_strategy_round_trips(self):
+        @register_strategy
+        class EchoStrategy:
+            """Returns the first start untouched (test strategy)."""
+
+            name = "test-echo"
+            options_type = ExhaustiveOptions
+
+            def run(self, engine, space, spec):
+                evaluation = engine.evaluate(space[0])
+                return SearchResult(best=evaluation, n_evaluations=1)
+
+        try:
+            assert "test-echo" in available_strategies()
+            # The decorator registers an *instance* of the class.
+            assert isinstance(get_strategy("test-echo"), EchoStrategy)
+        finally:
+            unregister_strategy("test-echo")
+        assert "test-echo" not in available_strategies()
+
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+
+            @register_strategy
+            class Impostor:
+                name = "hybrid"
+                options_type = ExhaustiveOptions
+
+                def run(self, engine, space, spec):
+                    raise AssertionError
+
+    def test_missing_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+
+            @register_strategy
+            class Nameless:
+                options_type = ExhaustiveOptions
+
+                def run(self, engine, space, spec):
+                    raise AssertionError
+
+    def test_missing_run_rejected(self):
+        with pytest.raises(ConfigurationError):
+
+            @register_strategy
+            class RunLess:
+                name = "test-runless"
+                options_type = ExhaustiveOptions
+
+
+class TestOptions:
+    def test_defaults_when_unset(self):
+        strategy = get_strategy("exhaustive")
+        assert resolve_options(strategy, StrategySpec()) == ExhaustiveOptions()
+
+    def test_wrong_options_type_rejected(self):
+        from repro.sched.hybrid import HybridOptions
+
+        strategy = get_strategy("exhaustive")
+        with pytest.raises(ConfigurationError):
+            resolve_options(strategy, StrategySpec(options=HybridOptions()))

@@ -1,0 +1,190 @@
+"""The unified Study facade: one code path, persisted resumable reports."""
+
+import pytest
+
+from repro.sched import PeriodicSchedule, SearchEngine
+from repro.sched.annealing import annealing_search
+from repro.sched.engine import EngineOptions
+from repro.sched.engine.batch import Scenario, synthesize_scenarios
+from repro.sched.exhaustive import exhaustive_search
+from repro.sched.feasibility import enumerate_idle_feasible, idle_feasible
+from repro.sched.hybrid import hybrid_search
+from repro.study import RunReport, Study, scenario_digest
+
+
+@pytest.fixture(scope="module")
+def case():
+    from repro.apps import build_case_study
+
+    return build_case_study()
+
+
+def fresh_engine(case, design_options) -> SearchEngine:
+    return SearchEngine(case.evaluator(design_options))
+
+
+class TestIdenticalResults:
+    """`Study.run()` reproduces the pre-redesign `CodesignProblem.optimize`
+    (which called the search functions below directly) for each strategy."""
+
+    def test_hybrid_matches_pre_redesign_search(self, case, quick_design_options):
+        starts = [PeriodicSchedule.of(4, 2, 2), PeriodicSchedule.of(1, 2, 1)]
+        legacy = hybrid_search(
+            fresh_engine(case, quick_design_options),
+            starts,
+            lambda s: idle_feasible(s, case.apps, case.clock),
+        )
+        report = Study.from_case_study(
+            quick_design_options, strategy="hybrid", starts=starts
+        ).run()[0]
+        assert report.best_schedule == list(legacy.best_schedule.counts)
+        assert report.overall == legacy.best_value
+
+    def test_annealing_matches_pre_redesign_search(self, case, quick_design_options):
+        start = PeriodicSchedule.of(1, 1, 1)
+        legacy = annealing_search(
+            fresh_engine(case, quick_design_options),
+            start,
+            lambda s: idle_feasible(s, case.apps, case.clock),
+        )
+        report = Study.from_case_study(
+            quick_design_options, strategy="annealing", starts=[start]
+        ).run()[0]
+        assert report.best_schedule == list(legacy.best_schedule.counts)
+        assert report.overall == legacy.best_value
+
+    @pytest.mark.slow
+    def test_exhaustive_matches_pre_redesign_search(self, case, tiny_design_options):
+        space = enumerate_idle_feasible(case.apps, case.clock)
+        legacy = exhaustive_search(
+            fresh_engine(case, tiny_design_options), schedules=space
+        )
+        report = Study.from_case_study(
+            tiny_design_options, strategy="exhaustive"
+        ).run()[0]
+        assert report.best_schedule == list(legacy.best_schedule.counts)
+        assert report.overall == legacy.best_value
+        assert report.n_space == len(space)
+        assert report.search_stats["n_enumerated"] == len(space)
+
+
+@pytest.mark.slow
+class TestStudyRuns:
+    def test_report_from_real_run(self, tiny_design_options):
+        scenario = synthesize_scenarios(
+            1, seed=11, design_options=tiny_design_options, n_apps_choices=(2,)
+        )[0]
+        report = Study.from_scenarios([scenario]).run()[0]
+        assert report.scenario == "synth-000"
+        assert report.strategy == "hybrid"
+        assert report.n_cores == 1 and report.cores is None
+        assert report.problem == scenario_digest(scenario)
+        assert len(report.best_schedule) == 2
+        assert report.feasible
+        assert report.engine_stats["n_computed"] > 0
+        assert report.wall_time > 0
+        assert {app["name"] for app in report.apps} == {
+            app.name for app in scenario.apps
+        }
+        assert RunReport.from_json(report.to_json()) == report
+
+    def test_multicore_report(self, tiny_design_options):
+        scenario = synthesize_scenarios(
+            1, seed=11, design_options=tiny_design_options,
+            n_apps_choices=(2,), n_cores=2,
+        )[0]
+        scenario.max_count_per_core = 2
+        report = Study.from_scenarios([scenario]).run()[0]
+        assert report.strategy == "exhaustive"
+        assert report.n_cores == 2
+        assert report.best_schedule is None
+        assert report.cores, "multicore report must carry the partition"
+        for core in report.cores:
+            assert set(core) == {"app_indices", "apps", "schedule"}
+        assert RunReport.from_json(report.to_json()) == report
+
+    def test_run_dir_persists_and_resumes(self, tiny_design_options, tmp_path):
+        scenario = synthesize_scenarios(
+            1, seed=11, design_options=tiny_design_options, n_apps_choices=(2,)
+        )[0]
+        first = Study.from_scenarios([scenario], run_dir=tmp_path).run()[0]
+        path = Study.from_scenarios([scenario], run_dir=tmp_path).report_path(
+            scenario
+        )
+        assert path.exists()
+        assert RunReport.from_json(path.read_text()) == first
+
+        # A fresh Study resumes from the persisted artifact: the report
+        # comes back identical, including its creation timestamp.
+        resumed = Study.from_scenarios([scenario], run_dir=tmp_path).run()[0]
+        assert resumed == first
+
+        # resume=False recomputes (fresh timestamp, same result).
+        recomputed = Study.from_scenarios([scenario], run_dir=tmp_path).run(
+            resume=False
+        )[0]
+        assert recomputed.created_at != first.created_at
+        assert recomputed.best_schedule == first.best_schedule
+        assert recomputed.overall == first.overall
+
+    def test_resume_rejects_stale_artifacts(self, tiny_design_options, tmp_path):
+        scenario = synthesize_scenarios(
+            1, seed=11, design_options=tiny_design_options, n_apps_choices=(2,)
+        )[0]
+        study = Study.from_scenarios([scenario], run_dir=tmp_path)
+        first = study.run()[0]
+        # Tamper with the persisted problem digest: the artifact no
+        # longer answers this scenario, so the study recomputes.
+        path = study.report_path(scenario)
+        path.write_text(path.read_text().replace(first.problem, "0" * 64))
+        again = Study.from_scenarios([scenario], run_dir=tmp_path).run()[0]
+        assert again.problem == first.problem
+        assert again.created_at != first.created_at
+
+    def test_report_paths_distinct_per_configuration(
+        self, tiny_design_options, tmp_path
+    ):
+        """Different starts/options of one scenario must not share (and
+        thrash) a single artifact file."""
+        from repro.sched.hybrid import HybridOptions
+
+        base = synthesize_scenarios(
+            1, seed=11, design_options=tiny_design_options, n_apps_choices=(2,)
+        )[0]
+        study = Study.from_scenarios([base], run_dir=tmp_path)
+        default_path = study.report_path(base)
+        base.starts = (PeriodicSchedule.of(1, 1),)
+        with_starts = study.report_path(base)
+        base.options = HybridOptions(max_steps=1)
+        with_options = study.report_path(base)
+        assert len({default_path, with_starts, with_options}) == 3
+
+    def test_resume_rejects_changed_options(self, tiny_design_options, tmp_path):
+        """Changing strategy options must invalidate the persisted report."""
+        from repro.sched.hybrid import HybridOptions
+
+        scenario = synthesize_scenarios(
+            1, seed=11, design_options=tiny_design_options, n_apps_choices=(2,)
+        )[0]
+        first = Study.from_scenarios([scenario], run_dir=tmp_path).run()[0]
+        scenario.options = HybridOptions(max_steps=1)
+        limited = Study.from_scenarios([scenario], run_dir=tmp_path).run()[0]
+        assert limited.created_at != first.created_at
+        assert limited.options == {"tolerance": 0.0, "max_steps": 1}
+
+    def test_interleaved_strategy_reports_refinement(self, tiny_design_options):
+        from repro.sched.strategies import InterleavedOptions
+
+        scenario = synthesize_scenarios(
+            1, seed=11, design_options=tiny_design_options, n_apps_choices=(2,)
+        )[0]
+        scenario.strategy = "interleaved"
+        scenario.starts = (PeriodicSchedule.of(1, 1), PeriodicSchedule.of(2, 1))
+        scenario.options = InterleavedOptions(max_schedules=20)
+        report = Study.from_scenarios([scenario]).run()[0]
+        assert report.strategy == "interleaved"
+        refinement = report.search_stats["interleaved"]
+        assert refinement["n_evaluated"] > 0
+        assert refinement["base_schedule"] == report.best_schedule
+        assert isinstance(refinement["interleaving_helps"], bool)
+        assert RunReport.from_json(report.to_json()) == report

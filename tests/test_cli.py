@@ -1,8 +1,11 @@
 """Tests for the top-level CLI (quick profile via environment)."""
 
+import json
+
 import pytest
 
 from repro.__main__ import main
+from repro.study import RunReport
 
 
 @pytest.fixture(autouse=True)
@@ -28,14 +31,69 @@ class TestCli:
         out = capsys.readouterr().out
         assert "C1c" in out and "C1w" in out
 
+    def test_strategies_lists_registry(self, capsys):
+        assert main(["strategies"]) == 0
+        out = capsys.readouterr().out
+        for name in ("exhaustive", "hybrid", "annealing", "interleaved"):
+            assert name in out
+        assert "register" in out
+
     def test_search_with_starts(self, capsys):
-        assert main(["search", "--method", "hybrid", "--starts", "2,2,2"]) == 0
+        assert main(["search", "--strategy", "hybrid", "--starts", "2,2,2"]) == 0
         out = capsys.readouterr().out
         assert "best:" in out
+        assert "strategy: hybrid" in out
+
+    def test_search_unknown_strategy_fails_fast(self, capsys):
+        assert main(["search", "--strategy", "anealing"]) == 2
+        err = capsys.readouterr().err
+        assert "anealing" in err and "annealing" in err
+
+    def test_search_method_flag_deprecated(self, capsys):
+        with pytest.warns(DeprecationWarning):
+            assert main(["search", "--method", "hybrid", "--starts", "2,2,2"]) == 0
+        assert "best:" in capsys.readouterr().out
+
+    def test_search_json_is_valid_and_schema_stable(self, capsys):
+        assert main(["search", "--strategy", "hybrid", "--starts", "2,2,2",
+                     "--json"]) == 0
+        out = capsys.readouterr().out
+        data = json.loads(out)
+        # The stdout payload is exactly one RunReport object.
+        report = RunReport.from_dict(data)
+        assert report.strategy == "hybrid"
+        assert report.scenario == "casestudy"
+        assert report.starts == [[2, 2, 2]]
+        assert report.best_schedule is not None
+        assert report.engine_stats["n_requested"] > 0
+        assert report.schema_version == 1
+
+    def test_search_run_dir_persists_report(self, capsys, tmp_path):
+        run_dir = tmp_path / "runs"
+        args = ["search", "--strategy", "hybrid", "--starts", "2,2,2",
+                "--run-dir", str(run_dir), "--json"]
+        assert main(args) == 0
+        first = json.loads(capsys.readouterr().out)
+        artifacts = list(run_dir.glob("*.json"))
+        assert len(artifacts) == 1
+        assert RunReport.from_json(artifacts[0].read_text()) == RunReport.from_dict(first)
+        # Rerun resumes from the artifact: identical report, timestamp included.
+        assert main(args) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert second == first
 
     def test_invalid_schedule_exits(self):
         with pytest.raises(SystemExit):
             main(["evaluate", "--schedule", "banana"])
+
+    @pytest.mark.slow
+    def test_batch_json_outputs_report_array(self, capsys):
+        assert main(["batch", "--suite-size", "1", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert isinstance(data, list) and len(data) == 1
+        report = RunReport.from_dict(data[0])
+        assert report.scenario == "synth-000"
+        assert report.strategy == "hybrid"
 
     @pytest.mark.slow
     def test_multicore_warm_rerun_disk_served(self, capsys, tmp_path):
@@ -51,3 +109,23 @@ class TestCli:
         assert "= 0 computed" in warm
         # Identical result on the warm, fully disk-served rerun.
         assert cold.split("engine:")[0] == warm.split("engine:")[0]
+
+    @pytest.mark.slow
+    def test_multicore_single_core_degenerates_to_search(self, capsys, tmp_path):
+        """Regression: --cores 1 must render, not crash on cores=None."""
+        args = ["multicore", "--cores", "1", "--cache-dir", str(tmp_path)]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "P_all" in out and "cores used: 1" in out
+
+    @pytest.mark.slow
+    def test_multicore_json_carries_partition(self, capsys, tmp_path):
+        args = [
+            "multicore", "--cores", "2", "--max-count-per-core", "2",
+            "--cache-dir", str(tmp_path), "--json",
+        ]
+        assert main(args) == 0
+        report = RunReport.from_dict(json.loads(capsys.readouterr().out))
+        assert report.n_cores == 2
+        assert report.cores and report.best_schedule is None
+        assert report.strategy == "exhaustive"
