@@ -61,9 +61,15 @@ from .sched import (
     hybrid_search,
     register_strategy,
 )
+from .platform import Platform, paper_platform
 from .study import RunReport, Study
 from .units import Clock
-from .wcet import analyze_task_wcets
+from .wcet import (
+    analyze_task_wcets,
+    available_wcet_models,
+    get_wcet_model,
+    register_wcet_model,
+)
 
 __version__ = "1.0.0"
 
@@ -80,6 +86,7 @@ __all__ = [
     "InterleavedSchedule",
     "LtiPlant",
     "PeriodicSchedule",
+    "Platform",
     "Program",
     "ProgramBuilder",
     "ReproError",
@@ -91,14 +98,18 @@ __all__ = [
     "TrackingSpec",
     "analyze_task_wcets",
     "available_strategies",
+    "available_wcet_models",
     "build_case_study",
     "derive_timing",
     "design_controller",
     "enumerate_idle_feasible",
     "exhaustive_search",
     "get_strategy",
+    "get_wcet_model",
     "hybrid_search",
     "make_control_program",
+    "paper_platform",
     "register_strategy",
+    "register_wcet_model",
     "__version__",
 ]

@@ -8,16 +8,21 @@ Commands
     Evaluate one periodic schedule (timing, per-app settling, P_all).
 ``strategies``
     List the registered search strategies (the strategy registry).
+``models``
+    List the registered WCET models (the platform registry).
 ``search [--strategy hybrid] [--starts 4,2,2 1,2,1]``
     Run a schedule-space search on the case study and print the result.
 ``timeline --schedule 2,2,2``
     Render the schedule's timing diagram (paper Figs. 2/4).
 ``batch [--suite-size 4] [--strategy hybrid] [--cores K]``
     Sweep a suite of synthesized scenarios through the search engine
-    (``--cores >= 2`` makes every scenario a multicore co-design).
-``multicore [--cores 2] [--strategy exhaustive]``
-    Partition the case study across private-cache cores and jointly
-    optimize the partition and the per-core schedules.
+    (``--cores >= 2`` makes every scenario a multicore co-design,
+    ``--jitter-platform`` draws a fresh cache/clock per scenario).
+``multicore [--cores 2] [--strategy exhaustive] [--shared-cache]``
+    Partition the case study across cores and jointly optimize the
+    partition and the per-core schedules — private caches by default,
+    or one way-partitioned shared cache with ``--shared-cache`` (the
+    way allocation is then co-optimized too).
 
 ``search``, ``batch`` and ``multicore`` all run through the unified
 :class:`repro.study.Study` facade and share one flag set:
@@ -27,7 +32,11 @@ its deprecated alias), ``--json`` prints the structured
 tables, ``--run-dir DIR`` persists every report as JSON (matching
 reruns resume from disk), ``--workers N`` evaluates candidates on
 worker processes and ``--cache-dir DIR`` persists every evaluation so
-reruns warm-start.
+reruns warm-start.  The platform flags — ``--wcet-model``,
+``--cache-sets``, ``--cache-ways``, ``--miss-cycles``,
+``--clock-mhz`` — rebuild the problem on a different execution
+platform (see ``python -m repro models``); the platform is recorded in
+every report and keyed into the persistent evaluation cache.
 
 The controller-design budget follows ``REPRO_PROFILE``.
 """
@@ -134,6 +143,71 @@ def cmd_strategies(_args: argparse.Namespace) -> None:
     )
 
 
+def cmd_models(_args: argparse.Namespace) -> None:
+    from .wcet.models import (
+        available_wcet_models,
+        get_wcet_model,
+        model_description,
+    )
+
+    rows = []
+    for name in available_wcet_models():
+        model = get_wcet_model(name)
+        rows.append([name, model_description(model)])
+    print(
+        render_table(
+            ["model", "description"],
+            rows,
+            title="registered WCET models",
+        )
+    )
+    print("\nregister your own with @repro.wcet.register_wcet_model")
+
+
+def _platform_from_args(
+    args: argparse.Namespace, shared: bool = False
+):
+    """The :class:`~repro.platform.Platform` the flags describe.
+
+    ``None`` when every flag is at its default and no shared cache is
+    requested — the paper platform, leaving digests/reports identical
+    to runs that never declared a platform.  ``--shared-cache`` without
+    explicit geometry defaults to
+    :func:`~repro.platform.shared_paper_platform` (the paper capacity
+    as 32 sets x 4 ways), since the paper's direct-mapped cache has no
+    ways to partition.
+    """
+    from dataclasses import replace
+
+    from .cache.config import CacheConfig
+    from .platform import Platform, shared_paper_platform
+
+    flags = (
+        args.wcet_model,
+        args.cache_sets,
+        args.cache_ways,
+        args.miss_cycles,
+        args.clock_mhz,
+    )
+    if not shared and all(value is None for value in flags):
+        return None
+    default = shared_paper_platform().cache if shared else CacheConfig()
+    cache = replace(
+        default,
+        n_sets=args.cache_sets if args.cache_sets is not None else default.n_sets,
+        associativity=(
+            args.cache_ways if args.cache_ways is not None else default.associativity
+        ),
+        miss_cycles=(
+            args.miss_cycles if args.miss_cycles is not None else default.miss_cycles
+        ),
+    )
+    clock = Clock(args.clock_mhz * 1e6) if args.clock_mhz is not None else Clock(20e6)
+    return Platform(
+        cache=cache, clock=clock, wcet_model=args.wcet_model or "static"
+    )
+
+
 def _resolve_strategy(args: argparse.Namespace) -> str | None:
     """``--strategy``, honoring the deprecated ``--method`` alias."""
     if getattr(args, "method", None):
@@ -174,6 +248,7 @@ def cmd_search(args: argparse.Namespace) -> None:
         design_options_for_profile(),
         strategy=_resolve_strategy(args),
         starts=starts,
+        platform=_platform_from_args(args),
         engine_options=_engine_options(args),
         run_dir=args.run_dir,
     )
@@ -216,6 +291,9 @@ def cmd_batch(args: argparse.Namespace) -> None:
         strategy=_resolve_strategy(args),
         design_options=design_options_for_profile(),
         n_cores=args.cores,
+        platform=_platform_from_args(args, shared=args.shared_cache),
+        jitter_platform=args.jitter_platform,
+        shared_cache=args.shared_cache,
         engine_options=_engine_options(args),
         run_dir=args.run_dir,
     )
@@ -263,6 +341,8 @@ def cmd_multicore(args: argparse.Namespace) -> None:
         strategy=_resolve_strategy(args),
         n_cores=args.cores,
         max_count_per_core=args.max_count_per_core,
+        platform=_platform_from_args(args, shared=args.shared_cache),
+        shared_cache=args.shared_cache,
         engine_options=_engine_options(args),
         run_dir=args.run_dir,
     )
@@ -279,23 +359,29 @@ def cmd_multicore(args: argparse.Namespace) -> None:
             "schedule": report.best_schedule,
         }
     ]
+    shared = any(core.get("ways") is not None for core in cores)
     rows = []
     for core_index, core in enumerate(cores):
-        rows.append(
-            [
-                str(core_index),
-                ", ".join(core["apps"]),
-                _format_schedule_counts(core["schedule"]),
-                ", ".join(
-                    f"{settling[name] * 1e3:.2f} ms" for name in core["apps"]
-                ),
-            ]
-        )
+        row = [
+            str(core_index),
+            ", ".join(core["apps"]),
+            _format_schedule_counts(core["schedule"]),
+            ", ".join(
+                f"{settling[name] * 1e3:.2f} ms" for name in core["apps"]
+            ),
+        ]
+        if shared:
+            row.insert(2, str(core["ways"]))
+        rows.append(row)
+    headers = ["core", "apps", "schedule", "settling"]
+    if shared:
+        headers.insert(2, "ways")
+    cache_kind = "shared way-partitioned cache" if shared else "private caches"
     print(
         render_table(
-            ["core", "apps", "schedule", "settling"],
+            headers,
             rows,
-            title=f"multicore co-design ({args.cores} cores, "
+            title=f"multicore co-design ({args.cores} cores, {cache_kind}, "
                   f"{report.backend} backend)",
         )
     )
@@ -331,6 +417,8 @@ def main(argv: list[str] | None = None) -> int:
 
     sub.add_parser("strategies", help="list registered search strategies")
 
+    sub.add_parser("models", help="list registered WCET models")
+
     search = sub.add_parser("search", help="schedule-space search")
     search.add_argument("--starts", nargs="*", help="e.g. --starts 4,2,2 1,2,1")
     _add_search_arguments(search)
@@ -351,6 +439,17 @@ def main(argv: list[str] | None = None) -> int:
         default=1,
         help="co-design every scenario over this many cores (1 = single-core)",
     )
+    batch.add_argument(
+        "--jitter-platform",
+        action="store_true",
+        help="draw a fresh cache geometry and clock per scenario",
+    )
+    batch.add_argument(
+        "--shared-cache",
+        action="store_true",
+        help="multicore scenarios way-partition one shared cache "
+        "(needs --cores >= 2)",
+    )
     _add_search_arguments(batch)
 
     multicore = sub.add_parser(
@@ -366,6 +465,13 @@ def main(argv: list[str] | None = None) -> int:
         default=6,
         help="burst-length cap per core (bounds lone-app schedule spaces)",
     )
+    multicore.add_argument(
+        "--shared-cache",
+        action="store_true",
+        help="cores share one set-associative cache; the way allocation "
+        "is co-optimized with the partition (default geometry: 32 sets "
+        "x 4 ways, the paper capacity)",
+    )
     _add_search_arguments(multicore)
 
     args = parser.parse_args(argv)
@@ -373,6 +479,7 @@ def main(argv: list[str] | None = None) -> int:
         "info": cmd_info,
         "evaluate": cmd_evaluate,
         "strategies": cmd_strategies,
+        "models": cmd_models,
         "search": cmd_search,
         "timeline": cmd_timeline,
         "batch": cmd_batch,
@@ -420,6 +527,36 @@ def _add_search_arguments(parser: argparse.ArgumentParser) -> None:
         "--cache-dir",
         default=None,
         help="persistent evaluation-cache directory (warm-starts reruns)",
+    )
+    parser.add_argument(
+        "--wcet-model",
+        default=None,
+        help="registered WCET model to (re)analyze the programs with "
+        "(see `python -m repro models`); default: static",
+    )
+    parser.add_argument(
+        "--cache-sets",
+        type=int,
+        default=None,
+        help="instruction-cache sets (default: 128; 32 with --shared-cache)",
+    )
+    parser.add_argument(
+        "--cache-ways",
+        type=int,
+        default=None,
+        help="instruction-cache ways (default: 1; 4 with --shared-cache)",
+    )
+    parser.add_argument(
+        "--miss-cycles",
+        type=int,
+        default=None,
+        help="cache-miss latency in cycles (default: 100)",
+    )
+    parser.add_argument(
+        "--clock-mhz",
+        type=float,
+        default=None,
+        help="processor clock in MHz (default: 20)",
     )
 
 

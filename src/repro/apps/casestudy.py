@@ -18,6 +18,7 @@ from ..cache.config import CacheConfig
 from ..cache.memory import FlashLayout
 from ..control.design import DesignOptions, TrackingSpec
 from ..core.application import ControlApplication
+from ..platform import Platform
 from ..program.program import Program
 from ..sched.evaluator import ScheduleEvaluator
 from ..units import Clock, ms
@@ -73,6 +74,7 @@ class CaseStudy:
     cache_config: CacheConfig
     programs: list[Program]
     layout: FlashLayout
+    platform: Platform | None = None
 
     def evaluator(
         self, design_options: DesignOptions | None = None
@@ -90,7 +92,8 @@ class CaseStudy:
 
 def build_case_study(
     cache_config: CacheConfig | None = None,
-    wcet_method: str = "static",
+    wcet_method: str | None = None,
+    platform: Platform | None = None,
 ) -> CaseStudy:
     """Construct the three-application case study.
 
@@ -101,11 +104,23 @@ def build_case_study(
         Passing a different geometry reruns the whole WCET analysis under
         it (used by the cache-sweep ablation).
     wcet_method:
-        ``"static"`` (sound must/may bounds, default) or ``"concrete"``
-        (exact trace replay); identical for the calibrated programs.
+        Name of a registered WCET model (``"static"`` — sound must/may
+        bounds — by default; see
+        :func:`repro.wcet.models.available_wcet_models`).
+    platform:
+        Complete :class:`~repro.platform.Platform` bundle (cache +
+        clock + WCET model); supersedes ``cache_config``/``wcet_method``
+        and also sets the clock.  The whole case study — programs,
+        layout, WCETs — is rebuilt on it.
     """
-    cache_config = cache_config or CacheConfig()
-    clock = Clock(20e6)
+    if platform is None:
+        platform = Platform(
+            cache=cache_config or CacheConfig(),
+            clock=Clock(20e6),
+            wcet_model=wcet_method or "static",
+        )
+    cache_config = platform.cache
+    clock = platform.clock
     programs, layout = build_case_study_programs(cache_config)
     plants = {
         "C1": servo_position_plant(),
@@ -117,7 +132,7 @@ def build_case_study(
         name = program.name
         weight, deadline, max_idle = PAPER_TABLE2[name]
         y0, r, u_max = TRACKING_SCENARIOS[name]
-        wcets = analyze_task_wcets(program, cache_config, wcet_method)
+        wcets = analyze_task_wcets(program, cache_config, platform.wcet_model)
         apps.append(
             ControlApplication(
                 name=name,
@@ -135,4 +150,5 @@ def build_case_study(
         cache_config=cache_config,
         programs=programs,
         layout=layout,
+        platform=platform,
     )

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from ..errors import ConfigurationError
 
@@ -87,6 +87,21 @@ class CacheConfig:
     def miss_penalty(self) -> int:
         """Extra cycles a miss costs over a hit."""
         return self.miss_cycles - self.hit_cycles
+
+    def with_ways(self, ways: int) -> "CacheConfig":
+        """A way-partition of this cache: all sets, ``ways`` of the ways.
+
+        This is how a shared set-associative cache is split between
+        cores: each core keeps every set but only its allocated ways,
+        so partitions are isolated (no inter-core interference) and the
+        per-core geometry stays a valid LRU cache.
+        """
+        if not 1 <= ways <= self.associativity:
+            raise ConfigurationError(
+                f"way partition must satisfy 1 <= ways <= associativity "
+                f"({self.associativity}), got {ways}"
+            )
+        return replace(self, associativity=ways)
 
     def line_of(self, address: int) -> int:
         """Return the memory-line index containing byte ``address``."""

@@ -75,7 +75,9 @@ class CodesignProblem:
     worker processes, and with a ``cache_dir`` every evaluation persists
     to disk so repeated runs warm-start (see
     :mod:`repro.sched.engine`).  The defaults keep everything serial and
-    in-memory, exactly as before.
+    in-memory, exactly as before.  ``platform`` declares the
+    :class:`~repro.platform.Platform` the applications' WCETs were
+    analyzed on; it becomes part of the persistent-cache keys.
     """
 
     def __init__(
@@ -85,11 +87,15 @@ class CodesignProblem:
         design_options: DesignOptions | None = None,
         workers: int = 0,
         cache_dir: str | Path | None = None,
+        platform=None,
     ) -> None:
         self.apps = list(apps)
         self.clock = clock
+        self.platform = platform
         self.evaluator = ScheduleEvaluator(apps, clock, design_options)
-        self.engine = SearchEngine(self.evaluator, workers=workers, cache_dir=cache_dir)
+        self.engine = SearchEngine(
+            self.evaluator, workers=workers, cache_dir=cache_dir, platform=platform
+        )
         self._space: list[PeriodicSchedule] | None = None
 
     def close(self) -> None:

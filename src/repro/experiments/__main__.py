@@ -1,9 +1,9 @@
 """Command-line entry point: ``python -m repro.experiments <name>``.
 
 Names: ``table1``, ``table2``, ``table3``, ``fig6``, ``search``,
-``multicore``, ``all``.  ``fig6`` additionally writes CSV files
-(``--out DIR``, default ``./fig6_out``).  The design budget follows
-``REPRO_PROFILE`` (quick / standard / full).
+``multicore``, ``shared_cache``, ``all``.  ``fig6`` additionally writes
+CSV files (``--out DIR``, default ``./fig6_out``).  The design budget
+follows ``REPRO_PROFILE`` (quick / standard / full).
 """
 
 from __future__ import annotations
@@ -11,7 +11,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from . import fig6, multicore, search, table1, table2, table3
+from . import fig6, multicore, search, shared_cache, table1, table2, table3
 from .profiles import current_profile
 
 EXPERIMENTS = {
@@ -21,6 +21,7 @@ EXPERIMENTS = {
     "fig6": lambda args: _run_fig6(args),
     "search": lambda args: search.run().render(),
     "multicore": lambda args: multicore.run().render(),
+    "shared_cache": lambda args: shared_cache.run().render(),
 }
 
 

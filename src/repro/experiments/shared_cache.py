@@ -1,0 +1,140 @@
+"""Experiment E7 — private caches vs one way-partitioned shared cache.
+
+The paper's Section-VI extension gives every core a private copy of the
+instruction cache.  Real multicore microcontrollers often share one
+set-associative cache instead; partitioning its *ways* between the
+cores (Sun et al.'s cache-partitioning / task-scheduling co-design)
+isolates them again, at the price of smaller per-core capacity.  This
+experiment quantifies that price on the case study: the same
+set-associative platform is co-designed twice —
+
+* **private**: every core owns the full cache (the classic sweep);
+* **shared**: the cores split the cache's ways, and the way allocation
+  is co-optimized with the partition and the per-core schedules —
+
+and the gap between the two optima is the capacity cost of sharing
+(equivalently: the gain private caches buy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..apps.casestudy import CaseStudy, build_case_study
+from ..control.design import DesignOptions
+from ..core.report import render_table
+from ..multicore.partition import MulticoreEvaluation, MulticoreProblem
+from ..platform import Platform, shared_paper_platform
+
+
+@dataclass
+class SharedCacheSummary:
+    """Shared-cache co-design next to the private-cache baseline."""
+
+    n_cores: int
+    app_names: list[str]
+    platform: Platform
+    private: MulticoreEvaluation
+    shared: MulticoreEvaluation
+    engine_summary: str
+
+    @property
+    def partitioning_gain(self) -> float:
+        """P_all advantage of private caches over the shared cache."""
+        return self.private.overall - self.shared.overall
+
+    def render(self) -> str:
+        def rows_for(evaluation: MulticoreEvaluation) -> list[list[str]]:
+            rows = []
+            for core_index, core in enumerate(evaluation.cores):
+                names = ", ".join(self.app_names[i] for i in core.app_indices)
+                rows.append(
+                    [
+                        str(core_index),
+                        names,
+                        "full" if core.ways is None else str(core.ways),
+                        str(core.schedule),
+                        ", ".join(
+                            f"{evaluation.settling[i] * 1e3:.2f}"
+                            for i in core.app_indices
+                        ),
+                    ]
+                )
+            return rows
+
+        cache = self.platform.cache
+        header = ["core", "apps", "ways", "schedule", "settling (ms)"]
+        private_table = render_table(
+            header,
+            rows_for(self.private),
+            title=f"private caches ({cache.n_sets} x {cache.associativity} ways each)",
+        )
+        shared_table = render_table(
+            header,
+            rows_for(self.shared),
+            title=f"shared cache ({cache.associativity} ways partitioned)",
+        )
+        return (
+            private_table
+            + f"\nprivate P_all = {self.private.overall:.4f}"
+            + "\n\n"
+            + shared_table
+            + f"\nshared  P_all = {self.shared.overall:.4f}"
+            + f"\n\nprivate-vs-shared partitioning gain: "
+            f"{self.partitioning_gain:+.4f}"
+            + f"\nengine: {self.engine_summary}"
+        )
+
+
+def run(
+    case: CaseStudy | None = None,
+    design_options: DesignOptions | None = None,
+    n_cores: int = 2,
+    platform: Platform | None = None,
+    max_count_per_core: int = 6,
+    workers: int = 0,
+    cache_dir: str | Path | None = None,
+) -> SharedCacheSummary:
+    """Run the private-vs-shared comparison on one platform.
+
+    Both sweeps run through the partitioned engine; with a
+    ``cache_dir`` they share disk entries wherever a block's way
+    allocation equals the full geometry.
+    """
+    platform = platform or shared_paper_platform()
+    case = case or build_case_study(platform=platform)
+    options = design_options or design_options_for_profile()
+    with MulticoreProblem(
+        case.apps,
+        case.clock,
+        n_cores=n_cores,
+        design_options=options,
+        max_count_per_core=max_count_per_core,
+        workers=workers,
+        cache_dir=cache_dir,
+        platform=platform,
+    ) as problem:
+        private = problem.optimize()
+        private_summary = problem.engine.stats.summary()
+    with MulticoreProblem(
+        case.apps,
+        case.clock,
+        n_cores=n_cores,
+        design_options=options,
+        max_count_per_core=max_count_per_core,
+        workers=workers,
+        cache_dir=cache_dir,
+        platform=platform,
+        shared_cache=True,
+    ) as problem:
+        shared = problem.optimize()
+        shared_summary = problem.engine.stats.summary()
+    return SharedCacheSummary(
+        n_cores=n_cores,
+        app_names=[app.name for app in case.apps],
+        platform=platform,
+        private=private,
+        shared=shared,
+        engine_summary=f"private: {private_summary}; shared: {shared_summary}",
+    )

@@ -1,4 +1,4 @@
-"""Multi-core extension (paper Section VI).
+"""Multi-core extension (paper Section VI, plus shared-cache co-design).
 
 The paper notes the framework "can be naturally extended to a
 multi-core architecture, where each core has its own cache".  This
@@ -6,6 +6,13 @@ package implements that extension: applications are partitioned across
 cores, each core runs its own periodic schedule against its private
 instruction cache, and the overall control performance is maximized
 over both the partition and the per-core schedules.
+
+Beyond the paper, ``MulticoreProblem(..., shared_cache=True)``
+co-designs the partition with a *way allocation* of one shared
+set-associative cache (after Sun et al.'s cache-partitioning /
+task-scheduling co-optimization): each core gets a slice of the ways,
+WCETs are re-analyzed per slice, and the sweep jointly optimizes
+partition × way allocation × per-core schedules.
 """
 
 from .partition import (
@@ -14,6 +21,7 @@ from .partition import (
     MulticoreEvaluation,
     MulticoreProblem,
     enumerate_partitions,
+    way_allocations,
 )
 
 __all__ = [
@@ -22,4 +30,5 @@ __all__ = [
     "MulticoreEvaluation",
     "MulticoreProblem",
     "enumerate_partitions",
+    "way_allocations",
 ]

@@ -1,10 +1,10 @@
-"""Application partitioning across cores with private caches.
+"""Application partitioning across cores (private or shared caches).
 
 For each partition of the applications onto cores, every core is an
-independent instance of the single-core problem (its own cache, its own
-periodic schedule, smaller interference set Δ), so the single-core
-machinery is reused per core — through the partitioned search engine
-(:class:`repro.sched.engine.PartitionedSearchEngine`):
+independent instance of the single-core problem (its own cache slice,
+its own periodic schedule, smaller interference set Δ), so the
+single-core machinery is reused per core — through the partitioned
+search engine (:class:`repro.sched.engine.PartitionedSearchEngine`):
 
 * every block of applications gets a real
   :class:`~repro.sched.evaluator.ScheduleEvaluator` (so femtosecond
@@ -18,9 +18,19 @@ machinery is reused per core — through the partitioned search engine
   partitions, across runs, and by single-core searches of the same
   applications.
 
-A block's evaluation depends only on the block (never on the rest of
-the partition), so the sweep evaluates each distinct block once and
-scores partitions from the shared results.
+Two multicore models are supported:
+
+* **private caches** (default, the paper's Section-VI extension): every
+  core owns a full copy of the platform cache, so a block's evaluation
+  depends only on the block.
+* **shared cache, way-partitioned** (``shared_cache=True``, after Sun
+  et al.'s cache-partitioning/task-scheduling co-design): all cores
+  share one set-associative cache whose ways are divided between them.
+  The co-design then optimizes the application partition *and* the
+  per-core way allocation jointly — every ``(block, ways)`` candidate
+  re-analyzes the block's WCETs under
+  :meth:`~repro.cache.config.CacheConfig.with_ways` and is batched
+  through the same engine under a way-aware sub-problem digest.
 """
 
 from __future__ import annotations
@@ -31,8 +41,9 @@ from typing import Iterator
 
 from ..control.design import DesignOptions
 from ..core.application import ControlApplication
-from ..errors import ScheduleError, SearchError
-from ..sched.engine import PartitionedSearchEngine
+from ..errors import ConfigurationError, ScheduleError, SearchError
+from ..platform import Platform
+from ..sched.engine import Block, PartitionedSearchEngine
 from ..sched.evaluator import ScheduleEvaluation
 from ..sched.feasibility import enumerate_idle_feasible, idle_feasible
 from ..sched.schedule import PeriodicSchedule
@@ -47,29 +58,34 @@ class BlockSearchEngine:
     adapter exposes one block of a :class:`PartitionedSearchEngine` as
     exactly that, so any registered strategy can optimize a core's
     schedule while evaluations still flow through the shared engine
-    (per-block memo, shared persistent cache and worker pool).
+    (per-block memo, shared persistent cache and worker pool).  The
+    block may carry a way allocation (shared-cache co-design), in which
+    case the adapter's applications are the re-analyzed variants.
     """
 
-    def __init__(self, engine: PartitionedSearchEngine, indices: tuple[int, ...]) -> None:
+    def __init__(self, engine: PartitionedSearchEngine, block) -> None:
         self._engine = engine
-        self.indices = tuple(int(i) for i in indices)
-        sub = engine.subproblem(self.indices)
+        spec = block if isinstance(block, Block) else Block(tuple(int(i) for i in block))
+        self.block = spec
+        self.indices = spec.indices
+        self.ways = spec.ways
+        sub = engine.subproblem(spec)
         self.apps = sub.evaluator.apps
         self.clock = engine.clock
         self.design_options = engine.design_options
 
     def evaluate(self, schedule: PeriodicSchedule) -> ScheduleEvaluation:
-        return self._engine.evaluate(self.indices, schedule)
+        return self._engine.evaluate(self.block, schedule)
 
     def evaluate_batch(
         self, schedules: list[PeriodicSchedule]
     ) -> list[ScheduleEvaluation]:
         return self._engine.evaluate_pairs(
-            [(self.indices, schedule) for schedule in schedules]
+            [(self.block, schedule) for schedule in schedules]
         )
 
     def is_cached(self, schedule: PeriodicSchedule) -> bool:
-        return self._engine.subproblem(self.indices).evaluator.is_cached(schedule)
+        return self._engine.subproblem(self.block).evaluator.is_cached(schedule)
 
     @property
     def workers(self) -> int:
@@ -84,10 +100,12 @@ class BlockSearchEngine:
 
 @dataclass(frozen=True)
 class CoreAssignment:
-    """One core's applications (global indices) and its schedule."""
+    """One core's applications (global indices), schedule and — for
+    shared-cache co-designs — its allocated cache ways."""
 
     app_indices: tuple[int, ...]
     schedule: PeriodicSchedule
+    ways: int | None = None
 
 
 @dataclass
@@ -131,6 +149,24 @@ def enumerate_partitions(n_apps: int, n_cores: int) -> Iterator[tuple[tuple[int,
     yield from recurse(0, [])
 
 
+def way_allocations(total_ways: int, n_blocks: int) -> Iterator[tuple[int, ...]]:
+    """All ordered allocations of ``total_ways`` cache ways to
+    ``n_blocks`` cores, at least one way each, all ways assigned.
+
+    Assigning every way is without loss of optimality: a core's WCETs
+    (and therefore its best schedule value) never degrade with extra
+    ways under LRU, so any allocation leaving ways idle is dominated.
+    """
+    if n_blocks < 1 or total_ways < n_blocks:
+        return
+    if n_blocks == 1:
+        yield (total_ways,)
+        return
+    for first in range(1, total_ways - n_blocks + 2):
+        for rest in way_allocations(total_ways - first, n_blocks - 1):
+            yield (first,) + rest
+
+
 class MulticoreProblem:
     """Co-design over partitions and per-core periodic schedules.
 
@@ -139,6 +175,14 @@ class MulticoreProblem:
     ``workers >= 2`` candidate evaluations fan out to worker processes,
     and with a ``cache_dir`` every evaluation persists to disk so
     repeated runs (and overlapping partitions) warm-start.
+
+    ``platform`` declares the execution platform (cache geometry,
+    clock, WCET model; default: the paper platform at ``clock``).  With
+    ``shared_cache=True`` the cores share that platform's
+    set-associative cache and the sweep co-optimizes the application
+    partition with the per-core way allocation; the cache needs at
+    least as many ways as cores that could be used
+    (``min(n_cores, len(apps))``).
     """
 
     def __init__(
@@ -150,6 +194,8 @@ class MulticoreProblem:
         max_count_per_core: int = 6,
         workers: int = 0,
         cache_dir: str | Path | None = None,
+        platform: Platform | None = None,
+        shared_cache: bool = False,
     ) -> None:
         if n_cores < 1:
             raise ScheduleError(f"need at least one core, got {n_cores}")
@@ -161,6 +207,7 @@ class MulticoreProblem:
         self.clock = clock
         self.n_cores = n_cores
         self.design_options = design_options or DesignOptions()
+        self.shared_cache = bool(shared_cache)
         # A lone application on a core never violates its idle bound
         # (Delta = 0), so its schedule space is unbounded; burst lengths
         # are capped where the cache-reuse benefit has long saturated.
@@ -171,8 +218,20 @@ class MulticoreProblem:
             self.design_options,
             workers=workers,
             cache_dir=cache_dir,
+            platform=platform,
         )
-        self._spaces: dict[tuple[int, ...], list[PeriodicSchedule]] = {}
+        self.platform = self.engine.platform
+        self.total_ways = self.platform.cache.associativity
+        if self.shared_cache:
+            usable_cores = min(self.n_cores, len(self.apps))
+            if self.total_ways < usable_cores:
+                raise ConfigurationError(
+                    f"shared-cache co-design over {usable_cores} cores needs a "
+                    f"cache with associativity >= {usable_cores}, got "
+                    f"{self.total_ways} (e.g. use "
+                    "repro.platform.shared_paper_platform())"
+                )
+        self._spaces: dict[tuple[tuple[int, ...], int | None], list[PeriodicSchedule]] = {}
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -191,17 +250,23 @@ class MulticoreProblem:
     # Per-core machinery
     # ------------------------------------------------------------------
     def core_schedule_space(
-        self, app_indices: tuple[int, ...]
+        self, app_indices: tuple[int, ...], ways: int | None = None
     ) -> list[PeriodicSchedule]:
-        """One core's idle-feasible schedule space (cached per block)."""
+        """One core's idle-feasible schedule space (cached per block).
+
+        For way-allocated blocks the space is derived from the WCETs
+        re-analyzed under that allocation — fewer ways mean longer
+        effective WCETs, so the idle-feasible space itself moves with
+        the way allocation.
+        """
         app_indices = tuple(app_indices)
-        space = self._spaces.get(app_indices)
+        space = self._spaces.get((app_indices, ways))
         if space is None:
-            core_apps = [self.apps[i] for i in app_indices]
+            core_apps = self.engine.subproblem(app_indices, ways).evaluator.apps
             space = enumerate_idle_feasible(
                 core_apps, self.clock, max_count=self.max_count_per_core
             )
-            self._spaces[app_indices] = space
+            self._spaces[(app_indices, ways)] = space
         return space
 
     def _block_value(
@@ -219,11 +284,14 @@ class MulticoreProblem:
         )
 
     def evaluate_core(
-        self, app_indices: tuple[int, ...], schedule: PeriodicSchedule
+        self,
+        app_indices: tuple[int, ...],
+        schedule: PeriodicSchedule,
+        ways: int | None = None,
     ) -> tuple[dict[int, float], dict[int, float], bool]:
         """Evaluate one core; returns (settling, performance, idle_ok)."""
         app_indices = tuple(app_indices)
-        evaluation = self.engine.evaluate(app_indices, schedule)
+        evaluation = self.engine.evaluate(app_indices, schedule, ways=ways)
         settling = {
             global_index: app_eval.settling
             for global_index, app_eval in zip(app_indices, evaluation.apps)
@@ -258,6 +326,7 @@ class MulticoreProblem:
         n_starts: int,
         seed: int,
         options: object | None,
+        ways: int | None = None,
     ) -> tuple[float, ScheduleEvaluation] | None:
         """Optimize one core's schedule with a registered strategy.
 
@@ -265,10 +334,10 @@ class MulticoreProblem:
         :meth:`_best_in_block`; ``None`` marks the block infeasible
         (empty space or no feasible schedule found).
         """
-        space = self.core_schedule_space(block)
+        space = self.core_schedule_space(block, ways)
         if not space:
             return None
-        engine = BlockSearchEngine(self.engine, block)
+        engine = BlockSearchEngine(self.engine, Block(block, ways))
         # Strategies walk the space through eq. (4) only; re-add the
         # burst-length cap so a lone-app core (Delta = 0, everything
         # idle-feasible) cannot wander past the enumerated space.
@@ -286,13 +355,13 @@ class MulticoreProblem:
         return self._block_value(block, result.best), result.best
 
     def best_schedule_for_core(
-        self, app_indices: tuple[int, ...]
+        self, app_indices: tuple[int, ...], ways: int | None = None
     ) -> tuple[PeriodicSchedule, dict[int, float], dict[int, float]] | None:
         """Exhaustively optimize one core's schedule (weighted objective)."""
         app_indices = tuple(app_indices)
-        space = self.core_schedule_space(app_indices)
+        space = self.core_schedule_space(app_indices, ways)
         evaluations = self.engine.evaluate_pairs(
-            [(app_indices, schedule) for schedule in space]
+            [(Block(app_indices, ways), schedule) for schedule in space]
         )
         best = self._best_in_block(app_indices, evaluations)
         if best is None:
@@ -329,56 +398,76 @@ class MulticoreProblem:
         Other strategies (e.g. ``"hybrid"``) run per block through a
         :class:`BlockSearchEngine`, still sharing the engine's caches
         and pool.  Partitions are then scored from the per-block optima.
+
+        With ``shared_cache=True`` each partition is additionally swept
+        over every allocation of the cache's ways to its cores, so the
+        result jointly optimizes partition, way allocation and per-core
+        schedules.
         """
         strat = get_strategy(strategy)
         partitions = list(
             enumerate_partitions(len(self.apps), self.n_cores)
         )
-        blocks: list[tuple[int, ...]] = []
-        seen: set[tuple[int, ...]] = set()
-        for partition in partitions:
-            for block in partition:
-                if block not in seen:
-                    seen.add(block)
-                    blocks.append(block)
+        if self.shared_cache:
+            candidates = [
+                (partition, alloc)
+                for partition in partitions
+                for alloc in way_allocations(self.total_ways, len(partition))
+            ]
+        else:
+            candidates = [
+                (partition, (None,) * len(partition)) for partition in partitions
+            ]
+        if not candidates:
+            raise SearchError("no feasible multicore assignment exists")
+
+        blocks: list[tuple[tuple[int, ...], int | None]] = []
+        seen: set[tuple[tuple[int, ...], int | None]] = set()
+        for partition, alloc in candidates:
+            for block, ways in zip(partition, alloc):
+                if (block, ways) not in seen:
+                    seen.add((block, ways))
+                    blocks.append((block, ways))
 
         if getattr(strat, "evaluates_full_space", False):
             pairs = [
-                (block, schedule)
-                for block in blocks
-                for schedule in self.core_schedule_space(block)
+                (Block(block, ways), schedule)
+                for block, ways in blocks
+                for schedule in self.core_schedule_space(block, ways)
             ]
             evaluations = self.engine.evaluate_pairs(pairs)
 
-            per_block: dict[tuple[int, ...], list[ScheduleEvaluation]] = {
-                block: [] for block in blocks
+            per_block: dict[tuple[tuple[int, ...], int | None], list[ScheduleEvaluation]] = {
+                key: [] for key in blocks
             }
-            for (block, _schedule), evaluation in zip(pairs, evaluations):
-                per_block[block].append(evaluation)
+            for (spec, _schedule), evaluation in zip(pairs, evaluations):
+                per_block[(spec.indices, spec.ways)].append(evaluation)
             best_per_block = {
-                block: self._best_in_block(block, results)
-                for block, results in per_block.items()
+                key: self._best_in_block(key[0], results)
+                for key, results in per_block.items()
             }
         else:
             best_per_block = {
-                block: self._search_block(strat, block, n_starts, seed, options)
-                for block in blocks
+                (block, ways): self._search_block(
+                    strat, block, n_starts, seed, options, ways=ways
+                )
+                for block, ways in blocks
             }
 
         best: MulticoreEvaluation | None = None
-        for partition in partitions:
+        for partition, alloc in candidates:
             cores = []
             settling: dict[int, float] = {}
             performances: dict[int, float] = {}
             overall = 0.0
             feasible = True
-            for block in partition:
-                block_best = best_per_block[block]
+            for block, ways in zip(partition, alloc):
+                block_best = best_per_block[(block, ways)]
                 if block_best is None:
                     feasible = False
                     break
                 value, evaluation = block_best
-                cores.append(CoreAssignment(block, evaluation.schedule))
+                cores.append(CoreAssignment(block, evaluation.schedule, ways=ways))
                 for global_index, app_eval in zip(block, evaluation.apps):
                     settling[global_index] = app_eval.settling
                     performances[global_index] = app_eval.performance

@@ -1,0 +1,131 @@
+"""The pluggable platform model: cache geometry + clock + WCET model.
+
+Everything upstream of the schedule search used to hardcode one
+platform — the paper's private 128 x 16 B LRU instruction cache on a
+20 MHz clock, analyzed with the static must/may WCET bounds.  A
+:class:`Platform` makes that a first-class value: scenario synthesis
+jitters it, the case study is rebuilt under it, the ``Study``/CLI layer
+records it in every run report, and the engine's persistent-cache keys
+incorporate it so an evaluation computed under one platform can never
+be served for another.
+
+The WCET method is referenced *by registry name*
+(:mod:`repro.wcet.models`), mirroring the search-strategy registry:
+``Platform(wcet_model="typo")`` fails fast listing the registered
+models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from .cache.config import CacheConfig
+from .units import Clock
+
+
+@dataclass(frozen=True)
+class Platform:
+    """One execution platform of the co-design pipeline.
+
+    Parameters
+    ----------
+    cache:
+        Instruction-cache geometry and timing; the paper's Section-V
+        configuration by default.
+    clock:
+        Processor clock; the paper's 20 MHz by default.
+    wcet_model:
+        Name of the registered WCET model WCETs are (re)analyzed with
+        (``static`` / ``concrete`` / ``analytic`` builtin; see
+        :func:`repro.wcet.models.available_wcet_models`).
+    """
+
+    cache: CacheConfig = field(default_factory=CacheConfig)
+    clock: Clock = field(default_factory=Clock)
+    wcet_model: str = "static"
+
+    def __post_init__(self) -> None:
+        # Imported lazily: repro.wcet is a heavier subtree and pulls in
+        # the program model; the registry lookup only validates the name.
+        from .wcet.models import get_wcet_model
+
+        get_wcet_model(self.wcet_model)  # fail fast on unknown names
+
+    def analyze(self, program):
+        """Cold/warm :class:`~repro.wcet.results.TaskWcets` of ``program``
+        under this platform's cache and WCET model."""
+        from .wcet.models import get_wcet_model
+
+        return get_wcet_model(self.wcet_model).analyze(program, self.cache)
+
+    def with_ways(self, ways: int) -> "Platform":
+        """This platform restricted to ``ways`` ways of its shared cache
+        (one core's slice of a way-partitioned multicore)."""
+        return replace(self, cache=self.cache.with_ways(ways))
+
+    def reanalyze(self, apps, ways: int) -> list:
+        """``apps`` with WCETs re-analyzed under ``ways`` ways.
+
+        This is the one definition of what a way allocation does to an
+        application set; the partitioned engine (coordinator and worker
+        processes alike) and the standalone digest helpers all call it,
+        so their sub-problem digests can never diverge.  Deterministic
+        in ``(apps, self, ways)``.
+        """
+        from dataclasses import replace as replace_app
+
+        from .errors import ConfigurationError
+        from .wcet.models import get_wcet_model
+
+        cache = self.cache.with_ways(ways)
+        model = get_wcet_model(self.wcet_model)
+        out = []
+        for app in apps:
+            if app.program is None:
+                raise ConfigurationError(
+                    f"application {app.name!r} carries no program; shared-cache "
+                    "co-design must re-analyze WCETs per way allocation"
+                )
+            out.append(replace_app(app, wcets=model.analyze(app.program, cache)))
+        return out
+
+    def fingerprint(self) -> dict:
+        """Canonical JSON-safe form (run reports, engine cache keys)."""
+        return {
+            "cache": {
+                "n_sets": self.cache.n_sets,
+                "associativity": self.cache.associativity,
+                "line_size": self.cache.line_size,
+                "hit_cycles": self.cache.hit_cycles,
+                "miss_cycles": self.cache.miss_cycles,
+                "policy": self.cache.policy.value,
+            },
+            "clock_hz": self.clock.frequency_hz,
+            "wcet_model": self.wcet_model,
+        }
+
+
+def paper_platform() -> Platform:
+    """The paper's Section-V platform (the default everywhere)."""
+    return Platform()
+
+
+def shared_paper_platform() -> Platform:
+    """The default shared-cache platform: the paper's 2 KiB capacity
+    re-organized as 32 sets x 4 ways, so there are ways to partition
+    (the paper's own cache is direct-mapped).  The CLI's
+    ``--shared-cache``, the ``shared_cache`` experiment and the example
+    all default to this one geometry."""
+    return Platform(cache=CacheConfig(n_sets=32, associativity=4))
+
+
+def default_platform(clock: Clock | None = None) -> Platform:
+    """The platform assumed for problems that never declared one.
+
+    Historical runs carried only a clock; everything else was the paper
+    platform.  Keys and reports resolve ``platform=None`` through this
+    so undeclared and explicitly-paper-default problems coincide.
+    """
+    if clock is None:
+        return Platform()
+    return Platform(clock=clock)

@@ -29,11 +29,12 @@ from .keys import (
     problem_fingerprint,
     subproblem_digest,
 )
-from .partitioned import PartitionedSearchEngine, Subproblem
+from .partitioned import Block, PartitionedSearchEngine, Subproblem
 from .serialize import evaluation_from_dict, evaluation_to_dict
 from .store import PersistentCache
 
 __all__ = [
+    "Block",
     "EngineOptions",
     "EngineStats",
     "PartitionedSearchEngine",

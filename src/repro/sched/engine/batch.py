@@ -17,12 +17,13 @@ from __future__ import annotations
 
 import time
 import warnings
-from dataclasses import InitVar, dataclass, field
+from dataclasses import InitVar, dataclass, field, replace
 
 import numpy as np
 
 from ...control.design import DesignOptions, TrackingSpec
-from ...errors import SearchError
+from ...errors import ConfigurationError, SearchError
+from ...platform import Platform
 from ...units import Clock
 from ..evaluator import ScheduleEvaluator
 from ..feasibility import enumerate_idle_feasible
@@ -47,6 +48,13 @@ class Scenario:
     ``n_cores > 1`` makes the scenario a *multicore* co-design: the
     runner routes it through :class:`repro.multicore.MulticoreProblem`
     (partition sweep, per-core schedule search with ``strategy``).
+    ``shared_cache=True`` additionally co-optimizes the per-core way
+    allocation of the platform's shared set-associative cache.
+
+    ``platform`` declares the :class:`~repro.platform.Platform` the
+    applications' WCETs were analyzed on (``None`` = the paper
+    platform at the scenario's clock); it flows into the engine's
+    persistent-cache keys and the run report.
 
     ``method=`` is the deprecated spelling of ``strategy=``.
     """
@@ -62,6 +70,8 @@ class Scenario:
     n_cores: int = 1
     options: object | None = None
     max_count_per_core: int = 6
+    platform: Platform | None = None
+    shared_cache: bool = False
     method: InitVar[str | None] = None
 
     def __post_init__(self, method: str | None) -> None:
@@ -75,6 +85,10 @@ class Scenario:
                 self.strategy = method
         if self.n_cores < 1:
             raise SearchError(f"need at least one core, got {self.n_cores}")
+        if self.shared_cache and self.n_cores < 2:
+            raise ConfigurationError(
+                "shared_cache=True is a multicore co-design; it needs n_cores >= 2"
+            )
         if self.strategy is None:
             self.strategy = "hybrid" if self.n_cores == 1 else "exhaustive"
         get_strategy(self.strategy)  # fail fast on unknown names
@@ -138,7 +152,7 @@ def run_scenario(
     evaluator = ScheduleEvaluator(
         scenario.apps, scenario.clock, scenario.design_options
     )
-    with options.build(evaluator) as engine:
+    with options.build(evaluator, platform=scenario.platform) as engine:
         started = time.perf_counter()
         space = enumerate_idle_feasible(engine.apps, engine.clock)
         if not space:
@@ -181,6 +195,8 @@ def _run_multicore_scenario(
         max_count_per_core=scenario.max_count_per_core,
         workers=options.workers,
         cache_dir=options.cache_dir,
+        platform=scenario.platform,
+        shared_cache=scenario.shared_cache,
     ) as problem:
         started = time.perf_counter()
         evaluation = problem.optimize(
@@ -227,6 +243,9 @@ def synthesize_scenarios(
     design_options: DesignOptions | None = None,
     n_apps_choices: tuple[int, ...] = (2, 3),
     n_cores: int = 1,
+    platform: Platform | None = None,
+    jitter_platform: bool = False,
+    shared_cache: bool = False,
     method: str | None = None,
 ) -> list[Scenario]:
     """Deterministic random workloads derived from the case study.
@@ -234,13 +253,23 @@ def synthesize_scenarios(
     ``strategy`` names a registered search strategy (``None`` = the
     run-type default); ``method=`` is its deprecated spelling.
 
+    ``platform`` is the execution platform every scenario is analyzed
+    on — cache geometry, clock and WCET model (``None`` = the paper
+    platform, which reproduces the historical suites bit-exactly).
+    With ``jitter_platform=True`` each scenario additionally draws its
+    own platform around that base (cache sets halved/kept/doubled,
+    miss latency and clock frequency jittered), opening the
+    scenario-diversity axis to the platform itself; the ``analytic``
+    WCET model makes such huge sweeps orders of magnitude cheaper.
+
     ``n_cores > 1`` synthesizes *multicore* scenarios: same jittered
     application sets, but each is co-designed over partitions onto that
-    many private-cache cores instead of searched on one shared core.
-    The synthesized applications are identical for every ``n_cores``, so
-    single-core and multicore sweeps of one seed share sub-problem
-    digests (and therefore persistent-cache entries) wherever blocks
-    coincide.
+    many cores instead of searched on one shared core
+    (``shared_cache=True`` co-optimizes the way allocation of the
+    platform's shared cache).  The synthesized applications are
+    identical for every ``n_cores``, so single-core and multicore
+    sweeps of one seed share sub-problem digests (and therefore
+    persistent-cache entries) wherever blocks coincide.
 
     Every scenario jitters the calibrated control programs (loop trip
     counts and body sizes, re-analyzed through the cache/WCET pipeline),
@@ -256,7 +285,6 @@ def synthesize_scenarios(
     from ...apps.casestudy import PAPER_TABLE2, TRACKING_SCENARIOS
     from ...apps.motors import dc_motor_speed_plant, servo_position_plant
     from ...apps.programs import PROGRAM_SHAPES, program_parameters
-    from ...cache.config import CacheConfig
     from ...cache.memory import FlashLayout
     from ...core.application import ControlApplication
     from ...program.synth import make_control_program
@@ -278,10 +306,15 @@ def synthesize_scenarios(
         "C3": wedge_brake_plant,
     }
     rng = np.random.default_rng(seed)
-    clock = Clock(20e6)
-    cache_config = CacheConfig()
+    base_platform = platform or Platform()
     scenarios = []
     for index in range(n_scenarios):
+        if jitter_platform:
+            scenario_platform = _jittered_platform(rng, base_platform)
+        else:
+            scenario_platform = base_platform
+        clock = scenario_platform.clock
+        cache_config = scenario_platform.cache
         n_apps = int(rng.choice(n_apps_choices))
         templates = list(rng.choice([s.name for s in PROGRAM_SHAPES], size=n_apps, replace=False))
         raw_weights = rng.uniform(0.5, 1.5, size=n_apps)
@@ -302,7 +335,9 @@ def synthesize_scenarios(
             )
             region = layout.allocate(program.name, program.size_bytes)
             program.place(region.base)
-            wcets = analyze_task_wcets(program, cache_config)
+            wcets = analyze_task_wcets(
+                program, cache_config, scenario_platform.wcet_model
+            )
             weight, deadline, max_idle = PAPER_TABLE2[template]
             y0, r, u_max = TRACKING_SCENARIOS[template]
             plant = plant_builders[template](
@@ -334,6 +369,8 @@ def synthesize_scenarios(
                 strategy=strategy,
                 seed=seed + index,
                 n_cores=n_cores,
+                platform=scenario_platform,
+                shared_cache=shared_cache,
             )
         )
     return scenarios
@@ -342,6 +379,32 @@ def synthesize_scenarios(
 def _jitter(rng: np.random.Generator, value: float, fraction: float) -> float:
     """``value`` scaled by a uniform factor in ``1 +- fraction``."""
     return value * float(rng.uniform(1.0 - fraction, 1.0 + fraction))
+
+
+def _jittered_platform(
+    rng: np.random.Generator, base: Platform
+) -> Platform:
+    """One scenario's platform drawn around ``base``.
+
+    The cache stays a valid power-of-two geometry (sets halved, kept or
+    doubled), the miss latency moves by up to ±30 % (never below the
+    hit latency) and the clock by -20 %/+25 % — wide enough that optima
+    and idle-feasible spaces move, narrow enough that the calibrated
+    workloads stay schedulable.
+    """
+    sets_factor = int(rng.choice([-1, 0, 1]))
+    n_sets = base.cache.n_sets // 2 if sets_factor < 0 else base.cache.n_sets * (1 << sets_factor)
+    n_sets = max(16, n_sets)
+    miss_cycles = max(
+        base.cache.hit_cycles + 1,
+        int(round(base.cache.miss_cycles * float(rng.uniform(0.7, 1.3)))),
+    )
+    frequency = base.clock.frequency_hz * float(rng.uniform(0.8, 1.25))
+    return Platform(
+        cache=replace(base.cache, n_sets=int(n_sets), miss_cycles=miss_cycles),
+        clock=Clock(frequency),
+        wcet_model=base.wcet_model,
+    )
 
 
 def _default_frequency(template: str) -> float:

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from ...control.design import DesignOptions
+from ...platform import Platform
 from ...units import Clock
 from ..evaluator import ScheduleEvaluation, ScheduleEvaluator
 from ..schedule import PeriodicSchedule
@@ -49,10 +50,19 @@ class EngineOptions:
     workers: int = 0
     cache_dir: str | Path | None = None
 
-    def build(self, evaluator: ScheduleEvaluator) -> "SearchEngine":
-        """An engine over ``evaluator`` with these options."""
+    def build(
+        self, evaluator: ScheduleEvaluator, platform: Platform | None = None
+    ) -> "SearchEngine":
+        """An engine over ``evaluator`` with these options.
+
+        ``platform`` declares the platform the evaluator's WCETs were
+        analyzed on; it becomes part of the persistent-cache keys.
+        """
         return SearchEngine(
-            evaluator, workers=self.workers, cache_dir=self.cache_dir
+            evaluator,
+            workers=self.workers,
+            cache_dir=self.cache_dir,
+            platform=platform,
         )
 
 
@@ -119,13 +129,15 @@ class SearchEngine:
         evaluator: ScheduleEvaluator,
         workers: int = 0,
         cache_dir: str | Path | None = None,
+        platform: Platform | None = None,
     ) -> None:
         self.evaluator = evaluator
         self.workers = int(workers)
+        self.platform = platform
         self.stats = EngineStats()
         self._store = PersistentCache(cache_dir) if cache_dir is not None else None
         self._problem = problem_digest(
-            evaluator.apps, evaluator.clock, evaluator.design_options
+            evaluator.apps, evaluator.clock, evaluator.design_options, platform
         )
         if self.workers >= 2:
             self._backend: SerialBackend | ProcessPoolBackend = ProcessPoolBackend(

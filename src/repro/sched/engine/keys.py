@@ -3,10 +3,13 @@
 A persistent evaluation cache is only sound if its keys capture
 *everything* the evaluation depends on: the schedule, the applications'
 timing inputs (WCETs + clock), the plants and tracking scenarios the
-controller design optimizes against, and the full design budget.  This
-module canonicalizes all of that into a JSON fingerprint and hashes it
-with SHA-256, so a cache entry can never be served for a subtly
-different problem (e.g. after changing ``DesignOptions.restarts``).
+controller design optimizes against, the full design budget — and the
+*platform* those WCETs were analyzed on (cache geometry, way
+allocation, clock, WCET model; see :class:`repro.platform.Platform`).
+This module canonicalizes all of that into a JSON fingerprint and
+hashes it with SHA-256, so a cache entry can never be served for a
+subtly different problem (e.g. after changing
+``DesignOptions.restarts``, or re-analyzing under a different cache).
 
 Floats are embedded via ``repr`` (shortest round-trip), so two
 bit-identical problems always produce the same key.
@@ -20,13 +23,16 @@ import json
 
 from ...control.design import DesignOptions
 from ...core.application import ControlApplication
+from ...platform import Platform, default_platform
 from ...units import Clock
 from ..evaluator import ScheduleEvaluator
 from ..schedule import PeriodicSchedule
 
 #: Bump when the serialized evaluation layout changes; part of every key
 #: so stale entries from older layouts can never be deserialized.
-SCHEMA_VERSION = 1
+#: v2: the fingerprint gained the platform (cache geometry + way
+#: allocation + clock + WCET model).
+SCHEMA_VERSION = 2
 
 
 def plant_fingerprint(plant) -> dict:
@@ -65,15 +71,27 @@ def design_options_fingerprint(options: DesignOptions) -> dict:
     return dataclasses.asdict(options)
 
 
+def platform_fingerprint(platform: Platform | None, clock: Clock) -> dict:
+    """Canonical form of the platform an evaluation problem runs on.
+
+    ``None`` resolves to the paper platform at the problem's clock, so
+    problems that never declared a platform key identically to problems
+    that declare the historical default explicitly.
+    """
+    return (platform or default_platform(clock)).fingerprint()
+
+
 def problem_fingerprint(
     apps: list[ControlApplication],
     clock: Clock,
     design_options: DesignOptions,
+    platform: Platform | None = None,
 ) -> dict:
     """Everything a schedule evaluation depends on, minus the schedule."""
     return {
         "schema": SCHEMA_VERSION,
         "clock_hz": clock.frequency_hz,
+        "platform": platform_fingerprint(platform, clock),
         "apps": [app_fingerprint(app) for app in apps],
         "design_options": design_options_fingerprint(design_options),
     }
@@ -89,9 +107,12 @@ def problem_digest(
     apps: list[ControlApplication],
     clock: Clock,
     design_options: DesignOptions,
+    platform: Platform | None = None,
 ) -> str:
     """Digest of the evaluation problem (shared by all its schedules)."""
-    return fingerprint_digest(problem_fingerprint(apps, clock, design_options))
+    return fingerprint_digest(
+        problem_fingerprint(apps, clock, design_options, platform)
+    )
 
 
 def subproblem_digest(
@@ -99,19 +120,33 @@ def subproblem_digest(
     clock: Clock,
     design_options: DesignOptions,
     indices: tuple[int, ...],
+    platform: Platform | None = None,
+    ways: int | None = None,
 ) -> str:
     """Digest of the per-core sub-problem over ``indices``.
 
     The digest depends only on the block's own applications (with
-    weights renormalized within the block), the clock and the design
-    budget — never on the rest of the partition.  One block therefore
-    shares its disk entries across every partition that contains it, and
-    with plain single-core runs of the same applications.
+    weights renormalized within the block), the clock, the design
+    budget and the platform — never on the rest of the partition.  One
+    block therefore shares its disk entries across every partition that
+    contains it, and with plain single-core runs of the same
+    applications.
+
+    For shared-cache co-design pass ``ways``: the applications are
+    re-analyzed under that slice of the platform's cache (exactly like
+    the partitioned engine does) and the platform is restricted to it,
+    so the digest matches the engine's for the same way-allocated block.
     """
+    resolved = platform or default_platform(clock)
+    if ways is not None:
+        apps = resolved.reanalyze(apps, ways)
+        resolved = resolved.with_ways(ways)
     evaluator = ScheduleEvaluator.for_subproblem(
         apps, clock, design_options, tuple(indices)
     )
-    return problem_digest(evaluator.apps, evaluator.clock, evaluator.design_options)
+    return problem_digest(
+        evaluator.apps, evaluator.clock, evaluator.design_options, resolved
+    )
 
 
 def evaluation_key(problem: str, schedule: PeriodicSchedule) -> str:

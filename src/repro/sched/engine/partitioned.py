@@ -21,6 +21,14 @@ generalized from one evaluation problem to a family of sub-problems:
   schedule)`` candidates from *different* cores into a single fan-out,
   which is what lets a whole partition sweep saturate the pool.
 
+A block may additionally carry a *way allocation* (:class:`Block` with
+``ways`` set): the shared-cache co-design gives each core a slice of a
+shared set-associative cache, so the block's applications are
+re-analyzed under :meth:`CacheConfig.with_ways
+<repro.cache.config.CacheConfig.with_ways>` before evaluation, and the
+sub-problem digest incorporates the way-restricted platform — the same
+block under different way allocations can never share cache entries.
+
 Serial, parallel and warm-cache paths observe identical evaluations,
 exactly like the single-problem engine.
 """
@@ -35,6 +43,7 @@ from pathlib import Path
 
 from ...control.design import DesignOptions
 from ...errors import SearchError
+from ...platform import Platform, default_platform
 from ...units import Clock
 from ..evaluator import ScheduleEvaluation, ScheduleEvaluator
 from ..schedule import PeriodicSchedule
@@ -43,45 +52,90 @@ from .keys import evaluation_key, problem_digest
 from .serialize import evaluation_from_dict, evaluation_to_dict
 from .store import PersistentCache
 
+
+@dataclass(frozen=True)
+class Block:
+    """One sub-problem address: application indices + way allocation.
+
+    ``ways is None`` means the block runs on a private cache with the
+    platform's full geometry (the classic multicore extension);
+    ``ways=k`` means it runs on ``k`` ways of the shared cache and its
+    WCETs are re-analyzed accordingly.
+    """
+
+    indices: tuple[int, ...]
+    ways: int | None = None
+
+
+def as_block(block) -> Block:
+    """Normalize a block spec: a plain index tuple means private cache."""
+    if isinstance(block, Block):
+        return Block(tuple(int(i) for i in block.indices), block.ways)
+    return Block(tuple(int(i) for i in block))
+
+
 #: A candidate: which block of applications, and which schedule on it.
-BlockSchedule = tuple[tuple[int, ...], PeriodicSchedule]
+BlockSchedule = tuple  # (Block | tuple[int, ...], PeriodicSchedule)
+
+
+def reanalyzed_apps(apps, platform: Platform, ways: int) -> list:
+    """The applications with WCETs re-analyzed under ``ways`` ways.
+
+    Delegates to :meth:`Platform.reanalyze` — the single definition of
+    what a way allocation does to an application set — so the
+    coordinator, every worker process and the standalone
+    :func:`~.keys.subproblem_digest` helper all build bit-identical
+    variant applications (and therefore identical digests) for one way
+    allocation.
+    """
+    return platform.reanalyze(apps, ways)
+
 
 # ----------------------------------------------------------------------
 # Worker-side machinery.  Workers receive the *global* problem once (in
 # the pool initializer) and rebuild block evaluators on demand, so a
-# task is just ((block indices), (schedule counts)) — a few ints.
+# task is just ((block indices, ways), (schedule counts)) — a few ints.
 # ----------------------------------------------------------------------
 
 _WORKER_PROBLEM: tuple | None = None
-_WORKER_EVALUATORS: dict[tuple[int, ...], ScheduleEvaluator] = {}
+_WORKER_EVALUATORS: dict[tuple[tuple[int, ...], int | None], ScheduleEvaluator] = {}
+_WORKER_VARIANTS: dict[int | None, list] = {}
 
 
-def _init_partition_worker(apps, clock, design_options) -> None:
+def _init_partition_worker(apps, clock, design_options, platform) -> None:
     """Pool initializer: remember the global problem, reset evaluators."""
     global _WORKER_PROBLEM
-    _WORKER_PROBLEM = (apps, clock, design_options)
+    _WORKER_PROBLEM = (apps, clock, design_options, platform)
     _WORKER_EVALUATORS.clear()
+    _WORKER_VARIANTS.clear()
 
 
 def _evaluate_block_counts(
-    task: tuple[tuple[int, ...], tuple[int, ...]],
+    task: tuple[tuple[tuple[int, ...], int | None], tuple[int, ...]],
 ) -> ScheduleEvaluation:
     """Task function: evaluate one (block, schedule) in this worker.
 
     Block evaluators live for the life of the worker, so the per-
     (application, timing) design memo keeps paying off across tasks of
-    the same block.
+    the same block; way-variant application lists are likewise analyzed
+    once per worker.
     """
     if _WORKER_PROBLEM is None:  # pragma: no cover - initializer always ran
         raise SearchError("partition worker was never initialized")
-    indices, counts = task
-    evaluator = _WORKER_EVALUATORS.get(indices)
+    (indices, ways), counts = task
+    evaluator = _WORKER_EVALUATORS.get((indices, ways))
     if evaluator is None:
-        apps, clock, design_options = _WORKER_PROBLEM
+        apps, clock, design_options, platform = _WORKER_PROBLEM
+        variant = _WORKER_VARIANTS.get(ways)
+        if variant is None:
+            variant = (
+                apps if ways is None else reanalyzed_apps(apps, platform, ways)
+            )
+            _WORKER_VARIANTS[ways] = variant
         evaluator = ScheduleEvaluator.for_subproblem(
-            apps, clock, design_options, indices
+            variant, clock, design_options, indices
         )
-        _WORKER_EVALUATORS[indices] = evaluator
+        _WORKER_EVALUATORS[(indices, ways)] = evaluator
     return evaluator.evaluate(PeriodicSchedule(counts))
 
 
@@ -93,10 +147,10 @@ class PartitionedSerialBackend:
     def __init__(self, evaluator_for) -> None:
         self._evaluator_for = evaluator_for
 
-    def map(self, tasks: list[BlockSchedule]) -> list[ScheduleEvaluation]:
+    def map(self, tasks: list) -> list[ScheduleEvaluation]:
         return [
-            self._evaluator_for(indices).evaluate(schedule)
-            for indices, schedule in tasks
+            self._evaluator_for(block).evaluate(schedule)
+            for block, schedule in tasks
         ]
 
     def close(self) -> None:
@@ -108,11 +162,11 @@ class PartitionedPoolBackend:
 
     name = "process-pool"
 
-    def __init__(self, apps, clock, design_options, workers: int) -> None:
+    def __init__(self, apps, clock, design_options, platform, workers: int) -> None:
         if workers < 2:
             raise SearchError(f"process pool needs >= 2 workers, got {workers}")
         self.workers = workers
-        self._initargs = (list(apps), clock, design_options)
+        self._initargs = (list(apps), clock, design_options, platform)
         self._executor: ProcessPoolExecutor | None = None
 
     def _ensure_executor(self) -> ProcessPoolExecutor:
@@ -124,9 +178,12 @@ class PartitionedPoolBackend:
             )
         return self._executor
 
-    def map(self, tasks: list[BlockSchedule]) -> list[ScheduleEvaluation]:
+    def map(self, tasks: list) -> list[ScheduleEvaluation]:
         executor = self._ensure_executor()
-        plain = [(indices, schedule.counts) for indices, schedule in tasks]
+        plain = [
+            ((block.indices, block.ways), schedule.counts)
+            for block, schedule in tasks
+        ]
         return list(executor.map(_evaluate_block_counts, plain))
 
     def close(self) -> None:
@@ -142,6 +199,7 @@ class Subproblem:
     indices: tuple[int, ...]
     evaluator: ScheduleEvaluator
     digest: str
+    ways: int | None = None
 
 
 class PartitionedSearchEngine:
@@ -154,48 +212,85 @@ class PartitionedSearchEngine:
         design_options: DesignOptions | None = None,
         workers: int = 0,
         cache_dir: str | Path | None = None,
+        platform: Platform | None = None,
     ) -> None:
         self.apps = list(apps)
         self.clock = clock
         self.design_options = design_options or DesignOptions()
         self.workers = int(workers)
+        self.platform = platform or default_platform(clock)
         self.stats = EngineStats()
         self._store = PersistentCache(cache_dir) if cache_dir is not None else None
-        self._subproblems: dict[tuple[int, ...], Subproblem] = {}
+        self._subproblems: dict[tuple[tuple[int, ...], int | None], Subproblem] = {}
+        self._variants: dict[int | None, list] = {None: self.apps}
         if self.workers >= 2:
             self._backend: PartitionedSerialBackend | PartitionedPoolBackend = (
                 PartitionedPoolBackend(
-                    self.apps, self.clock, self.design_options, self.workers
+                    self.apps,
+                    self.clock,
+                    self.design_options,
+                    self.platform,
+                    self.workers,
                 )
             )
         else:
-            self._backend = PartitionedSerialBackend(self.evaluator_for)
+            self._backend = PartitionedSerialBackend(self._evaluator_for_block)
 
     # ------------------------------------------------------------------
     # Sub-problems
     # ------------------------------------------------------------------
-    def subproblem(self, indices: tuple[int, ...]) -> Subproblem:
-        """The (lazily built, cached) sub-problem for one block."""
-        indices = tuple(int(i) for i in indices)
-        sub = self._subproblems.get(indices)
+    def apps_for_ways(self, ways: int | None) -> list:
+        """The (memoized) applications re-analyzed under a way allocation."""
+        variant = self._variants.get(ways)
+        if variant is None:
+            variant = reanalyzed_apps(self.apps, self.platform, ways)
+            self._variants[ways] = variant
+        return variant
+
+    def subproblem(self, block, ways: int | None = None) -> Subproblem:
+        """The (lazily built, cached) sub-problem for one block.
+
+        ``block`` is a plain index tuple or a :class:`Block`; the
+        ``ways`` keyword is a convenience for index-tuple callers.
+        """
+        spec = as_block(block)
+        if spec.ways is None and ways is not None:
+            spec = Block(spec.indices, int(ways))
+        sub = self._subproblems.get((spec.indices, spec.ways))
         if sub is None:
             evaluator = ScheduleEvaluator.for_subproblem(
-                self.apps, self.clock, self.design_options, indices
+                self.apps_for_ways(spec.ways),
+                self.clock,
+                self.design_options,
+                spec.indices,
+            )
+            platform = (
+                self.platform
+                if spec.ways is None
+                else self.platform.with_ways(spec.ways)
             )
             digest = problem_digest(
-                evaluator.apps, evaluator.clock, evaluator.design_options
+                evaluator.apps, evaluator.clock, evaluator.design_options, platform
             )
-            sub = Subproblem(indices=indices, evaluator=evaluator, digest=digest)
-            self._subproblems[indices] = sub
+            sub = Subproblem(
+                indices=spec.indices,
+                evaluator=evaluator,
+                digest=digest,
+                ways=spec.ways,
+            )
+            self._subproblems[(spec.indices, spec.ways)] = sub
         return sub
 
-    def evaluator_for(self, indices: tuple[int, ...]) -> ScheduleEvaluator:
-        """The memoizing evaluator of one block."""
-        return self.subproblem(indices).evaluator
+    def _evaluator_for_block(self, block: Block) -> ScheduleEvaluator:
+        return self.subproblem(block).evaluator
 
-    def digest_for(self, indices: tuple[int, ...]) -> str:
+    def evaluator_for(self, indices, ways: int | None = None) -> ScheduleEvaluator:
+        """The memoizing evaluator of one block."""
+        return self.subproblem(indices, ways).evaluator
+
+    def digest_for(self, indices, ways: int | None = None) -> str:
         """Persistent-cache digest of one block's sub-problem."""
-        return self.subproblem(indices).digest
+        return self.subproblem(indices, ways).digest
 
     @property
     def backend_name(self) -> str:
@@ -210,30 +305,33 @@ class PartitionedSearchEngine:
     # Evaluation
     # ------------------------------------------------------------------
     def evaluate(
-        self, indices: tuple[int, ...], schedule: PeriodicSchedule
+        self, block, schedule: PeriodicSchedule, ways: int | None = None
     ) -> ScheduleEvaluation:
         """Evaluate one schedule on one block through all cache layers."""
-        return self.evaluate_pairs([(tuple(indices), schedule)])[0]
+        spec = as_block(block)
+        if spec.ways is None and ways is not None:
+            spec = Block(spec.indices, int(ways))
+        return self.evaluate_pairs([(spec, schedule)])[0]
 
-    def evaluate_pairs(
-        self, pairs: list[BlockSchedule]
-    ) -> list[ScheduleEvaluation]:
+    def evaluate_pairs(self, pairs: list) -> list[ScheduleEvaluation]:
         """Evaluate many (block, schedule) candidates, preserving order.
 
         Misses after the per-block memos and the shared disk cache are
         computed as *one* batch on the backend — candidates from
-        different cores (and different partitions) fan out together.
-        Duplicates within the batch are computed once.
+        different cores (and different partitions, and different way
+        allocations) fan out together.  Duplicates within the batch are
+        computed once.
         """
-        self.stats.n_requested += len(pairs)
-        pending: list[BlockSchedule] = []
-        pending_keys: set[tuple[tuple[int, ...], tuple[int, ...]]] = set()
-        for indices, schedule in pairs:
-            sub = self.subproblem(indices)
+        normalized = [(as_block(block), schedule) for block, schedule in pairs]
+        self.stats.n_requested += len(normalized)
+        pending: list[tuple[Block, PeriodicSchedule]] = []
+        pending_keys: set[tuple] = set()
+        for spec, schedule in normalized:
+            sub = self.subproblem(spec)
             if sub.evaluator.is_cached(schedule):
                 self.stats.n_memo_hits += 1
                 continue
-            key = (sub.indices, schedule.counts)
+            key = (spec.indices, spec.ways, schedule.counts)
             if key in pending_keys:
                 # Already pending, so it already missed memo and disk.
                 self.stats.n_duplicates += 1
@@ -242,12 +340,12 @@ class PartitionedSearchEngine:
                 self.stats.n_disk_hits += 1
                 continue
             pending_keys.add(key)
-            pending.append((sub.indices, schedule))
+            pending.append((spec, schedule))
         if pending:
             self._compute(pending)
         return [
-            self.subproblem(indices).evaluator.evaluate(schedule)
-            for indices, schedule in pairs
+            self.subproblem(spec).evaluator.evaluate(schedule)
+            for spec, schedule in normalized
         ]
 
     def _load_from_disk(
@@ -262,7 +360,7 @@ class PartitionedSearchEngine:
         sub.evaluator.adopt(evaluation_from_dict(payload))
         return True
 
-    def _compute(self, pending: list[BlockSchedule]) -> None:
+    def _compute(self, pending: list) -> None:
         """Evaluate the de-duplicated misses on the backend."""
         self.stats.batch_sizes.append(len(pending))
         try:
@@ -277,13 +375,13 @@ class PartitionedSearchEngine:
                 stacklevel=3,
             )
             self._backend.close()
-            self._backend = PartitionedSerialBackend(self.evaluator_for)
+            self._backend = PartitionedSerialBackend(self._evaluator_for_block)
             self.stats.serial_fallback = True
             evaluations = self._backend.map(pending)
         self.stats.n_computed += len(evaluations)
         entries = []
-        for (indices, _schedule), evaluation in zip(pending, evaluations):
-            sub = self.subproblem(indices)
+        for (spec, _schedule), evaluation in zip(pending, evaluations):
+            sub = self.subproblem(spec)
             sub.evaluator.adopt(evaluation)
             entries.append(
                 (

@@ -18,11 +18,14 @@ import time
 from dataclasses import asdict, dataclass, field
 
 from ..control.design import DesignOptions
+from ..platform import default_platform
 from ..sched.engine.keys import problem_digest
 from ..sched.strategies import options_as_dict
 
 #: Bump when the report layout changes incompatibly.
-SCHEMA_VERSION = 1
+#: v2: reports record the platform (cache geometry, clock, WCET model)
+#: and the shared-cache flag; multicore cores carry their way allocation.
+SCHEMA_VERSION = 2
 
 
 def scenario_digest(scenario) -> str:
@@ -33,8 +36,20 @@ def scenario_digest(scenario) -> str:
     cache entries.
     """
     return problem_digest(
-        scenario.apps, scenario.clock, scenario.design_options or DesignOptions()
+        scenario.apps,
+        scenario.clock,
+        scenario.design_options or DesignOptions(),
+        getattr(scenario, "platform", None),
     )
+
+
+def scenario_platform_fingerprint(scenario) -> dict:
+    """JSON-safe platform record of one scenario (``None`` = paper
+    platform at the scenario's clock, matching the engine keys)."""
+    platform = getattr(scenario, "platform", None) or default_platform(
+        scenario.clock
+    )
+    return platform.fingerprint()
 
 
 def _json_safe(value):
@@ -69,6 +84,8 @@ class RunReport:
     starts: list[list[int]] | None
     n_cores: int
     max_count_per_core: int
+    platform: dict
+    shared_cache: bool
     n_apps: int
     problem: str
     n_space: int
@@ -103,6 +120,7 @@ class RunReport:
                     "app_indices": list(core.app_indices),
                     "apps": [scenario.apps[i].name for i in core.app_indices],
                     "schedule": list(core.schedule.counts),
+                    "ways": core.ways,
                 }
                 for core in evaluation.cores
             ]
@@ -143,6 +161,8 @@ class RunReport:
             ),
             n_cores=scenario.n_cores,
             max_count_per_core=scenario.max_count_per_core,
+            platform=scenario_platform_fingerprint(scenario),
+            shared_cache=bool(getattr(scenario, "shared_cache", False)),
             n_apps=outcome.n_apps,
             problem=scenario_digest(scenario),
             n_space=outcome.n_space,
@@ -179,6 +199,8 @@ class RunReport:
             ),
             n_cores=int(data["n_cores"]),
             max_count_per_core=int(data["max_count_per_core"]),
+            platform=dict(data.get("platform", {})),
+            shared_cache=bool(data.get("shared_cache", False)),
             n_apps=int(data["n_apps"]),
             problem=str(data["problem"]),
             n_space=int(data["n_space"]),

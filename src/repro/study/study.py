@@ -20,11 +20,17 @@ import re
 from pathlib import Path
 
 from ..control.design import DesignOptions
+from ..platform import Platform
 from ..sched.engine import EngineOptions
 from ..sched.engine.batch import Scenario, run_scenario, synthesize_scenarios
 from ..sched.schedule import PeriodicSchedule
 from ..sched.strategies import options_as_dict
-from .report import RunReport, _json_safe, scenario_digest
+from .report import (
+    RunReport,
+    _json_safe,
+    scenario_digest,
+    scenario_platform_fingerprint,
+)
 
 
 def _slug(text: str) -> str:
@@ -71,6 +77,8 @@ class Study:
         n_cores: int = 1,
         options: object | None = None,
         max_count_per_core: int = 6,
+        platform: Platform | None = None,
+        shared_cache: bool = False,
         engine_options: EngineOptions | None = None,
         run_dir: str | Path | None = None,
         name: str = "casestudy",
@@ -80,11 +88,16 @@ class Study:
         ``n_cores > 1`` makes it a multicore co-design of the case
         study (the CLI's ``multicore`` command); otherwise it is the
         single-core search (the CLI's ``search`` command).
+
+        ``platform`` rebuilds the case study on a different execution
+        platform (cache geometry, clock, WCET model); the WCETs are
+        re-analyzed under it.  ``shared_cache=True`` makes the
+        multicore co-design way-partition that platform's shared cache.
         """
         # Imported lazily: repro.apps builds on repro.sched.
         from ..apps import build_case_study
 
-        case = build_case_study()
+        case = build_case_study(platform=platform)
         scenario = Scenario(
             name=name,
             apps=case.apps,
@@ -97,6 +110,8 @@ class Study:
             n_cores=n_cores,
             options=options,
             max_count_per_core=max_count_per_core,
+            platform=platform,
+            shared_cache=shared_cache,
         )
         return cls([scenario], engine_options=engine_options, run_dir=run_dir)
 
@@ -109,10 +124,18 @@ class Study:
         design_options: DesignOptions | None = None,
         n_apps_choices: tuple[int, ...] = (2, 3),
         n_cores: int = 1,
+        platform: Platform | None = None,
+        jitter_platform: bool = False,
+        shared_cache: bool = False,
         engine_options: EngineOptions | None = None,
         run_dir: str | Path | None = None,
     ) -> "Study":
-        """Study over a deterministic synthesized workload suite."""
+        """Study over a deterministic synthesized workload suite.
+
+        ``platform``/``jitter_platform``/``shared_cache`` open the
+        platform axis of the synthesis — see
+        :func:`~repro.sched.engine.batch.synthesize_scenarios`.
+        """
         scenarios = synthesize_scenarios(
             suite_size,
             seed=seed,
@@ -120,6 +143,9 @@ class Study:
             design_options=design_options,
             n_apps_choices=n_apps_choices,
             n_cores=n_cores,
+            platform=platform,
+            jitter_platform=jitter_platform,
+            shared_cache=shared_cache,
         )
         return cls(scenarios, engine_options=engine_options, run_dir=run_dir)
 
@@ -142,9 +168,10 @@ class Study:
 
         The filename carries every run input that is not already in the
         name/strategy/seed/cores prefix — starts, strategy options,
-        ``n_starts``, the per-core cap — as a short digest, so
-        differently-configured runs of one scenario never collide on
-        (and thrash) a single artifact.
+        ``n_starts``, the per-core cap, the platform and the
+        shared-cache flag — as a short digest, so differently-configured
+        runs of one scenario never collide on (and thrash) a single
+        artifact.
         """
         if self.run_dir is None:
             return None
@@ -156,6 +183,8 @@ class Study:
                 _json_safe(options_as_dict(scenario.options)),
                 scenario.n_starts,
                 scenario.max_count_per_core,
+                scenario_platform_fingerprint(scenario),
+                scenario.shared_cache,
             ],
             sort_keys=True,
         )
@@ -170,8 +199,9 @@ class Study:
         """Whether a persisted report answers this exact scenario run.
 
         Every search input is compared — problem digest, strategy and
-        its options, seed, starts, core count and per-core cap — so a
-        stale artifact can never shadow a differently-configured run.
+        its options, seed, starts, core count, per-core cap, platform
+        and shared-cache flag — so a stale artifact can never shadow a
+        differently-configured run.
         """
         return (
             report.schema_version == RunReport.schema_version
@@ -182,6 +212,8 @@ class Study:
             and report.n_starts == scenario.n_starts
             and report.n_cores == scenario.n_cores
             and report.max_count_per_core == scenario.max_count_per_core
+            and report.platform == scenario_platform_fingerprint(scenario)
+            and report.shared_cache == scenario.shared_cache
             and report.starts
             == (
                 [list(s.counts) for s in scenario.starts]

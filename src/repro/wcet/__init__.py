@@ -16,15 +16,25 @@ This package computes all three two ways:
   interpretation over the program structure, usable for arbitrary
   programs and unknown initial cache contents.
 
-:mod:`~repro.wcet.reuse` combines them into the per-task WCET sequences
-the scheduling layer needs, and :mod:`~repro.wcet.schedule_sim` replays a
-whole schedule through one shared cache to *validate* the analytical
-numbers.
+:mod:`~repro.wcet.models` wraps both (plus a cheap ``analytic``
+estimate) in the pluggable WCET-model registry the platform layer
+resolves names through, :mod:`~repro.wcet.reuse` combines them into the
+per-task WCET sequences the scheduling layer needs, and
+:mod:`~repro.wcet.schedule_sim` replays a whole schedule through one
+shared cache to *validate* the analytical numbers.
 """
 
 from .results import StaticWcet, TaskWcets, TraceResult
 from .concrete import simulate_path, simulate_worst_case
 from .static import AbstractState, analyze_program
+from .models import (
+    WcetModel,
+    available_wcet_models,
+    get_wcet_model,
+    model_description,
+    register_wcet_model,
+    unregister_wcet_model,
+)
 from .reuse import analyze_task_wcets, guaranteed_reduction, task_wcet_sequence
 from .schedule_sim import ScheduleTaskCost, simulate_task_sequence
 
@@ -34,11 +44,17 @@ __all__ = [
     "StaticWcet",
     "TaskWcets",
     "TraceResult",
+    "WcetModel",
     "analyze_program",
     "analyze_task_wcets",
+    "available_wcet_models",
+    "get_wcet_model",
     "guaranteed_reduction",
+    "model_description",
+    "register_wcet_model",
     "simulate_path",
     "simulate_task_sequence",
     "simulate_worst_case",
     "task_wcet_sequence",
+    "unregister_wcet_model",
 ]

@@ -1,0 +1,215 @@
+"""Pluggable WCET-model registry.
+
+A *WCET model* is the unit of extensibility of the platform layer: it
+receives a placed program and a cache configuration and returns the
+cold/warm :class:`~repro.wcet.results.TaskWcets` pair the scheduling
+layer consumes.  Models register themselves by name with
+:func:`register_wcet_model`; every entry point
+(:func:`repro.wcet.reuse.analyze_task_wcets`, :class:`repro.platform.Platform`,
+scenario synthesis, the CLI's ``--wcet-model``) resolves names through
+:func:`get_wcet_model`, so an unknown name fails fast with the list of
+registered models — the exact contract of the search-strategy registry
+(:mod:`repro.sched.strategies`).
+
+Three models are builtin:
+
+* ``static`` — sound must/may abstract-interpretation bounds (the
+  paper's "guaranteed" semantics, the default);
+* ``concrete`` — exact trace replay with worst-case path enumeration
+  (ground truth under the cache model);
+* ``analytic`` — a closed-form reuse-factor estimate in O(basic blocks)
+  instead of O(executed instructions): optimistic (dominated by
+  ``static``), but orders of magnitude cheaper, which is what makes
+  huge synthesized-suite sweeps tractable.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from ..cache.abstract import MayCache
+from ..cache.config import CacheConfig
+from ..errors import AnalysisError, ConfigurationError
+from ..program.blocks import BasicBlock
+from ..program.program import Program
+from ..program.structure import Branch, Loop, Node, Seq
+from .concrete import simulate_worst_case
+from .results import TaskWcets
+from .static import AbstractState, analyze_program
+
+
+@runtime_checkable
+class WcetModel(Protocol):
+    """What a pluggable WCET model must provide.
+
+    ``name`` is the registry key; ``analyze`` computes the cold/warm
+    WCET pair of one placed program under one cache configuration.
+    """
+
+    name: str
+
+    def analyze(self, program: Program, config: CacheConfig) -> TaskWcets:
+        ...
+
+
+#: The global registry: model name -> model instance.
+_REGISTRY: dict[str, WcetModel] = {}
+
+
+def register_wcet_model(model):
+    """Register a WCET model class (or instance) under its ``name``.
+
+    Usable as a class decorator::
+
+        @register_wcet_model
+        class MyModel:
+            name = "mine"
+
+            def analyze(self, program, config):
+                ...
+
+    Returns its argument so the decorated class stays usable.  Double
+    registration of one name raises
+    :class:`~repro.errors.ConfigurationError`.
+    """
+    instance = model() if isinstance(model, type) else model
+    name = getattr(instance, "name", None)
+    if not isinstance(name, str) or not name:
+        raise ConfigurationError(
+            f"WCET model {model!r} must define a non-empty string `name`"
+        )
+    if not callable(getattr(instance, "analyze", None)):
+        raise ConfigurationError(f"WCET model {name!r} must define an `analyze` method")
+    if name in _REGISTRY:
+        raise ConfigurationError(f"WCET model {name!r} is already registered")
+    _REGISTRY[name] = instance
+    return model
+
+
+def unregister_wcet_model(name: str) -> None:
+    """Remove a registered model (mainly for tests of third-party
+    registration; the builtin models should stay registered)."""
+    _REGISTRY.pop(name, None)
+
+
+def available_wcet_models() -> tuple[str, ...]:
+    """Names of all registered WCET models, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def get_wcet_model(name: str) -> WcetModel:
+    """Resolve a WCET-model name, failing fast on unknown names."""
+    model = _REGISTRY.get(name)
+    if model is None:
+        raise ConfigurationError(
+            f"unknown WCET model {name!r}; registered models: "
+            f"{', '.join(available_wcet_models())}"
+        )
+    return model
+
+
+def model_description(model: WcetModel) -> str:
+    """First docstring line of a model (for listings)."""
+    doc = (getattr(model, "__doc__", None) or "").strip()
+    return doc.splitlines()[0] if doc else ""
+
+
+# ----------------------------------------------------------------------
+# Builtin models
+# ----------------------------------------------------------------------
+
+@register_wcet_model
+class StaticWcetModel:
+    """Sound must/may abstract-interpretation bounds (the paper default).
+
+    The cold WCET assumes arbitrary prior cache contents; the warm run
+    is bounded from the must-state at the cold run's exit, so every
+    claimed hit is provable (the paper's "guaranteed" semantics).
+    """
+
+    name = "static"
+
+    def analyze(self, program: Program, config: CacheConfig) -> TaskWcets:
+        cold = analyze_program(program, config, AbstractState.unknown(config))
+        warm_start = AbstractState(cold.must_out.copy(), MayCache.unknown(config))
+        warm = analyze_program(program, config, warm_start)
+        return TaskWcets(program.name, cold.cycles, warm.cycles)
+
+
+@register_wcet_model
+class ConcreteWcetModel:
+    """Exact trace replay with worst-case path enumeration (ground truth).
+
+    The tightest possible value under the cache model; useful to
+    quantify the (lack of) pessimism of the static bound.
+    """
+
+    name = "concrete"
+
+    def analyze(self, program: Program, config: CacheConfig) -> TaskWcets:
+        cold = simulate_worst_case(program, config)
+        warm = simulate_worst_case(program, config, initial_cache=cold.final_cache)
+        return TaskWcets(program.name, cold.cycles, warm.cycles)
+
+
+def _guaranteed_path_bounds(
+    node: Node | None, config: CacheConfig
+) -> tuple[int, set[int]]:
+    """(fetches, memory lines) guaranteed on *every* path through ``node``.
+
+    Branches contribute the minimum fetch count over their arms and the
+    intersection of the arms' line sets (nothing, when an arm may be
+    skipped entirely), so both quantities lower-bound every concrete
+    execution — which is what makes the analytic estimate provably
+    dominated by the sound ``static`` bound.
+    """
+    if node is None:
+        return 0, set()
+    if isinstance(node, BasicBlock):
+        first = config.line_of(node.base)
+        last = config.line_of(node.end - 1)
+        return node.n_instr, set(range(first, last + 1))
+    if isinstance(node, Seq):
+        fetches, lines = 0, set()
+        for child in node.children:
+            child_fetches, child_lines = _guaranteed_path_bounds(child, config)
+            fetches += child_fetches
+            lines |= child_lines
+        return fetches, lines
+    if isinstance(node, Loop):
+        body_fetches, body_lines = _guaranteed_path_bounds(node.body, config)
+        return body_fetches * node.iterations, body_lines
+    if isinstance(node, Branch):
+        if node.taken is None or node.not_taken is None:
+            return 0, set()
+        taken_fetches, taken_lines = _guaranteed_path_bounds(node.taken, config)
+        untaken_fetches, untaken_lines = _guaranteed_path_bounds(
+            node.not_taken, config
+        )
+        return min(taken_fetches, untaken_fetches), taken_lines & untaken_lines
+    raise AnalysisError(f"unknown node type: {type(node).__name__}")
+
+
+@register_wcet_model
+class AnalyticWcetModel:
+    """Closed-form reuse-factor estimate: O(blocks) instead of O(instructions).
+
+    Costs every guaranteed fetch one hit plus one miss penalty per
+    guaranteed memory line (cold), and charges the warm run only for the
+    part of the footprint that provably cannot be retained by the cache
+    capacity.  Optimistic by construction — dominated by the sound
+    ``static`` bound — but cheap enough to sweep huge synthesized suites
+    orders of magnitude faster.
+    """
+
+    name = "analytic"
+
+    def analyze(self, program: Program, config: CacheConfig) -> TaskWcets:
+        if not program.placed:
+            raise AnalysisError(f"program {program.name!r} must be placed first")
+        fetches, lines = _guaranteed_path_bounds(program.root, config)
+        footprint = len(lines)
+        cold = fetches * config.hit_cycles + footprint * config.miss_penalty
+        retained = min(footprint, config.n_lines)
+        warm = fetches * config.hit_cycles + (footprint - retained) * config.miss_penalty
+        return TaskWcets(program.name, cold, warm)

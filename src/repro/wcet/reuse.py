@@ -5,48 +5,27 @@ later consecutive tasks of an application is the cold WCET minus the
 *guaranteed* reduction obtained because the cache still holds (part of)
 the program when the task re-enters.
 
-Two methods are provided:
-
-* ``"static"`` (default, matches the paper's "guaranteed" semantics):
-  the warm run is bounded by the must/may analysis starting from the
-  must-state at the cold run's exit — every claimed hit is provable.
-* ``"concrete"``: exact replay of the warm run from the cold run's final
-  concrete cache state — the tightest possible value under the model;
-  useful to quantify the (lack of) pessimism of the static bound.
+``method`` names a registered WCET model (see
+:mod:`repro.wcet.models`): ``"static"`` (default, matches the paper's
+"guaranteed" semantics), ``"concrete"`` (exact replay, the tightest
+possible value under the model) or ``"analytic"`` (cheap closed-form
+estimate) builtin, plus anything third parties register with
+:func:`~repro.wcet.models.register_wcet_model`.  Unknown names raise
+:class:`~repro.errors.ConfigurationError` listing the registered
+models — the same contract as the search-strategy registry.
 """
 
 from __future__ import annotations
 
-from typing import Literal
-
 from ..cache.config import CacheConfig
-from ..cache.abstract import MayCache
 from ..errors import AnalysisError
 from ..program.program import Program
-from .concrete import simulate_worst_case
+from .models import get_wcet_model
 from .results import TaskWcets
-from .static import AbstractState, analyze_program
 
-Method = Literal["static", "concrete"]
-
-
-def _static_task_wcets(program: Program, config: CacheConfig) -> TaskWcets:
-    cold = analyze_program(program, config, AbstractState.unknown(config))
-    warm_start = AbstractState(cold.must_out.copy(), MayCache.unknown(config))
-    warm = analyze_program(program, config, warm_start)
-    return TaskWcets(program.name, cold.cycles, warm.cycles)
-
-
-def _concrete_task_wcets(program: Program, config: CacheConfig) -> TaskWcets:
-    cold = simulate_worst_case(program, config)
-    warm = simulate_worst_case(program, config, initial_cache=cold.final_cache)
-    return TaskWcets(program.name, cold.cycles, warm.cycles)
-
-
-_ANALYSES = {
-    "static": _static_task_wcets,
-    "concrete": _concrete_task_wcets,
-}
+#: A registered WCET-model name (kept as an alias for old callers that
+#: imported the ``Literal`` type this used to be).
+Method = str
 
 
 def analyze_task_wcets(
@@ -58,10 +37,7 @@ def analyze_task_wcets(
     applications ran before); the warm WCET assumes the task directly
     follows a completed run of itself.
     """
-    analysis = _ANALYSES.get(method)
-    if analysis is None:
-        raise AnalysisError(f"unknown reuse-analysis method: {method!r}")
-    return analysis(program, config)
+    return get_wcet_model(method).analyze(program, config)
 
 
 def guaranteed_reduction(

@@ -2,7 +2,9 @@
 
 import pytest
 
+from repro.cache import CacheConfig
 from repro.errors import ConfigurationError, SearchError
+from repro.platform import Platform
 from repro.sched.engine import EngineOptions
 from repro.sched.engine.batch import (
     Scenario,
@@ -11,6 +13,22 @@ from repro.sched.engine.batch import (
     synthesize_scenarios,
 )
 from repro.sched.engine.keys import problem_digest
+
+#: Golden values of the default suite for seed 2018 captured before the
+#: platform became a parameter: ``synthesize_scenarios`` must reproduce
+#: them bit-exactly (the ``platform=`` lift is a pure parameter lift).
+GOLDEN_DEFAULT_SUITE = [
+    ("synth-000", "C3s0", 13335, 3534, 0.4859879395193516,
+     0.00418882579985506, 0.018835949985674012),
+    ("synth-000", "C1s0", 20053, 10747, 0.5140120604806484,
+     0.0034030306515914635, 0.04652326094380681),
+    ("synth-001", "C1s1", 18386, 8981, 0.21227286559585493,
+     0.004035143150769526, 0.05650626177272576),
+    ("synth-001", "C2s1", 12110, 3101, 0.31837663471546346,
+     0.004444984803696733, 0.022449267568264545),
+    ("synth-001", "C3s1", 14777, 4877, 0.4693504996886816,
+     0.004059937262058876, 0.021658834163761864),
+]
 
 
 class TestSynthesis:
@@ -41,6 +59,56 @@ class TestSynthesis:
     def test_bad_count_rejected(self):
         with pytest.raises(SearchError):
             synthesize_scenarios(0)
+
+    def test_default_suite_bit_identical_to_pre_platform_era(self):
+        """The ``platform=`` parameter lift changed no default bit."""
+        scenarios = synthesize_scenarios(2, seed=2018)
+        got = [
+            (s.name, app.name, app.wcets.cold_cycles, app.wcets.warm_cycles,
+             app.weight, app.max_idle, app.spec.deadline)
+            for s in scenarios
+            for app in s.apps
+        ]
+        assert got == GOLDEN_DEFAULT_SUITE
+
+    def test_explicit_paper_platform_equals_default(self, tiny_design_options):
+        default = synthesize_scenarios(2, seed=11, design_options=tiny_design_options)
+        explicit = synthesize_scenarios(
+            2, seed=11, design_options=tiny_design_options, platform=Platform()
+        )
+        for a, b in zip(default, explicit):
+            assert problem_digest(a.apps, a.clock, tiny_design_options, a.platform) \
+                == problem_digest(b.apps, b.clock, tiny_design_options, b.platform)
+
+    def test_custom_platform_moves_the_problems(self, tiny_design_options):
+        default = synthesize_scenarios(1, seed=11, design_options=tiny_design_options)[0]
+        slower = synthesize_scenarios(
+            1,
+            seed=11,
+            design_options=tiny_design_options,
+            platform=Platform(cache=CacheConfig(miss_cycles=200)),
+        )[0]
+        assert slower.platform.cache.miss_cycles == 200
+        assert slower.apps[0].wcets.cold_cycles > default.apps[0].wcets.cold_cycles
+        assert problem_digest(
+            slower.apps, slower.clock, tiny_design_options, slower.platform
+        ) != problem_digest(
+            default.apps, default.clock, tiny_design_options, default.platform
+        )
+
+    def test_jittered_platforms_vary_and_are_deterministic(self):
+        first = synthesize_scenarios(6, seed=4, jitter_platform=True)
+        second = synthesize_scenarios(6, seed=4, jitter_platform=True)
+        assert [s.platform for s in first] == [s.platform for s in second]
+        assert len({s.platform for s in first}) > 1
+        for scenario in first:
+            assert scenario.platform.cache.n_sets >= 16
+            cache = scenario.platform.cache
+            assert cache.miss_cycles > cache.hit_cycles
+
+    def test_shared_cache_synthesis_needs_multicore(self):
+        with pytest.raises(ConfigurationError):
+            synthesize_scenarios(1, shared_cache=True)  # n_cores defaults to 1
 
     def test_bad_strategy_rejected_with_listing(self, tiny_design_options):
         scenario = synthesize_scenarios(1, design_options=tiny_design_options)[0]

@@ -2,7 +2,9 @@
 
 from dataclasses import replace
 
-from repro.sched import PeriodicSchedule
+from repro.cache import CacheConfig
+from repro.platform import Platform
+from repro.sched import PeriodicSchedule, SearchEngine
 from repro.sched.engine.keys import (
     evaluation_key,
     problem_digest,
@@ -46,6 +48,112 @@ class TestProblemDigest:
         assert app["wcets"]["cold_cycles"] == two_apps[0].wcets.cold_cycles
         assert app["plant"]["name"] == two_apps[0].plant.name
         assert len(app["plant"]["a"]) == two_apps[0].plant.order
+
+
+class TestPlatformInDigest:
+    """The platform axis: every component must move the digest."""
+
+    def undeclared(self, two_apps, case_study, tiny_design_options):
+        return problem_digest(two_apps, case_study.clock, tiny_design_options)
+
+    def with_platform(self, two_apps, case_study, tiny_design_options, platform):
+        return problem_digest(
+            two_apps, case_study.clock, tiny_design_options, platform
+        )
+
+    def test_undeclared_equals_paper_platform(
+        self, two_apps, case_study, tiny_design_options
+    ):
+        """Problems that never declared a platform key like problems
+        declaring the historical default explicitly — schema-v1 caches
+        stay coherent after the platform axis opened."""
+        assert self.undeclared(
+            two_apps, case_study, tiny_design_options
+        ) == self.with_platform(
+            two_apps, case_study, tiny_design_options, Platform()
+        )
+
+    def test_cache_geometry_invalidates(
+        self, two_apps, case_study, tiny_design_options
+    ):
+        base = self.undeclared(two_apps, case_study, tiny_design_options)
+        for cache in (
+            CacheConfig(n_sets=64),
+            CacheConfig(n_sets=32, associativity=4),
+            CacheConfig(miss_cycles=50),
+        ):
+            changed = self.with_platform(
+                two_apps, case_study, tiny_design_options, Platform(cache=cache)
+            )
+            assert changed != base
+
+    def test_way_allocation_invalidates(
+        self, two_apps, case_study, tiny_design_options
+    ):
+        shared = Platform(cache=CacheConfig(n_sets=32, associativity=4))
+        digests = {
+            self.with_platform(
+                two_apps, case_study, tiny_design_options, shared.with_ways(k)
+            )
+            for k in (1, 2, 3, 4)
+        }
+        assert len(digests) == 4
+
+    def test_wcet_model_invalidates(
+        self, two_apps, case_study, tiny_design_options
+    ):
+        base = self.undeclared(two_apps, case_study, tiny_design_options)
+        analytic = self.with_platform(
+            two_apps, case_study, tiny_design_options, Platform(wcet_model="analytic")
+        )
+        assert analytic != base
+
+    def test_platform_clock_invalidates(
+        self, two_apps, case_study, tiny_design_options
+    ):
+        base = self.undeclared(two_apps, case_study, tiny_design_options)
+        fast = self.with_platform(
+            two_apps, case_study, tiny_design_options, Platform(clock=Clock(40e6))
+        )
+        assert fast != base
+
+
+class TestPlatformPersistentCache:
+    """Changing the platform provably misses the disk cache; keeping it
+    still warm-starts."""
+
+    SCHEDULE = PeriodicSchedule.of(1, 1)
+
+    def run_once(self, make_evaluator, cache_dir, platform):
+        with SearchEngine(
+            make_evaluator(), cache_dir=cache_dir, platform=platform
+        ) as engine:
+            engine.evaluate(self.SCHEDULE)
+            return engine.stats
+
+    def test_same_platform_warm_starts(self, make_evaluator, tmp_path):
+        cold = self.run_once(make_evaluator, tmp_path, None)
+        assert cold.n_computed == 1
+        # Undeclared == explicit paper platform: both are warm.
+        warm_default = self.run_once(make_evaluator, tmp_path, None)
+        warm_explicit = self.run_once(make_evaluator, tmp_path, Platform())
+        assert warm_default.n_disk_hits == 1
+        assert warm_default.n_computed == 0
+        assert warm_explicit.n_disk_hits == 1
+        assert warm_explicit.n_computed == 0
+
+    def test_changed_platform_misses(self, make_evaluator, tmp_path):
+        self.run_once(make_evaluator, tmp_path, None)
+        for platform in (
+            Platform(cache=CacheConfig(n_sets=64)),
+            Platform(cache=CacheConfig(n_sets=32, associativity=4)),
+            Platform(cache=CacheConfig(n_sets=32, associativity=4)).with_ways(2),
+            Platform(wcet_model="analytic"),
+            Platform(clock=Clock(40e6)),
+        ):
+            stats = self.run_once(make_evaluator, tmp_path, platform)
+            assert stats.n_disk_hits == 0, platform
+            assert stats.n_computed == 1, platform
 
 
 class TestEvaluationKey:

@@ -4,6 +4,7 @@ import json
 
 import pytest
 
+from repro.platform import Platform
 from repro.study import RunReport
 
 
@@ -17,6 +18,8 @@ def single_core_report() -> RunReport:
         starts=[[4, 2, 2], [1, 2, 1]],
         n_cores=1,
         max_count_per_core=6,
+        platform=Platform().fingerprint(),
+        shared_cache=False,
         n_apps=3,
         problem="ab" * 32,
         n_space=77,
@@ -56,6 +59,8 @@ def multicore_report() -> RunReport:
         starts=None,
         n_cores=2,
         max_count_per_core=2,
+        platform=Platform().fingerprint(),
+        shared_cache=True,
         n_apps=3,
         problem="cd" * 32,
         n_space=140,
@@ -72,8 +77,9 @@ def multicore_report() -> RunReport:
         },
         best_schedule=None,
         cores=[
-            {"app_indices": [0, 2], "apps": ["C1", "C3"], "schedule": [2, 2]},
-            {"app_indices": [1], "apps": ["C2"], "schedule": [4]},
+            {"app_indices": [0, 2], "apps": ["C1", "C3"], "schedule": [2, 2],
+             "ways": 3},
+            {"app_indices": [1], "apps": ["C2"], "schedule": [4], "ways": 1},
         ],
         overall=0.31,
         feasible=True,
@@ -107,6 +113,14 @@ class TestRoundTrip:
         assert loaded.cores == report.cores
         assert loaded.best_schedule is None
         assert loaded.n_cores == 2
+        assert loaded.cores[0]["ways"] == 3
+        assert loaded.shared_cache is True
+
+    def test_platform_survives(self):
+        report = single_core_report()
+        loaded = RunReport.from_json(report.to_json())
+        assert loaded.platform == Platform().fingerprint()
+        assert loaded.platform["cache"]["n_sets"] == 128
 
     def test_dict_round_trip(self):
         report = single_core_report()
@@ -116,7 +130,8 @@ class TestRoundTrip:
 class TestSchema:
     EXPECTED_KEYS = {
         "scenario", "strategy", "options", "seed", "n_starts", "starts",
-        "n_cores", "max_count_per_core", "n_apps", "problem", "n_space",
+        "n_cores", "max_count_per_core", "platform", "shared_cache",
+        "n_apps", "problem", "n_space",
         "backend", "engine_stats", "best_schedule", "cores", "overall",
         "feasible", "apps", "wall_time", "created_at", "search_stats",
         "schema_version",
@@ -130,4 +145,4 @@ class TestSchema:
         text = single_core_report().to_json()
         data = json.loads(text)
         assert list(data) == sorted(data)
-        assert data["schema_version"] == 1
+        assert data["schema_version"] == 2

@@ -100,7 +100,8 @@ class TestStudyRuns:
         assert report.best_schedule is None
         assert report.cores, "multicore report must carry the partition"
         for core in report.cores:
-            assert set(core) == {"app_indices", "apps", "schedule"}
+            assert set(core) == {"app_indices", "apps", "schedule", "ways"}
+            assert core["ways"] is None  # private caches: nothing allocated
         assert RunReport.from_json(report.to_json()) == report
 
     def test_run_dir_persists_and_resumes(self, tiny_design_options, tmp_path):
@@ -171,6 +172,54 @@ class TestStudyRuns:
         limited = Study.from_scenarios([scenario], run_dir=tmp_path).run()[0]
         assert limited.created_at != first.created_at
         assert limited.options == {"tolerance": 0.0, "max_steps": 1}
+
+    def test_report_records_platform(self, tiny_design_options):
+        from repro.cache import CacheConfig
+        from repro.platform import Platform
+
+        platform = Platform(
+            cache=CacheConfig(n_sets=64), wcet_model="analytic"
+        )
+        scenario = synthesize_scenarios(
+            1,
+            seed=11,
+            design_options=tiny_design_options,
+            n_apps_choices=(2,),
+            platform=platform,
+        )[0]
+        report = Study.from_scenarios([scenario]).run()[0]
+        assert report.platform == platform.fingerprint()
+        assert report.platform["wcet_model"] == "analytic"
+        assert RunReport.from_json(report.to_json()) == report
+
+    def test_resume_rejects_changed_platform(self, tiny_design_options, tmp_path):
+        """A persisted report must not answer a run on another platform."""
+        from repro.cache import CacheConfig
+        from repro.platform import Platform
+
+        def scenario_for(platform):
+            return synthesize_scenarios(
+                1,
+                seed=11,
+                design_options=tiny_design_options,
+                n_apps_choices=(2,),
+                platform=platform,
+            )[0]
+
+        first = Study.from_scenarios(
+            [scenario_for(None)], run_dir=tmp_path
+        ).run()[0]
+        moved = Study.from_scenarios(
+            [scenario_for(Platform(cache=CacheConfig(miss_cycles=150)))],
+            run_dir=tmp_path,
+        ).run()[0]
+        assert moved.created_at != first.created_at
+        assert moved.platform != first.platform
+        # And the paper-default platform resumes the original artifact.
+        resumed = Study.from_scenarios(
+            [scenario_for(None)], run_dir=tmp_path
+        ).run()[0]
+        assert resumed == first
 
     def test_interleaved_strategy_reports_refinement(self, tiny_design_options):
         from repro.sched.strategies import InterleavedOptions

@@ -38,6 +38,28 @@ class TestCli:
             assert name in out
         assert "register" in out
 
+    def test_models_lists_registry(self, capsys):
+        assert main(["models"]) == 0
+        out = capsys.readouterr().out
+        for name in ("static", "concrete", "analytic"):
+            assert name in out
+        assert "register" in out
+
+    def test_search_with_analytic_model(self, capsys):
+        """--wcet-model flows through to the report; analytic coincides
+        with static on the calibrated (fitting, single-path) programs."""
+        assert main(
+            ["search", "--strategy", "hybrid", "--starts", "2,2,2",
+             "--wcet-model", "analytic", "--json"]
+        ) == 0
+        report = RunReport.from_dict(json.loads(capsys.readouterr().out))
+        assert report.platform["wcet_model"] == "analytic"
+
+    def test_search_unknown_wcet_model_fails_fast(self, capsys):
+        assert main(["search", "--wcet-model", "statik"]) == 2
+        err = capsys.readouterr().err
+        assert "statik" in err and "static" in err
+
     def test_search_with_starts(self, capsys):
         assert main(["search", "--strategy", "hybrid", "--starts", "2,2,2"]) == 0
         out = capsys.readouterr().out
@@ -66,7 +88,8 @@ class TestCli:
         assert report.starts == [[2, 2, 2]]
         assert report.best_schedule is not None
         assert report.engine_stats["n_requested"] > 0
-        assert report.schema_version == 1
+        assert report.schema_version == 2
+        assert report.platform["wcet_model"] == "static"
 
     def test_search_run_dir_persists_report(self, capsys, tmp_path):
         run_dir = tmp_path / "runs"
@@ -129,3 +152,24 @@ class TestCli:
         assert report.n_cores == 2
         assert report.cores and report.best_schedule is None
         assert report.strategy == "exhaustive"
+
+    @pytest.mark.slow
+    def test_multicore_shared_cache_warm_rerun(self, capsys, tmp_path):
+        """--shared-cache co-designs the way allocation, records it in
+        the report, and warm-starts from the same persistent cache."""
+        args = [
+            "multicore", "--cores", "2", "--max-count-per-core", "2",
+            "--shared-cache", "--cache-dir", str(tmp_path), "--json",
+        ]
+        assert main(args) == 0
+        report = RunReport.from_dict(json.loads(capsys.readouterr().out))
+        assert report.shared_cache is True
+        assert report.platform["cache"]["associativity"] == 4
+        ways = [core["ways"] for core in report.cores]
+        assert all(isinstance(w, int) and w >= 1 for w in ways)
+        assert sum(ways) == 4
+        assert main(args) == 0
+        warm = RunReport.from_dict(json.loads(capsys.readouterr().out))
+        assert warm.engine_stats["n_computed"] == 0
+        assert warm.cores == report.cores
+        assert warm.overall == report.overall

@@ -1,0 +1,76 @@
+"""The Platform bundle: validation, way partitioning, fingerprints."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache import CacheConfig
+from repro.errors import ConfigurationError
+from repro.platform import Platform, default_platform, paper_platform
+from repro.units import Clock
+
+
+class TestCacheWithWays:
+    def test_partition_keeps_sets(self):
+        cache = CacheConfig(n_sets=32, associativity=4)
+        slice_ = cache.with_ways(1)
+        assert slice_.n_sets == 32
+        assert slice_.associativity == 1
+        assert slice_.line_size == cache.line_size
+        assert slice_.miss_cycles == cache.miss_cycles
+
+    def test_full_allocation_is_identity(self):
+        cache = CacheConfig(n_sets=32, associativity=4)
+        assert cache.with_ways(4) == cache
+
+    @pytest.mark.parametrize("ways", [0, -1, 5])
+    def test_out_of_range_rejected(self, ways):
+        with pytest.raises(ConfigurationError):
+            CacheConfig(n_sets=32, associativity=4).with_ways(ways)
+
+    def test_direct_mapped_has_one_way(self):
+        assert CacheConfig().with_ways(1) == CacheConfig()
+        with pytest.raises(ConfigurationError):
+            CacheConfig().with_ways(2)
+
+
+class TestPlatform:
+    def test_paper_defaults(self):
+        platform = paper_platform()
+        assert platform.cache == CacheConfig()
+        assert platform.clock == Clock(20e6)
+        assert platform.wcet_model == "static"
+
+    def test_unknown_wcet_model_fails_fast(self):
+        with pytest.raises(ConfigurationError) as excinfo:
+            Platform(wcet_model="typo")
+        assert "static" in str(excinfo.value)
+
+    def test_with_ways_restricts_cache_only(self):
+        platform = Platform(
+            cache=CacheConfig(n_sets=32, associativity=4),
+            clock=Clock(40e6),
+            wcet_model="analytic",
+        )
+        slice_ = platform.with_ways(2)
+        assert slice_.cache.associativity == 2
+        assert slice_.clock == platform.clock
+        assert slice_.wcet_model == "analytic"
+
+    def test_analyze_uses_cache_and_model(self, case_study):
+        platform = Platform(wcet_model="concrete")
+        wcets = platform.analyze(case_study.programs[0])
+        assert wcets.cold_cycles == case_study.apps[0].wcets.cold_cycles
+
+    def test_fingerprint_is_json_scalars(self):
+        fingerprint = Platform().fingerprint()
+        assert fingerprint["wcet_model"] == "static"
+        assert fingerprint["clock_hz"] == 20e6
+        assert fingerprint["cache"]["policy"] == "lru"
+        assert fingerprint["cache"]["n_sets"] == 128
+
+    def test_default_platform_tracks_clock(self):
+        assert default_platform() == paper_platform()
+        fast = default_platform(Clock(40e6))
+        assert fast.clock == Clock(40e6)
+        assert fast.cache == CacheConfig()

@@ -1,0 +1,158 @@
+"""WCET-model registry contract and platform-axis properties.
+
+Covers the registry's fail-fast behavior (same contract as the search
+strategy registry), the dominance relation between the cheap analytic
+model and the sound static bounds, and the way-partition monotonicity
+the shared-cache co-design relies on (fewer ways can never shrink a
+WCET under LRU).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache import CacheConfig
+from repro.errors import ConfigurationError
+from repro.program import make_control_program
+from repro.program.synth import random_program
+from repro.wcet import (
+    available_wcet_models,
+    get_wcet_model,
+    model_description,
+    register_wcet_model,
+    unregister_wcet_model,
+)
+
+#: A 4-way geometry with the paper's 2 KiB capacity: way partitioning
+#: needs associativity to split.
+ASSOCIATIVE = CacheConfig(n_sets=32, associativity=4)
+
+
+class TestRegistryContract:
+    def test_builtins_registered(self):
+        assert set(available_wcet_models()) >= {"static", "concrete", "analytic"}
+
+    def test_unknown_name_lists_registered_models(self):
+        with pytest.raises(ConfigurationError) as excinfo:
+            get_wcet_model("typo")
+        message = str(excinfo.value)
+        assert "typo" in message
+        for name in available_wcet_models():
+            assert name in message
+
+    def test_error_contract_matches_strategy_registry(self):
+        """Both registries speak the same fail-fast dialect: the bad
+        name plus the comma-joined sorted list of registered names."""
+        from repro.sched.strategies import get_strategy
+
+        with pytest.raises(ConfigurationError) as wcet_error:
+            get_wcet_model("nope")
+        with pytest.raises(ConfigurationError) as strategy_error:
+            get_strategy("nope")
+        assert "registered models: " in str(wcet_error.value)
+        assert "registered strategies: " in str(strategy_error.value)
+
+    def test_third_party_registration_roundtrip(self):
+        class FixedModel:
+            """Everything takes exactly 42 cycles."""
+
+            name = "fixed42"
+
+            def analyze(self, program, config):
+                from repro.wcet.results import TaskWcets
+
+                return TaskWcets(program.name, 42, 42)
+
+        register_wcet_model(FixedModel)
+        try:
+            assert "fixed42" in available_wcet_models()
+            assert model_description(get_wcet_model("fixed42")).startswith(
+                "Everything takes"
+            )
+        finally:
+            unregister_wcet_model("fixed42")
+        assert "fixed42" not in available_wcet_models()
+
+    def test_double_registration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            register_wcet_model(get_wcet_model("static"))
+
+    def test_nameless_model_rejected(self):
+        with pytest.raises(ConfigurationError):
+            register_wcet_model(object())
+
+
+class TestAnalyticDominance:
+    """The analytic estimate never exceeds the sound static bound."""
+
+    def test_dominated_by_static_on_table1_programs(self, case_study):
+        static = get_wcet_model("static")
+        analytic = get_wcet_model("analytic")
+        for program in case_study.programs:
+            sound = static.analyze(program, case_study.cache_config)
+            cheap = analytic.analyze(program, case_study.cache_config)
+            assert cheap.cold_cycles <= sound.cold_cycles
+            assert cheap.warm_cycles <= sound.warm_cycles
+
+    def test_exact_on_fitting_single_path_programs(self, case_study):
+        """The calibrated programs are single-path and fit the cache,
+        where the closed form is exact — models must coincide, which is
+        what lets ``--wcet-model analytic`` reproduce paper numbers."""
+        static = get_wcet_model("static")
+        analytic = get_wcet_model("analytic")
+        for program in case_study.programs:
+            sound = static.analyze(program, case_study.cache_config)
+            cheap = analytic.analyze(program, case_study.cache_config)
+            assert (cheap.cold_cycles, cheap.warm_cycles) == (
+                sound.cold_cycles,
+                sound.warm_cycles,
+            )
+
+    def test_dominated_on_random_branchy_programs(self, rng):
+        """Lower-bound semantics hold structurally, not just on the
+        calibrated shapes: random trees with branches and loops."""
+        static = get_wcet_model("static")
+        analytic = get_wcet_model("analytic")
+        for trial in range(20):
+            program = random_program(rng, name=f"r{trial}")
+            program.place(0)
+            sound = static.analyze(program, ASSOCIATIVE)
+            cheap = analytic.analyze(program, ASSOCIATIVE)
+            assert cheap.cold_cycles <= sound.cold_cycles
+            assert cheap.warm_cycles <= sound.warm_cycles
+
+    def test_warm_never_exceeds_cold(self, case_study):
+        analytic = get_wcet_model("analytic")
+        for program in case_study.programs:
+            wcets = analytic.analyze(program, case_study.cache_config)
+            assert 0 <= wcets.warm_cycles <= wcets.cold_cycles
+
+
+class TestWayPartitionMonotonicity:
+    """Fewer ways => cold/warm WCET no smaller (every model)."""
+
+    @pytest.mark.parametrize("model_name", ["static", "analytic", "concrete"])
+    def test_monotone_on_table1_programs(self, case_study, model_name):
+        model = get_wcet_model(model_name)
+        for program in case_study.programs:
+            previous = None
+            for ways in range(ASSOCIATIVE.associativity, 0, -1):
+                wcets = model.analyze(program, ASSOCIATIVE.with_ways(ways))
+                if previous is not None:
+                    assert wcets.cold_cycles >= previous.cold_cycles
+                    assert wcets.warm_cycles >= previous.warm_cycles
+                previous = wcets
+
+    def test_monotone_on_thrashing_program(self):
+        """A program bigger than one way's capacity: the way allocation
+        visibly moves the warm WCET, monotonically."""
+        tiny = CacheConfig(n_sets=8, associativity=4)
+        program = make_control_program("thrash", 8, 120, 4, 8)
+        program.place(0)
+        static = get_wcet_model("static")
+        warms = [
+            static.analyze(program, tiny.with_ways(ways)).warm_cycles
+            for ways in (4, 3, 2, 1)
+        ]
+        assert warms == sorted(warms)
+        assert warms[-1] > warms[0]  # the axis is not degenerate

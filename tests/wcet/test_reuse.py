@@ -3,7 +3,7 @@
 import pytest
 
 from repro.cache import CacheConfig
-from repro.errors import AnalysisError
+from repro.errors import AnalysisError, ConfigurationError
 from repro.program import make_control_program
 from repro.wcet import analyze_task_wcets, guaranteed_reduction, task_wcet_sequence
 from repro.wcet.results import TaskWcets
@@ -72,9 +72,17 @@ class TestAnalysis:
         with pytest.raises(AnalysisError):
             task_wcet_sequence(fitting_program(), paper_cache_config, 0)
 
-    def test_unknown_method_rejected(self, paper_cache_config):
-        with pytest.raises(AnalysisError):
+    def test_unknown_method_rejected_naming_registered_models(
+        self, paper_cache_config
+    ):
+        """Unknown methods fail fast with the registered-model list —
+        the same contract as the strategy registry's ``get_strategy``."""
+        with pytest.raises(ConfigurationError) as excinfo:
             analyze_task_wcets(fitting_program(), paper_cache_config, "magic")
+        message = str(excinfo.value)
+        assert "magic" in message
+        for builtin in ("static", "concrete", "analytic"):
+            assert builtin in message
 
     def test_thrashing_program_gets_less_reuse(self):
         """A program bigger than the cache cannot keep its whole image."""
