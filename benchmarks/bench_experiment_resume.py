@@ -1,0 +1,63 @@
+"""Benchmark — experiment-report persistence and resume.
+
+Runs the search-backed ``search`` experiment (Section V statistics:
+one exhaustive sweep plus two hybrid searches) twice against one run
+directory and records the speedup the experiment registry's
+``--run-dir`` resume exists for:
+
+* **cold** — the full experiment executes and its
+  ``ExperimentReport`` persists as JSON;
+* **resumed** — the rerun is served from the persisted report without
+  re-searching, must be >= 5x faster, and must render byte-identically.
+
+Resume may only change *when* the work happens, never the artifact:
+the resumed report must equal the cold one field for field (embedded
+run reports included).
+
+Run:  python -m pytest benchmarks/bench_experiment_resume.py -s -q
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.experiments import ExperimentRequest, run_experiment
+from repro.experiments.registry import render_experiment
+
+#: The search-backed experiment under test.
+EXPERIMENT = "search"
+
+
+def test_experiment_resume_speedup(tmp_path_factory, design_options):
+    run_dir = tmp_path_factory.mktemp("experiment-runs")
+    # The benchmark profile's design budget (quick by default), passed
+    # explicitly so the run is reproducible regardless of REPRO_PROFILE.
+    request = ExperimentRequest(design_options=design_options)
+
+    started = time.perf_counter()
+    cold = run_experiment(EXPERIMENT, request, run_dir=run_dir)
+    cold_time = time.perf_counter() - started
+
+    started = time.perf_counter()
+    resumed = run_experiment(EXPERIMENT, request, run_dir=run_dir)
+    resumed_time = time.perf_counter() - started
+
+    # Identical artifact before any speed claims: same report, same
+    # embedded run reports, same rendered output.
+    assert resumed == cold, "resume changed the experiment report"
+    assert render_experiment(EXPERIMENT, resumed) == render_experiment(
+        EXPERIMENT, cold
+    ), "resume changed the rendered output"
+    assert [r.problem for r in resumed.run_reports] == [
+        r.problem for r in cold.run_reports
+    ]
+
+    speedup = cold_time / resumed_time if resumed_time > 0 else float("inf")
+    print(
+        f"\n{EXPERIMENT}: cold {cold_time:.2f} s "
+        f"({len(cold.run_reports)} embedded run reports) vs resumed "
+        f"{resumed_time:.4f} s -> speedup {speedup:.0f}x"
+    )
+    assert resumed_time * 5.0 <= cold_time, (
+        f"resumed rerun only {speedup:.1f}x faster (need >= 5x)"
+    )

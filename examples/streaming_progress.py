@@ -1,0 +1,69 @@
+"""Event-streaming runs: watch a sweep while it executes.
+
+Runs a small synthesized suite through the Study facade twice:
+
+* push-style — ``Study.run(on_event=...)`` delivers engine batch
+  events live (computed/memo/disk counters that always satisfy the
+  EngineStats accounting identity) plus scenario started/finished
+  events with running throughput;
+* pull-style — ``Study.stream()`` yields the same events as an
+  iterator, with the reports carried by the terminal events.
+
+Run:  python examples/streaming_progress.py
+"""
+
+import os
+
+os.environ.setdefault("REPRO_PROFILE", "quick")
+
+from repro.experiments.profiles import design_options_for_profile
+from repro.sched.engine.events import BatchCompleted
+from repro.study import (
+    ScenarioFinished,
+    ScenarioProgress,
+    ScenarioStarted,
+    Study,
+)
+
+
+def on_event(event) -> None:
+    if isinstance(event, ScenarioStarted):
+        print(f"[{event.index + 1}/{event.n_scenarios}] {event.scenario}: "
+              f"searching with {event.strategy}")
+    elif isinstance(event, ScenarioProgress):
+        engine = event.engine
+        if isinstance(engine, BatchCompleted):
+            assert engine.n_requested == (engine.n_memo_hits + engine.n_disk_hits
+                                          + engine.n_duplicates + engine.n_computed)
+            print(f"    batch of {engine.n_batch}: {engine.n_computed} computed, "
+                  f"{engine.n_memo_hits} memo, best so far "
+                  f"{engine.best_overall:.4f}" if engine.best_overall is not None
+                  else f"    batch of {engine.n_batch}: nothing feasible yet")
+    elif isinstance(event, ScenarioFinished):
+        print(f"    done: P_all = {event.report.overall:.4f} in "
+              f"{event.wall_time:.2f} s ({event.throughput:.1f} eval/s overall)")
+
+
+def main() -> None:
+    study = Study.from_suite(
+        2, strategy="hybrid", design_options=design_options_for_profile()
+    )
+    print("— push-style: Study.run(on_event=...) —")
+    reports = study.run(on_event=on_event)
+
+    print("\n— pull-style: Study.stream() —")
+    streamed = [
+        event.report
+        for event in Study.from_suite(
+            2, strategy="hybrid", design_options=design_options_for_profile()
+        ).stream()
+        if isinstance(event, ScenarioFinished)
+    ]
+    assert [r.best_schedule for r in streamed] == [
+        r.best_schedule for r in reports
+    ]
+    print(f"streamed {len(streamed)} reports, identical to the pushed run")
+
+
+if __name__ == "__main__":
+    main()

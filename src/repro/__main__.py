@@ -10,6 +10,15 @@ Commands
     List the registered search strategies (the strategy registry).
 ``models``
     List the registered WCET models (the platform registry).
+``experiments``
+    List the registered paper-artifact experiments (the experiment
+    registry).
+``experiment <name> [--json] [--run-dir DIR] [--out DIR]``
+    Regenerate one paper artifact through the experiment registry:
+    structured, schema-versioned ``ExperimentReport`` JSON with
+    ``--json``, persisted and resumed under ``--run-dir``.
+    (``python -m repro.experiments <name>`` remains as a deprecated
+    shim.)
 ``search [--strategy hybrid] [--starts 4,2,2 1,2,1]``
     Run a schedule-space search on the case study and print the result.
 ``timeline --schedule 2,2,2``
@@ -37,6 +46,10 @@ reruns warm-start.  The platform flags — ``--wcet-model``,
 ``--clock-mhz`` — rebuild the problem on a different execution
 platform (see ``python -m repro models``); the platform is recorded in
 every report and keyed into the persistent evaluation cache.
+
+Long runs are observable: ``batch`` and ``experiment`` render a live
+progress line on stderr from the engines' typed progress events
+(automatic on a TTY; ``--progress`` forces it, e.g. under a pager).
 
 The controller-design budget follows ``REPRO_PROFILE``.
 """
@@ -164,6 +177,92 @@ def cmd_models(_args: argparse.Namespace) -> None:
     print("\nregister your own with @repro.wcet.register_wcet_model")
 
 
+def cmd_experiments(_args: argparse.Namespace) -> None:
+    from .experiments import (
+        available_experiments,
+        experiment_description,
+        get_experiment,
+    )
+
+    rows = []
+    for name in available_experiments():
+        experiment = get_experiment(name)
+        rows.append([name, experiment_description(experiment)])
+    print(
+        render_table(
+            ["experiment", "description"],
+            rows,
+            title="registered experiments",
+        )
+    )
+    print(
+        "\nrun one with `python -m repro experiment <name>`; "
+        "register your own with @repro.experiments.register_experiment"
+    )
+
+
+def _progress_line(args: argparse.Namespace):
+    """The progress renderer the flags ask for (or ``None``).
+
+    Auto-enables on a TTY stderr; ``--progress`` forces it on for
+    plain streams too, where the renderer itself falls back to
+    one completion line per scenario instead of in-place redraws.
+    """
+    import sys as _sys
+
+    from .study.progress import ProgressLine
+
+    if getattr(args, "progress", False) or _sys.stderr.isatty():
+        return ProgressLine()
+    return None
+
+
+def cmd_experiment(args: argparse.Namespace) -> None:
+    from .experiments import ExperimentRequest, get_experiment, run_experiment
+    from .experiments.registry import (
+        effective_out,
+        run_and_render,
+        validate_request,
+    )
+
+    spec = get_experiment(args.name)  # fail fast before any output
+    progress = _progress_line(args)
+    if progress is not None:
+        progress.set_prefix(args.name)
+    # Partial platform flags fill unset fields from the experiment's
+    # own default geometry (shared_cache needs ways to partition, so
+    # e.g. --clock-mhz alone must not degrade it to the direct-mapped
+    # paper cache).  design_options stays None (each experiment
+    # resolves the profile itself), so CLI and library runs of one
+    # experiment share their persisted --run-dir artifacts.
+    request = ExperimentRequest(
+        platform=_platform_from_args(
+            args, shared=callable(getattr(spec, "default_platform", None))
+        ),
+        strategy=_resolve_strategy(args),
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        max_count_per_core=args.max_count_per_core,
+        out=args.out,
+        on_event=progress,
+    )
+    validate_request(args.name, request)  # reject bad flags before output
+    try:
+        if args.json:
+            report = run_experiment(args.name, request, run_dir=args.run_dir)
+            out = effective_out(args.name, request)
+            if out is not None:
+                # Still write the output files; --json keeps stdout pure.
+                get_experiment(args.name).write_outputs(report, out)
+            print(report.to_json())
+        else:
+            print(f"[profile: {current_profile()}]")
+            print(run_and_render(args.name, request, run_dir=args.run_dir))
+    finally:
+        if progress is not None:
+            progress.close()
+
+
 def _platform_from_args(
     args: argparse.Namespace, shared: bool = False
 ):
@@ -227,6 +326,16 @@ def _engine_options(args: argparse.Namespace):
     return EngineOptions(workers=args.workers, cache_dir=args.cache_dir)
 
 
+def _run_study(study, args: argparse.Namespace):
+    """Run a study with the live progress line the flags ask for."""
+    progress = _progress_line(args)
+    try:
+        return study.run(on_event=progress)
+    finally:
+        if progress is not None:
+            progress.close()
+
+
 def _format_schedule_counts(counts: list[int]) -> str:
     return "(" + ", ".join(str(m) for m in counts) + ")"
 
@@ -252,7 +361,7 @@ def cmd_search(args: argparse.Namespace) -> None:
         engine_options=_engine_options(args),
         run_dir=args.run_dir,
     )
-    report = study.run()[0]
+    report = _run_study(study, args)[0]
     if args.json:
         print(report.to_json())
         return
@@ -297,7 +406,7 @@ def cmd_batch(args: argparse.Namespace) -> None:
         engine_options=_engine_options(args),
         run_dir=args.run_dir,
     )
-    reports = study.run()
+    reports = _run_study(study, args)
     if args.json:
         print(
             json.dumps(
@@ -346,7 +455,7 @@ def cmd_multicore(args: argparse.Namespace) -> None:
         engine_options=_engine_options(args),
         run_dir=args.run_dir,
     )
-    report = study.run()[0]
+    report = _run_study(study, args)[0]
     if args.json:
         print(report.to_json())
         return
@@ -419,6 +528,30 @@ def main(argv: list[str] | None = None) -> int:
 
     sub.add_parser("models", help="list registered WCET models")
 
+    sub.add_parser("experiments", help="list registered experiments")
+
+    experiment = sub.add_parser(
+        "experiment",
+        help="regenerate one paper artifact (resumable via --run-dir)",
+    )
+    experiment.add_argument(
+        "name",
+        help="registered experiment (see `python -m repro experiments`)",
+    )
+    experiment.add_argument(
+        "--out",
+        default=None,
+        help="output directory for experiments that write files "
+        "(fig6 CSVs; rejected elsewhere)",
+    )
+    experiment.add_argument(
+        "--max-count-per-core",
+        type=int,
+        default=6,
+        help="burst-length cap per core for the multicore experiments",
+    )
+    _add_search_arguments(experiment)
+
     search = sub.add_parser("search", help="schedule-space search")
     search.add_argument("--starts", nargs="*", help="e.g. --starts 4,2,2 1,2,1")
     _add_search_arguments(search)
@@ -480,6 +613,8 @@ def main(argv: list[str] | None = None) -> int:
         "evaluate": cmd_evaluate,
         "strategies": cmd_strategies,
         "models": cmd_models,
+        "experiments": cmd_experiments,
+        "experiment": cmd_experiment,
         "search": cmd_search,
         "timeline": cmd_timeline,
         "batch": cmd_batch,
@@ -557,6 +692,13 @@ def _add_search_arguments(parser: argparse.ArgumentParser) -> None:
         type=float,
         default=None,
         help="processor clock in MHz (default: 20)",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="emit progress on stderr even when it is not a TTY "
+        "(in-place line on a TTY — the automatic default there — "
+        "one line per finished scenario / computed batch otherwise)",
     )
 
 

@@ -1,18 +1,54 @@
 """Paper-artifact regeneration (one module per table/figure).
 
-Every experiment module exposes ``run(...)`` returning a result object
-with a ``render()`` method; ``python -m repro.experiments <name>`` runs
-one from the command line.  The mapping to the paper:
+Every experiment registers itself with the **experiment registry**
+(:mod:`repro.experiments.registry` — the same pluggable contract as the
+search-strategy and WCET-model registries): resolve one with
+:func:`get_experiment`, list them with :func:`available_experiments`,
+run one with :func:`run_experiment`, which returns a structured,
+JSON-round-tripping :class:`ExperimentReport` and persists/resumes it
+under a run directory.  ``python -m repro experiments`` lists them from
+the command line and ``python -m repro experiment <name>`` runs one
+(``python -m repro.experiments`` remains as a deprecated shim).
 
-========  ============================================================
-``table1``  Table I — WCETs with and without cache reuse
-``table2``  Table II — application parameters
-``table3``  Table III — settling-time comparison (1,1,1) vs (3,2,3)
-``fig6``    Figure 6 — system-output responses under both schedules
-``search``  Section V search statistics — exhaustive vs hybrid
-========  ============================================================
+The mapping to the paper:
+
+==============  ======================================================
+``table1``      Table I — WCETs with and without cache reuse
+``table2``      Table II — application parameters
+``table3``      Table III — settling-time comparison (1,1,1) vs (3,2,3)
+``fig6``        Figure 6 — system-output responses under both schedules
+``search``      Section V search statistics — exhaustive vs hybrid
+``multicore``   Section VI multicore extension — partitioning gain
+``shared_cache``  private caches vs one way-partitioned shared cache
+==============  ======================================================
+
+Each module also keeps its historical ``run(...)`` function returning a
+result object with a ``render()`` method, for direct library use.
 """
 
 from .profiles import design_options_for_profile, current_profile
+from .registry import (
+    ExperimentRequest,
+    ExperimentSpec,
+    available_experiments,
+    experiment_description,
+    get_experiment,
+    register_experiment,
+    run_experiment,
+    unregister_experiment,
+)
+from .report import ExperimentReport
 
-__all__ = ["current_profile", "design_options_for_profile"]
+__all__ = [
+    "ExperimentReport",
+    "ExperimentRequest",
+    "ExperimentSpec",
+    "available_experiments",
+    "current_profile",
+    "design_options_for_profile",
+    "experiment_description",
+    "get_experiment",
+    "register_experiment",
+    "run_experiment",
+    "unregister_experiment",
+]

@@ -1,58 +1,82 @@
-"""Command-line entry point: ``python -m repro.experiments <name>``.
+"""Deprecated shim: ``python -m repro.experiments <name>``.
 
-Names: ``table1``, ``table2``, ``table3``, ``fig6``, ``search``,
-``multicore``, ``shared_cache``, ``all``.  ``fig6`` additionally writes
-CSV files (``--out DIR``, default ``./fig6_out``).  The design budget
-follows ``REPRO_PROFILE`` (quick / standard / full).
+The experiment front door moved to the top-level CLI — ``python -m
+repro experiments`` lists the registered experiments and ``python -m
+repro experiment <name>`` runs one (with ``--json``, ``--run-dir``,
+``--strategy``, platform flags, ...).  This module remains so existing
+invocations keep working: it emits a single :class:`DeprecationWarning`
+and delegates to exactly the code path the new CLI uses, so the
+rendered tables are byte-identical.
+
+``--out`` only ever applied to ``fig6``; it now fails fast for every
+other experiment instead of being silently ignored.  (One cosmetic
+difference from the historical shim: the trailing blank line after the
+last experiment is gone — blank lines now only separate the
+experiments of ``all`` — because byte-identity with the new CLI takes
+precedence.)
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import warnings
 
-from . import fig6, multicore, search, shared_cache, table1, table2, table3
+from ..errors import ReproError
 from .profiles import current_profile
-
-EXPERIMENTS = {
-    "table1": lambda args: table1.run().render(),
-    "table2": lambda args: table2.run().render(),
-    "table3": lambda args: table3.run().render(),
-    "fig6": lambda args: _run_fig6(args),
-    "search": lambda args: search.run().render(),
-    "multicore": lambda args: multicore.run().render(),
-    "shared_cache": lambda args: shared_cache.run().render(),
-}
-
-
-def _run_fig6(args: argparse.Namespace) -> str:
-    result = fig6.run()
-    paths = result.write_csv(args.out)
-    rendered = result.render()
-    return rendered + "\n\nCSV written to: " + ", ".join(str(p) for p in paths)
+from .registry import (
+    ExperimentRequest,
+    available_experiments,
+    get_experiment,
+    run_and_render,
+)
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
-        description="Regenerate the paper's tables and figures.",
+        description="Regenerate the paper's tables and figures "
+        "(deprecated; use `python -m repro experiment <name>`).",
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all"],
+        choices=sorted(available_experiments()) + ["all"],
         help="which paper artifact to regenerate",
     )
     parser.add_argument(
         "--out",
-        default="fig6_out",
-        help="output directory for fig6 CSV files",
+        default=None,
+        help="output directory for fig6 CSV files (default: fig6_out; "
+        "rejected for experiments that write no files)",
     )
     args = parser.parse_args(argv)
+    warnings.warn(
+        "python -m repro.experiments is deprecated; use "
+        "`python -m repro experiment <name>` (or `python -m repro "
+        "experiments` to list them)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     print(f"[profile: {current_profile()}]")
-    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    for name in names:
-        print(EXPERIMENTS[name](args))
-        print()
+    if args.experiment == "all":
+        names = sorted(available_experiments())
+        # --out stays scoped to the experiments that support it.
+        outs = {
+            name: args.out
+            for name in names
+            if getattr(get_experiment(name), "supports_out", False)
+        }
+    else:
+        names = [args.experiment]
+        outs = {args.experiment: args.out}
+    try:
+        for position, name in enumerate(names):
+            if position:
+                print()  # separator between experiments of `all`
+            print(run_and_render(name, ExperimentRequest(out=outs.get(name))))
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     return 0
 
 

@@ -21,6 +21,8 @@ from ..control.simulate import build_simulation_plan, simulate_tracking
 from ..sched.schedule import PeriodicSchedule
 from ..viz.ascii_plot import plot_series
 from .profiles import design_options_for_profile
+from .registry import ExperimentRequest, register_experiment
+from .report import ExperimentReport, new_report
 
 #: Simulated duration after the reference step, matching the figure.
 FIGURE_HORIZON = 0.05
@@ -140,3 +142,66 @@ def run(
             )
         )
     return Fig6Result(series=series)
+
+
+@register_experiment
+class Fig6Experiment:
+    """Figure 6 — system-output responses under both schedules."""
+
+    name = "fig6"
+    supports_out = True
+    #: Historical CLI default for the CSV directory.
+    default_out = "fig6_out"
+
+    def build(self, request: ExperimentRequest) -> ExperimentReport:
+        case = (
+            build_case_study(platform=request.platform)
+            if request.platform
+            else None
+        )
+        result = run(case, request.design_options)
+        return new_report(
+            self.name,
+            data={
+                "series": [
+                    {
+                        "app_name": entry.app_name,
+                        "reference": float(entry.reference),
+                        "times_rr": [float(t) for t in entry.times_rr],
+                        "outputs_rr": [float(y) for y in entry.outputs_rr],
+                        "times_ca": [float(t) for t in entry.times_ca],
+                        "outputs_ca": [float(y) for y in entry.outputs_ca],
+                        "settling_rr": float(entry.settling_rr),
+                        "settling_ca": float(entry.settling_ca),
+                    }
+                    for entry in result.series
+                ]
+            },
+            platform=request.platform,
+        )
+
+    def render(self, report: ExperimentReport) -> str:
+        return self.result_from(report).render()
+
+    def write_outputs(self, report: ExperimentReport, directory) -> list[Path]:
+        """Write the CSV files from a (possibly resumed) report."""
+        return self.result_from(report).write_csv(directory)
+
+    @staticmethod
+    def result_from(report: ExperimentReport) -> Fig6Result:
+        """Rebuild the result object from a (possibly resumed) report."""
+        return Fig6Result(
+            series=[
+                ResponseSeries(
+                    app_name=entry["app_name"],
+                    reference=entry["reference"],
+                    times_rr=np.asarray(entry["times_rr"]),
+                    outputs_rr=np.asarray(entry["outputs_rr"]),
+                    times_ca=np.asarray(entry["times_ca"]),
+                    outputs_ca=np.asarray(entry["outputs_ca"]),
+                    settling_rr=entry["settling_rr"],
+                    settling_ca=entry["settling_ca"],
+                )
+                for entry in report.data["series"]
+            ]
+        )

@@ -1,0 +1,435 @@
+"""Pluggable experiment registry — the paper-artifact front door.
+
+An *experiment* is the unit of extensibility of the artifact layer: it
+receives an :class:`ExperimentRequest` (platform, strategy, engine
+configuration, progress callback) and returns a structured
+:class:`~repro.experiments.report.ExperimentReport`.  Experiments
+register themselves by name with :func:`register_experiment`; every
+entry point (``python -m repro experiment <name>``, the deprecated
+``python -m repro.experiments`` shim, the resume-aware
+:func:`run_experiment` runner) resolves names through
+:func:`get_experiment`, so an unknown name fails fast with the list of
+registered experiments — the exact contract of the search-strategy
+(:mod:`repro.sched.strategies`) and WCET-model
+(:mod:`repro.wcet.models`) registries.
+
+Seven experiments are builtin, one per paper artifact: ``table1``,
+``table2``, ``table3``, ``fig6``, ``search``, ``multicore`` and
+``shared_cache`` (each registered by its module under
+:mod:`repro.experiments`).
+
+Rendering is split from running: :meth:`ExperimentSpec.build` produces
+the report, :meth:`ExperimentSpec.render` turns a report — fresh or
+resumed from disk — into the table/figure text.  That split is what
+makes ``--run-dir`` resume byte-identical: a rerun loads the persisted
+JSON and renders it without re-searching.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Callable, Protocol, runtime_checkable
+
+from ..control.design import DesignOptions
+from ..errors import ConfigurationError
+from ..platform import Platform
+from ..study.report import _json_safe
+from .profiles import current_profile
+from .report import ExperimentReport
+
+
+@dataclass(frozen=True)
+class ExperimentRequest:
+    """Run-time inputs of one experiment, CLI flags made explicit.
+
+    Parameters
+    ----------
+    design_options:
+        Controller-design budget; ``None`` uses the ``REPRO_PROFILE``
+        profile (the CLI path).
+    platform:
+        Execution platform to rebuild the case study on; ``None`` is
+        the paper platform.
+    strategy:
+        Registered search strategy for search-backed experiments;
+        ``None`` keeps each experiment's default.  Experiments that
+        run no search ignore it.
+    workers / cache_dir:
+        Engine configuration for search-backed experiments (worker
+        processes, persistent evaluation cache).
+    max_count_per_core:
+        Burst-length cap per core for the multicore experiments.
+    out:
+        Output directory for experiments that write files
+        (only ``fig6`` — see :attr:`ExperimentSpec.supports_out`).
+    on_event:
+        Receives the engines' typed progress events
+        (:mod:`repro.sched.engine.events`) while searches run.
+    """
+
+    design_options: DesignOptions | None = None
+    platform: Platform | None = None
+    strategy: str | None = None
+    workers: int = 0
+    cache_dir: str | Path | None = None
+    max_count_per_core: int = 6
+    out: str | Path | None = None
+    on_event: Callable | None = field(default=None, compare=False)
+
+    def signature(self) -> dict:
+        """JSON-safe record of the result-affecting request fields.
+
+        Engine plumbing (``workers``, ``cache_dir``), output paths and
+        callbacks change *how fast* or *where*, never *what*, so only
+        the strategy and an explicit design-options override enter the
+        signature the resume logic compares.
+        """
+        return _json_safe(
+            {
+                "strategy": self.strategy,
+                # asdict recurses into the nested PSO stage options, so
+                # two budgets differing only there never share a report.
+                "design_options": (
+                    asdict(self.design_options)
+                    if self.design_options is not None
+                    else None
+                ),
+                "max_count_per_core": self.max_count_per_core,
+            }
+        )
+
+
+@runtime_checkable
+class ExperimentSpec(Protocol):
+    """What a pluggable experiment must provide.
+
+    ``name`` is the registry key; ``build`` runs the experiment and
+    returns its structured report; ``render`` turns any report of this
+    experiment (freshly built or resumed from disk) into the
+    table/figure text.  ``supports_out`` marks experiments that write
+    output files from :attr:`ExperimentRequest.out` (only ``fig6``
+    builtin; such experiments must also define ``write_outputs(report,
+    directory)``); the CLI rejects ``--out`` for all others.
+
+    Optional attributes: ``supports_strategy`` marks experiments that
+    honor :attr:`ExperimentRequest.strategy` (builtin: ``multicore``,
+    ``shared_cache``; requesting a strategy elsewhere fails fast
+    instead of being silently ignored), and ``default_platform`` — a
+    zero-argument callable — declares the platform an experiment runs
+    on when the request names none (builtin: ``shared_cache`` uses
+    :func:`~repro.platform.shared_paper_platform`).
+    """
+
+    name: str
+    supports_out: bool
+
+    def build(self, request: ExperimentRequest) -> ExperimentReport:
+        ...
+
+    def render(self, report: ExperimentReport) -> str:
+        ...
+
+
+#: The global registry: experiment name -> experiment instance.
+_REGISTRY: dict[str, ExperimentSpec] = {}
+
+
+def register_experiment(experiment):
+    """Register an experiment class (or instance) under its ``name``.
+
+    Usable as a class decorator::
+
+        @register_experiment
+        class MyExperiment:
+            name = "mine"
+            supports_out = False
+
+            def build(self, request):
+                ...
+
+            def render(self, report):
+                ...
+
+    Returns its argument so the decorated class stays usable.  Double
+    registration of one name raises
+    :class:`~repro.errors.ConfigurationError`.
+    """
+    instance = experiment() if isinstance(experiment, type) else experiment
+    name = getattr(instance, "name", None)
+    if not isinstance(name, str) or not name:
+        raise ConfigurationError(
+            f"experiment {experiment!r} must define a non-empty string `name`"
+        )
+    for method in ("build", "render"):
+        if not callable(getattr(instance, method, None)):
+            raise ConfigurationError(
+                f"experiment {name!r} must define a `{method}` method"
+            )
+    if getattr(instance, "supports_out", False) and not callable(
+        getattr(instance, "write_outputs", None)
+    ):
+        raise ConfigurationError(
+            f"experiment {name!r} declares supports_out but defines no "
+            "`write_outputs` method"
+        )
+    if name in _REGISTRY:
+        raise ConfigurationError(f"experiment {name!r} is already registered")
+    _REGISTRY[name] = instance
+    return experiment
+
+
+def unregister_experiment(name: str) -> None:
+    """Remove a registered experiment (mainly for tests of third-party
+    registration; the builtin experiments should stay registered)."""
+    _REGISTRY.pop(name, None)
+
+
+def available_experiments() -> tuple[str, ...]:
+    """Names of all registered experiments, sorted."""
+    _ensure_builtins()
+    return tuple(sorted(_REGISTRY))
+
+
+def get_experiment(name: str) -> ExperimentSpec:
+    """Resolve an experiment name, failing fast on unknown names."""
+    _ensure_builtins()
+    experiment = _REGISTRY.get(name)
+    if experiment is None:
+        raise ConfigurationError(
+            f"unknown experiment {name!r}; registered experiments: "
+            f"{', '.join(available_experiments())}"
+        )
+    return experiment
+
+
+def experiment_description(experiment: ExperimentSpec) -> str:
+    """First docstring line of an experiment (for listings)."""
+    doc = (getattr(experiment, "__doc__", None) or "").strip()
+    return doc.splitlines()[0] if doc else ""
+
+
+def _ensure_builtins() -> None:
+    """Import the builtin experiment modules (each registers itself).
+
+    Deferred to first registry use: the experiment modules import the
+    apps/control stack, which itself imports this package.
+    """
+    from . import (  # noqa: F401
+        fig6,
+        multicore,
+        search,
+        shared_cache,
+        table1,
+        table2,
+        table3,
+    )
+
+
+# ----------------------------------------------------------------------
+# Resume-aware runner
+# ----------------------------------------------------------------------
+
+def _expected_platform(name: str, request: ExperimentRequest) -> dict:
+    """Fingerprint of the platform this run will actually build on.
+
+    ``request.platform`` wins; otherwise the experiment's own declared
+    default (``shared_cache`` runs on the shared paper platform, not
+    the direct-mapped paper cache); otherwise the paper platform.
+    """
+    if request.platform is not None:
+        return request.platform.fingerprint()
+    default = getattr(get_experiment(name), "default_platform", None)
+    platform = default() if callable(default) else None
+    return (platform or Platform()).fingerprint()
+
+
+def experiment_report_path(
+    run_dir: str | Path, name: str, request: ExperimentRequest
+) -> Path:
+    """Where one experiment's report persists under ``run_dir``.
+
+    The filename carries the profile plus a short digest of the
+    result-affecting request fields (strategy, design options,
+    platform), so differently-configured runs of one experiment never
+    collide on a single artifact.
+    """
+    spec = json.dumps(
+        [request.signature(), _expected_platform(name, request)],
+        sort_keys=True,
+    )
+    tag = hashlib.sha256(spec.encode()).hexdigest()[:8]
+    return Path(run_dir) / f"experiment-{name}--{current_profile()}--{tag}.json"
+
+
+def _resumable(
+    name: str, request: ExperimentRequest, report: ExperimentReport
+) -> bool:
+    """Whether a persisted report answers this exact experiment run."""
+    return (
+        report.schema_version == ExperimentReport.schema_version
+        and report.experiment == name
+        and report.profile == current_profile()
+        and report.platform == _expected_platform(name, request)
+        and report.request == request.signature()
+    )
+
+
+def load_experiment_report(
+    run_dir: str | Path, name: str, request: ExperimentRequest
+) -> ExperimentReport | None:
+    """The persisted report answering this run, or ``None``."""
+    path = experiment_report_path(run_dir, name, request)
+    if not path.exists():
+        return None
+    try:
+        report = ExperimentReport.from_json(path.read_text())
+    except (ValueError, KeyError, TypeError):
+        return None  # corrupt or foreign artifact: recompute
+    return report if _resumable(name, request, report) else None
+
+
+def run_experiment(
+    name: str,
+    request: ExperimentRequest | None = None,
+    run_dir: str | Path | None = None,
+    resume: bool = True,
+) -> ExperimentReport:
+    """Run one registered experiment, persisting/resuming via ``run_dir``.
+
+    With a run directory the report persists as JSON after the run,
+    and (``resume=True``) a rerun whose persisted report matches —
+    same experiment, profile, platform and request signature — is
+    served from disk without recomputing.  Rendering the resumed
+    report is byte-identical to rendering the original (rendering is a
+    pure function of the report).
+
+    ``--out``-style file outputs are only supported by experiments
+    declaring ``supports_out`` (builtin: ``fig6``); requesting one
+    elsewhere raises :class:`~repro.errors.ConfigurationError`.
+    """
+    spec = get_experiment(name)
+    request = request or ExperimentRequest()
+    validate_request(name, request)
+    if run_dir is not None and resume:
+        existing = load_experiment_report(run_dir, name, request)
+        if existing is not None:
+            if request.out is not None:
+                spec.write_outputs(existing, request.out)
+            return existing
+    started = time.perf_counter()
+    report = spec.build(request)
+    report.wall_time = time.perf_counter() - started
+    report.profile = current_profile()
+    report.request = request.signature()
+    if run_dir is not None:
+        path = experiment_report_path(run_dir, name, request)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(report.to_json() + "\n")
+    if request.out is not None:
+        # An explicitly requested output directory is honored here, so
+        # library callers get their files too (resumed runs re-create
+        # them from the report's data, identically).
+        spec.write_outputs(report, request.out)
+    return report
+
+
+def _supporting(flag: str) -> str:
+    """Comma-joined names of the experiments declaring ``flag``."""
+    return ", ".join(
+        name
+        for name in available_experiments()
+        if getattr(get_experiment(name), flag, False)
+    )
+
+
+def validate_request(name: str, request: ExperimentRequest) -> None:
+    """Reject request fields the experiment would silently ignore.
+
+    Raises :class:`~repro.errors.ConfigurationError` when ``out`` or
+    ``strategy`` is set for an experiment that does not consume it.
+    Called by :func:`run_experiment`; the CLI calls it up front so a
+    rejected invocation produces no partial output.
+    """
+    spec = get_experiment(name)
+    if request.out is not None and not getattr(spec, "supports_out", False):
+        raise ConfigurationError(
+            f"experiment {name!r} writes no output files; "
+            "--out is only supported by: " + _supporting("supports_out")
+        )
+    if request.strategy is not None and not getattr(
+        spec, "supports_strategy", False
+    ):
+        raise ConfigurationError(
+            f"experiment {name!r} runs a fixed search; "
+            "--strategy is only supported by: "
+            + _supporting("supports_strategy")
+        )
+    default_cap = ExperimentRequest().max_count_per_core
+    if request.max_count_per_core != default_cap and not getattr(
+        spec, "supports_max_count", False
+    ):
+        raise ConfigurationError(
+            f"experiment {name!r} has no per-core schedule spaces; "
+            "--max-count-per-core is only supported by: "
+            + _supporting("supports_max_count")
+        )
+
+
+def render_experiment(
+    name: str, report: ExperimentReport, out: str | Path | None = None
+) -> str:
+    """Render a report — fresh or resumed — as its table/figure text.
+
+    For experiments with file outputs (``fig6``), ``out`` additionally
+    writes them (CSV files re-created from the report's data, so a
+    resumed run writes the same files) and appends the written paths.
+    """
+    spec = get_experiment(name)
+    text = spec.render(report)
+    if out is not None:
+        if not getattr(spec, "supports_out", False):
+            raise ConfigurationError(
+                f"experiment {name!r} writes no output files"
+            )
+        paths = spec.write_outputs(report, out)
+        text += "\n\nCSV written to: " + ", ".join(str(p) for p in paths)
+    return text
+
+
+def effective_out(name: str, request: ExperimentRequest) -> str | Path | None:
+    """The output directory a run will actually write to.
+
+    ``request.out`` wins; file-writing experiments fall back to their
+    own default (``fig6`` writes its CSVs to ``fig6_out``), everything
+    else writes nothing.
+    """
+    if request.out is not None:
+        return request.out
+    spec = get_experiment(name)
+    if getattr(spec, "supports_out", False):
+        return getattr(spec, "default_out", None)
+    return None
+
+
+def run_and_render(
+    name: str,
+    request: ExperimentRequest | None = None,
+    run_dir: str | Path | None = None,
+) -> str:
+    """Run (or resume) one experiment and render it — the single text
+    code path shared by ``python -m repro experiment`` and the
+    deprecated ``python -m repro.experiments`` shim, which is what
+    keeps their rendered tables byte-identical.
+
+    ``request.out`` is the output directory for file-writing
+    experiments (rejected for all others); ``None`` falls back to
+    :func:`effective_out`'s default, so both CLIs behave identically
+    with and without the flag.
+    """
+    request = request or ExperimentRequest()
+    report = run_experiment(name, request, run_dir=run_dir)
+    return render_experiment(name, report, out=effective_out(name, request))

@@ -11,17 +11,23 @@ Reruns the paper's schedule-space experiment:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 from pathlib import Path
 
 from ..apps.casestudy import CaseStudy, PAPER_BEST_OVERALL, build_case_study
 from ..control.design import DesignOptions
 from ..core.report import render_table
-from ..sched.engine import SearchEngine
+from ..platform import Platform
+from ..sched.engine import EngineOptions, SearchEngine
+from ..sched.engine.batch import Scenario, ScenarioOutcome, run_scenario
 from ..sched.feasibility import enumerate_idle_feasible
 from ..sched.schedule import PeriodicSchedule
 from ..sched.strategies import StrategySpec, get_strategy
+from ..study.report import RunReport
 from .profiles import design_options_for_profile
+from .registry import ExperimentRequest, register_experiment
+from .report import ExperimentReport, new_report
 
 #: The paper's two random hybrid-search starts.
 PAPER_STARTS = (PeriodicSchedule.of(4, 2, 2), PeriodicSchedule.of(1, 2, 1))
@@ -48,6 +54,9 @@ class SearchResultSummary:
     hybrid_evaluations: dict[tuple[int, ...], int]
     hybrid_optima: dict[tuple[int, ...], PeriodicSchedule]
     infeasible_schedules: list[PeriodicSchedule]
+    #: One :class:`~repro.study.RunReport` per search that ran — the
+    #: exhaustive sweep plus one hybrid search per start.
+    run_reports: list[RunReport] = field(default_factory=list)
 
     @property
     def hybrid_found_optimum(self) -> bool:
@@ -96,12 +105,18 @@ class SearchResultSummary:
         return table + extras
 
 
+def _start_label(start: PeriodicSchedule) -> str:
+    return "x".join(str(count) for count in start.counts)
+
+
 def run(
     case: CaseStudy | None = None,
     design_options: DesignOptions | None = None,
     starts: tuple[PeriodicSchedule, ...] = PAPER_STARTS,
     workers: int = 0,
     cache_dir: str | Path | None = None,
+    platform: Platform | None = None,
+    on_event=None,
 ) -> SearchResultSummary:
     """Rerun the schedule-space experiment.
 
@@ -109,35 +124,81 @@ def run(
     search engine (parallel workers, persistent cache); the default is
     the original serial in-memory path.  With a shared ``cache_dir`` the
     exhaustive sweep warms the per-start hybrid searches and any later
-    rerun of the whole experiment.
+    rerun of the whole experiment.  ``platform`` rebuilds the case
+    study on a different execution platform when no ``case`` is given;
+    ``on_event`` receives the engines' typed progress events.
+
+    Besides the summary statistics, every search that ran — the
+    exhaustive sweep and each per-start hybrid — is recorded as a
+    structured :class:`~repro.study.RunReport` in
+    :attr:`SearchResultSummary.run_reports`.
     """
-    case = case or build_case_study()
+    case = case or build_case_study(platform=platform)
+    options = design_options or design_options_for_profile()
+    run_reports: list[RunReport] = []
 
     def fresh_engine() -> SearchEngine:
         return SearchEngine(
-            case.evaluator(design_options or design_options_for_profile()),
+            case.evaluator(options),
             workers=workers,
             cache_dir=cache_dir,
+            platform=platform,
+            on_event=on_event,
         )
 
     with fresh_engine() as evaluator:
         space = enumerate_idle_feasible(case.apps, case.clock)
+        started = time.perf_counter()
         exhaustive = get_strategy("exhaustive").run(
             evaluator, space, StrategySpec()
         )
+        # Snapshot before the infeasibility/round-robin extras below, so
+        # the embedded report accounts the exhaustive sweep alone.
+        exhaustive_scenario = Scenario(
+            name="casestudy-exhaustive",
+            apps=case.apps,
+            clock=case.clock,
+            design_options=options,
+            strategy="exhaustive",
+            platform=platform,
+        )
+        run_reports.append(
+            RunReport.from_outcome(
+                exhaustive_scenario,
+                ScenarioOutcome(
+                    name=exhaustive_scenario.name,
+                    strategy="exhaustive",
+                    result=exhaustive,
+                    wall_time=time.perf_counter() - started,
+                    n_space=len(space),
+                    engine_stats=evaluator.stats.as_dict(),
+                    backend=evaluator.backend_name,
+                    n_apps=len(case.apps),
+                ),
+            )
+        )
 
-        hybrid = get_strategy("hybrid")
+        engine_options = EngineOptions(workers=workers, cache_dir=cache_dir)
         hybrid_counts: dict[tuple[int, ...], int] = {}
         hybrid_optima: dict[tuple[int, ...], PeriodicSchedule] = {}
         for start in starts:
-            # A fresh evaluator per start so the evaluation count reflects a
-            # standalone search (the paper reports per-start counts); each
-            # engine is closed as soon as its search ends so worker pools
-            # don't pile up across starts.
-            with fresh_engine() as fresh:
-                result = hybrid.run(fresh, space, StrategySpec(starts=(start,)))
-                hybrid_counts[start.counts] = result.traces[0].n_evaluations
-                hybrid_optima[start.counts] = result.best_schedule
+            # A fresh engine per start (via the scenario runner) so the
+            # evaluation count reflects a standalone search (the paper
+            # reports per-start counts); each engine is closed as soon
+            # as its search ends so worker pools don't pile up.
+            scenario = Scenario(
+                name=f"casestudy-hybrid-{_start_label(start)}",
+                apps=case.apps,
+                clock=case.clock,
+                design_options=options,
+                strategy="hybrid",
+                starts=(start,),
+                platform=platform,
+            )
+            outcome = run_scenario(scenario, engine_options, on_event=on_event)
+            hybrid_counts[start.counts] = outcome.result.traces[0].n_evaluations
+            hybrid_optima[start.counts] = outcome.result.best_schedule
+            run_reports.append(RunReport.from_outcome(scenario, outcome))
 
         infeasible = [
             schedule
@@ -154,5 +215,75 @@ def run(
         hybrid_evaluations=hybrid_counts,
         hybrid_optima=hybrid_optima,
         infeasible_schedules=infeasible,
+        run_reports=run_reports,
     )
+
+
+@register_experiment
+class SearchExperiment:
+    """Section V search statistics — exhaustive vs hybrid."""
+
+    name = "search"
+    supports_out = False
+
+    def build(self, request: ExperimentRequest) -> ExperimentReport:
+        result = run(
+            design_options=request.design_options,
+            workers=request.workers,
+            cache_dir=request.cache_dir,
+            platform=request.platform,
+            on_event=request.on_event,
+        )
+        data = {
+            "n_enumerated": int(result.n_enumerated),
+            "n_feasible": int(result.n_feasible),
+            "optimum": list(result.optimum.counts),
+            "best_overall": float(result.best_overall),
+            "round_robin_overall": float(result.round_robin_overall),
+            "hybrid": [
+                {
+                    "start": list(start),
+                    "evaluations": int(result.hybrid_evaluations[start]),
+                    "optimum": list(result.hybrid_optima[start].counts),
+                }
+                for start in result.hybrid_evaluations
+            ],
+            "infeasible": [
+                list(schedule.counts)
+                for schedule in result.infeasible_schedules
+            ],
+        }
+        return new_report(
+            self.name,
+            data=data,
+            run_reports=result.run_reports,
+            platform=request.platform,
+        )
+
+    def render(self, report: ExperimentReport) -> str:
+        return self.result_from(report).render()
+
+    @staticmethod
+    def result_from(report: ExperimentReport) -> SearchResultSummary:
+        """Rebuild the summary from a (possibly resumed) report."""
+        data = report.data
+        return SearchResultSummary(
+            n_enumerated=int(data["n_enumerated"]),
+            n_feasible=int(data["n_feasible"]),
+            optimum=PeriodicSchedule(tuple(data["optimum"])),
+            best_overall=float(data["best_overall"]),
+            round_robin_overall=float(data["round_robin_overall"]),
+            hybrid_evaluations={
+                tuple(entry["start"]): int(entry["evaluations"])
+                for entry in data["hybrid"]
+            },
+            hybrid_optima={
+                tuple(entry["start"]): PeriodicSchedule(tuple(entry["optimum"]))
+                for entry in data["hybrid"]
+            },
+            infeasible_schedules=[
+                PeriodicSchedule(tuple(counts)) for counts in data["infeasible"]
+            ],
+            run_reports=list(report.run_reports),
+        )
 

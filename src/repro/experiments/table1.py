@@ -9,13 +9,15 @@ table exactly (deviation 0.00 us).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
 from ..apps.casestudy import PAPER_TABLE1_US, build_case_study
 from ..cache.config import CacheConfig
 from ..core.report import render_table
 from ..units import Clock
 from ..wcet.reuse import analyze_task_wcets
+from .registry import ExperimentRequest, register_experiment
+from .report import ExperimentReport, new_report
 
 
 @dataclass
@@ -103,3 +105,33 @@ def run(cache_config: CacheConfig | None = None) -> Table1Result:
             )
         )
     return Table1Result(rows=rows, methods_agree=agree)
+
+
+@register_experiment
+class Table1Experiment:
+    """Table I — WCETs with and without cache reuse."""
+
+    name = "table1"
+    supports_out = False
+
+    def build(self, request: ExperimentRequest) -> ExperimentReport:
+        result = run(request.platform.cache if request.platform else None)
+        return new_report(
+            self.name,
+            data={
+                "rows": [asdict(row) for row in result.rows],
+                "methods_agree": bool(result.methods_agree),
+            },
+            platform=request.platform,
+        )
+
+    def render(self, report: ExperimentReport) -> str:
+        return self.result_from(report).render()
+
+    @staticmethod
+    def result_from(report: ExperimentReport) -> Table1Result:
+        """Rebuild the result object from a (possibly resumed) report."""
+        return Table1Result(
+            rows=[Table1Row(**row) for row in report.data["rows"]],
+            methods_agree=bool(report.data["methods_agree"]),
+        )

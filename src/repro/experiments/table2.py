@@ -11,6 +11,8 @@ from dataclasses import dataclass
 
 from ..apps.casestudy import PAPER_TABLE2, build_case_study
 from ..core.report import render_table
+from .registry import ExperimentRequest, register_experiment
+from .report import ExperimentReport, new_report
 
 
 @dataclass
@@ -50,3 +52,33 @@ def run() -> Table2Result:
             ]
         )
     return Table2Result(rows=rows, matches_paper=matches)
+
+
+@register_experiment
+class Table2Experiment:
+    """Table II — application parameters."""
+
+    name = "table2"
+    supports_out = False
+
+    def build(self, request: ExperimentRequest) -> ExperimentReport:
+        result = run()
+        return new_report(
+            self.name,
+            data={
+                "rows": [list(row) for row in result.rows],
+                "matches_paper": bool(result.matches_paper),
+            },
+            platform=request.platform,
+        )
+
+    def render(self, report: ExperimentReport) -> str:
+        return self.result_from(report).render()
+
+    @staticmethod
+    def result_from(report: ExperimentReport) -> Table2Result:
+        """Rebuild the result object from a (possibly resumed) report."""
+        return Table2Result(
+            rows=[list(row) for row in report.data["rows"]],
+            matches_paper=bool(report.data["matches_paper"]),
+        )

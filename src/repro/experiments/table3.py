@@ -8,13 +8,15 @@ relative improvement (the paper's "control performance improvement").
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
 from ..apps.casestudy import PAPER_TABLE3, CaseStudy, build_case_study
 from ..control.design import DesignOptions
 from ..core.report import format_percent, format_seconds_ms, render_table
 from ..sched.schedule import PeriodicSchedule
 from .profiles import design_options_for_profile
+from .registry import ExperimentRequest, register_experiment
+from .report import ExperimentReport, new_report
 
 
 @dataclass
@@ -104,3 +106,45 @@ def run(
         rr_feasible=rr_eval.feasible,
         ca_feasible=ca_eval.feasible,
     )
+
+
+@register_experiment
+class Table3Experiment:
+    """Table III — settling-time comparison (1,1,1) vs (3,2,3)."""
+
+    name = "table3"
+    supports_out = False
+
+    def build(self, request: ExperimentRequest) -> ExperimentReport:
+        case = (
+            build_case_study(platform=request.platform)
+            if request.platform
+            else None
+        )
+        result = run(case, request.design_options)
+        return new_report(
+            self.name,
+            data={
+                "rows": [asdict(row) for row in result.rows],
+                "overall_rr": float(result.overall_rr),
+                "overall_ca": float(result.overall_ca),
+                "rr_feasible": bool(result.rr_feasible),
+                "ca_feasible": bool(result.ca_feasible),
+            },
+            platform=request.platform,
+        )
+
+    def render(self, report: ExperimentReport) -> str:
+        return self.result_from(report).render()
+
+    @staticmethod
+    def result_from(report: ExperimentReport) -> Table3Result:
+        """Rebuild the result object from a (possibly resumed) report."""
+        data = report.data
+        return Table3Result(
+            rows=[Table3Row(**row) for row in data["rows"]],
+            overall_rr=float(data["overall_rr"]),
+            overall_ca=float(data["overall_ca"]),
+            rr_feasible=bool(data["rr_feasible"]),
+            ca_feasible=bool(data["ca_feasible"]),
+        )

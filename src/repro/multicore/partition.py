@@ -183,6 +183,9 @@ class MulticoreProblem:
     partition with the per-core way allocation; the cache needs at
     least as many ways as cores that could be used
     (``min(n_cores, len(apps))``).
+
+    ``on_event`` receives the shared engine's typed progress events
+    (:mod:`repro.sched.engine.events`) while the sweep runs.
     """
 
     def __init__(
@@ -196,6 +199,7 @@ class MulticoreProblem:
         cache_dir: str | Path | None = None,
         platform: Platform | None = None,
         shared_cache: bool = False,
+        on_event=None,
     ) -> None:
         if n_cores < 1:
             raise ScheduleError(f"need at least one core, got {n_cores}")
@@ -219,6 +223,7 @@ class MulticoreProblem:
             workers=workers,
             cache_dir=cache_dir,
             platform=platform,
+            on_event=on_event,
         )
         self.platform = self.engine.platform
         self.total_ways = self.platform.cache.associativity

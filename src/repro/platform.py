@@ -110,6 +110,30 @@ def paper_platform() -> Platform:
     return Platform()
 
 
+def platform_from_fingerprint(data: dict) -> Platform:
+    """Inverse of :meth:`Platform.fingerprint` (identity round-trip).
+
+    Persisted artifacts (run and experiment reports) record platforms
+    as fingerprints; this rebuilds the live object from one, so a
+    resumed report can be rendered or re-run on its original platform.
+    """
+    from .cache.config import CacheConfig, ReplacementPolicy
+
+    cache = data["cache"]
+    return Platform(
+        cache=CacheConfig(
+            n_sets=int(cache["n_sets"]),
+            associativity=int(cache["associativity"]),
+            line_size=int(cache["line_size"]),
+            hit_cycles=int(cache["hit_cycles"]),
+            miss_cycles=int(cache["miss_cycles"]),
+            policy=ReplacementPolicy(cache["policy"]),
+        ),
+        clock=Clock(float(data["clock_hz"])),
+        wcet_model=str(data["wcet_model"]),
+    )
+
+
 def shared_paper_platform() -> Platform:
     """The default shared-cache platform: the paper's 2 KiB capacity
     re-organized as 32 sets x 4 ways, so there are ways to partition

@@ -9,6 +9,10 @@ The subsystem behind ``--workers`` / ``--cache-dir``:
   :class:`PartitionedSearchEngine`, the same layering generalized to a
   family of per-core sub-problems (the multicore co-design), with
   cross-core batching and block-level disk keys;
+* :mod:`~repro.sched.engine.events` — typed progress events
+  (:class:`BatchSubmitted` / :class:`BatchCompleted`) both engines emit
+  through their ``on_event`` callback, each carrying a consistent
+  :class:`EngineStats` snapshot;
 * :mod:`~repro.sched.engine.backends` — serial and
   ``ProcessPoolExecutor`` evaluation backends;
 * :mod:`~repro.sched.engine.store` — the SQLite-backed persistent
@@ -23,6 +27,7 @@ The subsystem behind ``--workers`` / ``--cache-dir``:
 
 from .backends import ProcessPoolBackend, SerialBackend
 from .engine import EngineOptions, EngineStats, SearchEngine
+from .events import BatchCompleted, BatchSubmitted, EngineEvent
 from .keys import (
     evaluation_key,
     problem_digest,
@@ -34,7 +39,10 @@ from .serialize import evaluation_from_dict, evaluation_to_dict
 from .store import PersistentCache
 
 __all__ = [
+    "BatchCompleted",
+    "BatchSubmitted",
     "Block",
+    "EngineEvent",
     "EngineOptions",
     "EngineStats",
     "PartitionedSearchEngine",

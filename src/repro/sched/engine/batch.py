@@ -136,7 +136,9 @@ class ScenarioOutcome:
 
 
 def run_scenario(
-    scenario: Scenario, engine_options: EngineOptions | None = None
+    scenario: Scenario,
+    engine_options: EngineOptions | None = None,
+    on_event=None,
 ) -> ScenarioOutcome:
     """Run one scenario through a fresh engine.
 
@@ -144,15 +146,21 @@ def run_scenario(
     registry — never by name comparison — so a typo'd or unregistered
     strategy raises :class:`~repro.errors.ConfigurationError` naming
     the valid strategies instead of silently running some default.
+
+    ``on_event`` receives the engine's typed progress events
+    (:mod:`repro.sched.engine.events`) while the search runs; the
+    ``Study`` facade wraps them into scenario-tagged study events.
     """
     options = engine_options or EngineOptions()
     strategy = get_strategy(scenario.strategy)
     if scenario.n_cores > 1:
-        return _run_multicore_scenario(scenario, options)
+        return _run_multicore_scenario(scenario, options, on_event)
     evaluator = ScheduleEvaluator(
         scenario.apps, scenario.clock, scenario.design_options
     )
-    with options.build(evaluator, platform=scenario.platform) as engine:
+    with options.build(
+        evaluator, platform=scenario.platform, on_event=on_event
+    ) as engine:
         started = time.perf_counter()
         space = enumerate_idle_feasible(engine.apps, engine.clock)
         if not space:
@@ -180,7 +188,7 @@ def run_scenario(
 
 
 def _run_multicore_scenario(
-    scenario: Scenario, options: EngineOptions
+    scenario: Scenario, options: EngineOptions, on_event=None
 ) -> ScenarioOutcome:
     """Run a multicore scenario through the partitioned engine."""
     # Imported lazily: repro.multicore builds on repro.sched, so a
@@ -197,6 +205,7 @@ def _run_multicore_scenario(
         cache_dir=options.cache_dir,
         platform=scenario.platform,
         shared_cache=scenario.shared_cache,
+        on_event=on_event,
     ) as problem:
         started = time.perf_counter()
         evaluation = problem.optimize(

@@ -28,6 +28,7 @@ from ...units import Clock
 from ..evaluator import ScheduleEvaluation, ScheduleEvaluator
 from ..schedule import PeriodicSchedule
 from .backends import ProcessPoolBackend, SerialBackend
+from .events import BatchSubmitted, batch_completed, best_feasible_overall
 from .keys import evaluation_key, problem_digest
 from .serialize import evaluation_from_dict, evaluation_to_dict
 from .store import PersistentCache
@@ -51,18 +52,24 @@ class EngineOptions:
     cache_dir: str | Path | None = None
 
     def build(
-        self, evaluator: ScheduleEvaluator, platform: Platform | None = None
+        self,
+        evaluator: ScheduleEvaluator,
+        platform: Platform | None = None,
+        on_event=None,
     ) -> "SearchEngine":
         """An engine over ``evaluator`` with these options.
 
         ``platform`` declares the platform the evaluator's WCETs were
         analyzed on; it becomes part of the persistent-cache keys.
+        ``on_event`` receives the engine's typed progress events
+        (:mod:`~repro.sched.engine.events`).
         """
         return SearchEngine(
             evaluator,
             workers=self.workers,
             cache_dir=self.cache_dir,
             platform=platform,
+            on_event=on_event,
         )
 
 
@@ -130,11 +137,14 @@ class SearchEngine:
         workers: int = 0,
         cache_dir: str | Path | None = None,
         platform: Platform | None = None,
+        on_event=None,
     ) -> None:
         self.evaluator = evaluator
         self.workers = int(workers)
         self.platform = platform
+        self.on_event = on_event
         self.stats = EngineStats()
+        self._best_overall: float | None = None
         self._store = PersistentCache(cache_dir) if cache_dir is not None else None
         self._problem = problem_digest(
             evaluator.apps, evaluator.clock, evaluator.design_options, platform
@@ -220,8 +230,23 @@ class SearchEngine:
             pending_counts.add(schedule.counts)
             pending.append(schedule)
         if pending:
+            self._emit(
+                BatchSubmitted(
+                    n_batch=len(pending), n_requested=self.stats.n_requested
+                )
+            )
             self._compute(pending)
-        return [self.evaluator.evaluate(schedule) for schedule in schedules]
+        results = [self.evaluator.evaluate(schedule) for schedule in schedules]
+        self._best_overall = best_feasible_overall(results, self._best_overall)
+        if pending:
+            self._emit(
+                batch_completed(self.stats, len(pending), self._best_overall)
+            )
+        return results
+
+    def _emit(self, event) -> None:
+        if self.on_event is not None:
+            self.on_event(event)
 
     def _load_from_disk(self, schedule: PeriodicSchedule) -> bool:
         """Try to satisfy a miss from the persistent store."""

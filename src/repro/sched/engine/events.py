@@ -1,0 +1,98 @@
+"""Typed progress events emitted by the search engines.
+
+Long sweeps used to be silent until the final result; these events are
+the engine's live telemetry.  Both :class:`~.engine.SearchEngine` and
+:class:`~.partitioned.PartitionedSearchEngine` accept an ``on_event``
+callback and invoke it synchronously, on the coordinating thread:
+
+* :class:`BatchSubmitted` just before a batch of de-duplicated cache
+  misses is handed to the backend (serial or worker pool);
+* :class:`BatchCompleted` once the batch's evaluations have been merged
+  back into the memo (and the persistent store, if configured).
+
+Every event carries a *consistent snapshot* of the engine's
+:class:`~.engine.EngineStats` counters, taken at emission time — so the
+accounting identity ``n_requested == n_memo_hits + n_disk_hits +
+n_duplicates + n_computed`` holds inside every :class:`BatchCompleted`
+event, exactly as it does for the stats object itself.  The
+:class:`~repro.study.Study` facade wraps these into
+:class:`~repro.study.events.StudyEvent`\\ s; the CLI renders both into
+a live progress line.
+
+Events are plain frozen dataclasses: cheap to create, safe to hand to
+third-party callbacks, trivially testable.  A callback that raises
+aborts the run — deliberately, so broken observers never corrupt a
+sweep silently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class EngineEvent:
+    """Base class of all engine progress events."""
+
+
+@dataclass(frozen=True)
+class BatchSubmitted(EngineEvent):
+    """A batch of cache misses is about to be computed on the backend.
+
+    ``n_batch`` counts the de-duplicated misses in this batch;
+    ``n_requested`` is the engine's cumulative request counter at
+    submission time.
+    """
+
+    n_batch: int
+    n_requested: int
+
+
+@dataclass(frozen=True)
+class BatchCompleted(EngineEvent):
+    """A computed batch has been merged back into the cache layers.
+
+    The counters are a snapshot of the engine's
+    :class:`~.engine.EngineStats` *after* the batch was accounted, so
+    ``n_requested == n_memo_hits + n_disk_hits + n_duplicates +
+    n_computed`` holds in every event.
+
+    ``best_overall`` is the best feasible overall performance among all
+    evaluations the engine has served so far (``None`` until a feasible
+    one appears).  For the partitioned engine the value is the
+    block-local objective of the best sub-problem evaluation — a
+    progress signal, not the partition objective.
+    """
+
+    n_batch: int
+    n_requested: int
+    n_memo_hits: int
+    n_disk_hits: int
+    n_duplicates: int
+    n_computed: int
+    best_overall: float | None
+
+
+def batch_completed(stats, n_batch: int, best_overall: float | None) -> BatchCompleted:
+    """A :class:`BatchCompleted` snapshot of ``stats`` (shared by both
+    engines so their events can never drift apart)."""
+    return BatchCompleted(
+        n_batch=n_batch,
+        n_requested=stats.n_requested,
+        n_memo_hits=stats.n_memo_hits,
+        n_disk_hits=stats.n_disk_hits,
+        n_duplicates=stats.n_duplicates,
+        n_computed=stats.n_computed,
+        best_overall=best_overall,
+    )
+
+
+def best_feasible_overall(evaluations, current: float | None) -> float | None:
+    """``current`` folded over a batch's feasible overalls (the
+    best-so-far tracking shared by both engines)."""
+    for evaluation in evaluations:
+        if evaluation.feasible and (
+            current is None or evaluation.overall > current
+        ):
+            current = evaluation.overall
+    return current

@@ -48,6 +48,7 @@ from ...units import Clock
 from ..evaluator import ScheduleEvaluation, ScheduleEvaluator
 from ..schedule import PeriodicSchedule
 from .engine import EngineStats
+from .events import BatchSubmitted, batch_completed, best_feasible_overall
 from .keys import evaluation_key, problem_digest
 from .serialize import evaluation_from_dict, evaluation_to_dict
 from .store import PersistentCache
@@ -213,13 +214,16 @@ class PartitionedSearchEngine:
         workers: int = 0,
         cache_dir: str | Path | None = None,
         platform: Platform | None = None,
+        on_event=None,
     ) -> None:
         self.apps = list(apps)
         self.clock = clock
         self.design_options = design_options or DesignOptions()
         self.workers = int(workers)
         self.platform = platform or default_platform(clock)
+        self.on_event = on_event
         self.stats = EngineStats()
+        self._best_overall: float | None = None
         self._store = PersistentCache(cache_dir) if cache_dir is not None else None
         self._subproblems: dict[tuple[tuple[int, ...], int | None], Subproblem] = {}
         self._variants: dict[int | None, list] = {None: self.apps}
@@ -342,11 +346,28 @@ class PartitionedSearchEngine:
             pending_keys.add(key)
             pending.append((spec, schedule))
         if pending:
+            self._emit(
+                BatchSubmitted(
+                    n_batch=len(pending), n_requested=self.stats.n_requested
+                )
+            )
             self._compute(pending)
-        return [
+        results = [
             self.subproblem(spec).evaluator.evaluate(schedule)
             for spec, schedule in normalized
         ]
+        # Best feasible *block-local* overall (a progress signal; block
+        # objectives are renormalized, not the partition value).
+        self._best_overall = best_feasible_overall(results, self._best_overall)
+        if pending:
+            self._emit(
+                batch_completed(self.stats, len(pending), self._best_overall)
+            )
+        return results
+
+    def _emit(self, event) -> None:
+        if self.on_event is not None:
+            self.on_event(event)
 
     def _load_from_disk(
         self, sub: Subproblem, schedule: PeriodicSchedule

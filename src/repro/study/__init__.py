@@ -15,9 +15,36 @@ a run directory for resumable, cross-commit-comparable sweeps.
     ...                                 run_dir=".runs").run()
     >>> reports[0].best_schedule, reports[0].overall
     ([3, 2, 3], 0.195...)
+
+Runs are observable while they execute — ``Study.run(on_event=...)``
+pushes the typed :mod:`~repro.study.events` (scenario
+started/resumed/finished plus engine batch progress) to a callback,
+and ``Study.stream()`` yields the same events as an iterator::
+
+    >>> from repro.study.events import ScenarioFinished
+    >>> def on_event(event):
+    ...     if isinstance(event, ScenarioFinished):
+    ...         print(event.scenario, f"{event.throughput:.1f} eval/s")
+    >>> reports = Study.from_suite(8, strategy="hybrid").run(on_event=on_event)
 """
 
+from .events import (
+    ScenarioFinished,
+    ScenarioProgress,
+    ScenarioResumed,
+    ScenarioStarted,
+    StudyEvent,
+)
 from .report import RunReport, scenario_digest
 from .study import Study
 
-__all__ = ["RunReport", "Study", "scenario_digest"]
+__all__ = [
+    "RunReport",
+    "ScenarioFinished",
+    "ScenarioProgress",
+    "ScenarioResumed",
+    "ScenarioStarted",
+    "Study",
+    "StudyEvent",
+    "scenario_digest",
+]

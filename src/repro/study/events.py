@@ -1,0 +1,81 @@
+"""Typed study-level progress events.
+
+:meth:`Study.run(on_event=...) <repro.study.Study.run>` and the
+:meth:`Study.stream() <repro.study.Study.stream>` iterator deliver one
+stream of these events per study:
+
+* :class:`ScenarioStarted` before each scenario runs;
+* :class:`ScenarioProgress` for every engine event the scenario's
+  search emits (a scenario-tagged wrapper around the engine's
+  :class:`~repro.sched.engine.events.BatchSubmitted` /
+  :class:`~repro.sched.engine.events.BatchCompleted`, so the
+  memo/disk/computed counters are exactly the engine's
+  :class:`~repro.sched.engine.EngineStats` snapshot);
+* :class:`ScenarioResumed` when a persisted
+  :class:`~repro.study.RunReport` answered the scenario from disk
+  (no search ran);
+* :class:`ScenarioFinished` once a scenario's report exists, carrying
+  the report and the study's *running throughput* (cumulative computed
+  evaluations per cumulative search second).
+
+All events are frozen dataclasses; callbacks run synchronously on the
+coordinating thread, and a raising callback aborts the run (observers
+must never corrupt a sweep silently).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sched.engine.events import EngineEvent
+from .report import RunReport
+
+
+@dataclass(frozen=True)
+class StudyEvent:
+    """Base class of all study progress events.
+
+    ``index`` is the scenario's position in the study (0-based),
+    ``n_scenarios`` the study size, ``scenario`` the scenario name.
+    """
+
+    index: int
+    n_scenarios: int
+    scenario: str
+
+
+@dataclass(frozen=True)
+class ScenarioStarted(StudyEvent):
+    """A scenario is about to run (or be resumed from disk)."""
+
+    strategy: str
+    n_cores: int
+
+
+@dataclass(frozen=True)
+class ScenarioProgress(StudyEvent):
+    """One engine progress event, tagged with its scenario."""
+
+    engine: EngineEvent
+
+
+@dataclass(frozen=True)
+class ScenarioResumed(StudyEvent):
+    """The scenario was answered by a persisted report (no search)."""
+
+    report: RunReport
+
+
+@dataclass(frozen=True)
+class ScenarioFinished(StudyEvent):
+    """A scenario's report exists (freshly computed).
+
+    ``throughput`` is the study's running rate — cumulative computed
+    evaluations divided by cumulative search wall time, in evaluations
+    per second (``None`` until any wall time accumulates).
+    """
+
+    report: RunReport
+    wall_time: float
+    n_computed_total: int
+    throughput: float | None

@@ -10,6 +10,13 @@ or multicore co-designs.  Every run produces a
 :class:`~repro.study.report.RunReport`; with a ``run_dir`` the reports
 persist as JSON and matching reruns are served from disk (resumable
 sweeps, comparable across commits).
+
+Runs are observable while they execute: :meth:`Study.run` accepts an
+``on_event`` callback and :meth:`Study.stream` is a generator, both
+delivering the typed :mod:`~repro.study.events` — scenario
+started/resumed/finished plus the engines' batch-level progress — so a
+long sweep reports live throughput instead of going silent until the
+final report list.
 """
 
 from __future__ import annotations
@@ -17,7 +24,9 @@ from __future__ import annotations
 import hashlib
 import json
 import re
+import time
 from pathlib import Path
+from typing import Iterator
 
 from ..control.design import DesignOptions
 from ..platform import Platform
@@ -25,6 +34,13 @@ from ..sched.engine import EngineOptions
 from ..sched.engine.batch import Scenario, run_scenario, synthesize_scenarios
 from ..sched.schedule import PeriodicSchedule
 from ..sched.strategies import options_as_dict
+from .events import (
+    ScenarioFinished,
+    ScenarioProgress,
+    ScenarioResumed,
+    ScenarioStarted,
+    StudyEvent,
+)
 from .report import (
     RunReport,
     _json_safe,
@@ -171,12 +187,16 @@ class Study:
         ``n_starts``, the per-core cap, the platform and the
         shared-cache flag — as a short digest, so differently-configured
         runs of one scenario never collide on (and thrash) a single
-        artifact.
+        artifact.  The *raw* scenario name is part of the digest too:
+        the human-readable prefix is slugged for the filesystem, so
+        near-identical names (``"synth 000"`` vs ``"synth_000"``)
+        collapse to one slug and would otherwise share a path.
         """
         if self.run_dir is None:
             return None
         spec = json.dumps(
             [
+                scenario.name,
                 [list(s.counts) for s in scenario.starts]
                 if scenario.starts
                 else None,
@@ -198,13 +218,14 @@ class Study:
     def _resumable(self, scenario: Scenario, report: RunReport) -> bool:
         """Whether a persisted report answers this exact scenario run.
 
-        Every search input is compared — problem digest, strategy and
-        its options, seed, starts, core count, per-core cap, platform
-        and shared-cache flag — so a stale artifact can never shadow a
-        differently-configured run.
+        Every search input is compared — scenario name, problem digest,
+        strategy and its options, seed, starts, core count, per-core
+        cap, platform and shared-cache flag — so a stale artifact can
+        never shadow a differently-configured run.
         """
         return (
             report.schema_version == RunReport.schema_version
+            and report.scenario == scenario.name
             and report.problem == scenario_digest(scenario)
             and report.strategy == scenario.strategy
             and report.options == _json_safe(options_as_dict(scenario.options))
@@ -232,23 +253,150 @@ class Study:
             return None  # corrupt or foreign artifact: recompute
         return report if self._resumable(scenario, report) else None
 
-    def run(self, resume: bool = True) -> list[RunReport]:
+    def _run_one(
+        self, scenario: Scenario, resume: bool, on_engine_event=None
+    ) -> tuple[RunReport, bool, float]:
+        """Run (or resume) one scenario.
+
+        Returns ``(report, resumed, wall_time)``; ``on_engine_event``
+        receives the engine's progress events while the search runs.
+        """
+        report = self._load_existing(scenario) if resume else None
+        if report is not None:
+            return report, True, 0.0
+        started = time.perf_counter()
+        outcome = run_scenario(
+            scenario, self.engine_options, on_event=on_engine_event
+        )
+        wall_time = time.perf_counter() - started
+        report = RunReport.from_outcome(scenario, outcome)
+        path = self.report_path(scenario)
+        if path is not None:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(report.to_json() + "\n")
+        return report, False, wall_time
+
+    def _started_event(self, index: int, scenario: Scenario) -> ScenarioStarted:
+        return ScenarioStarted(
+            index=index,
+            n_scenarios=len(self.scenarios),
+            scenario=scenario.name,
+            strategy=scenario.strategy,
+            n_cores=scenario.n_cores,
+        )
+
+    def _ended_event(
+        self,
+        index: int,
+        scenario: Scenario,
+        report: RunReport,
+        resumed: bool,
+        wall_time: float,
+        n_computed_total: int,
+        search_seconds_total: float,
+    ) -> StudyEvent:
+        common = dict(
+            index=index, n_scenarios=len(self.scenarios), scenario=scenario.name
+        )
+        if resumed:
+            return ScenarioResumed(report=report, **common)
+        return ScenarioFinished(
+            report=report,
+            wall_time=wall_time,
+            n_computed_total=n_computed_total,
+            throughput=(
+                n_computed_total / search_seconds_total
+                if search_seconds_total > 0
+                else None
+            ),
+            **common,
+        )
+
+    def _iter_events(self, resume: bool, live_emit=None) -> Iterator[StudyEvent]:
+        """The one event-producing driver behind :meth:`run` / :meth:`stream`.
+
+        Yields started / progress / resumed / finished events per
+        scenario.  With ``live_emit``, engine progress is *pushed* to
+        it while the search runs (and not yielded afterwards); without
+        it, engine events are buffered and yielded as
+        :class:`ScenarioProgress` once the scenario ends — a generator
+        cannot yield from inside the engine's callback.
+        """
+        n_computed_total = 0
+        search_seconds_total = 0.0
+        for index, scenario in enumerate(self.scenarios):
+            yield self._started_event(index, scenario)
+            common = dict(
+                index=index,
+                n_scenarios=len(self.scenarios),
+                scenario=scenario.name,
+            )
+            buffered: list = []
+            if live_emit is not None:
+                engine_cb = lambda event, common=common: live_emit(
+                    ScenarioProgress(engine=event, **common)
+                )
+            else:
+                engine_cb = buffered.append
+            report, resumed, wall_time = self._run_one(
+                scenario, resume, on_engine_event=engine_cb
+            )
+            for engine_event in buffered:
+                yield ScenarioProgress(engine=engine_event, **common)
+            if not resumed:
+                n_computed_total += int(
+                    report.engine_stats.get("n_computed", 0)
+                )
+                search_seconds_total += wall_time
+            yield self._ended_event(
+                index,
+                scenario,
+                report,
+                resumed,
+                wall_time,
+                n_computed_total,
+                search_seconds_total,
+            )
+
+    def run(self, resume: bool = True, on_event=None) -> list[RunReport]:
         """Run every scenario; one :class:`RunReport` per scenario.
 
         With a run directory, reports persist as JSON after each
         scenario, and (``resume=True``) scenarios whose persisted
         report matches — same problem digest, strategy, seed, starts
         and core count — are served from disk without re-searching.
+
+        ``on_event`` receives the study's typed progress events
+        (:mod:`repro.study.events`) *live*: scenario started /
+        resumed / finished, plus a :class:`ScenarioProgress` wrapper
+        around every engine batch event, delivered while the search is
+        still running.  Prefer :meth:`stream` for a pull-style
+        iterator over the same events.
         """
-        reports = []
-        for scenario in self.scenarios:
-            report = self._load_existing(scenario) if resume else None
-            if report is None:
-                outcome = run_scenario(scenario, self.engine_options)
-                report = RunReport.from_outcome(scenario, outcome)
-                path = self.report_path(scenario)
-                if path is not None:
-                    path.parent.mkdir(parents=True, exist_ok=True)
-                    path.write_text(report.to_json() + "\n")
-            reports.append(report)
+        emit = on_event if on_event is not None else (lambda event: None)
+        reports: list[RunReport] = []
+        for event in self._iter_events(resume, live_emit=on_event):
+            # Engine progress already went out live through live_emit;
+            # the driver yields only the started/resumed/finished ones.
+            emit(event)
+            if isinstance(event, (ScenarioResumed, ScenarioFinished)):
+                reports.append(event.report)
         return reports
+
+    def stream(self, resume: bool = True) -> Iterator[StudyEvent]:
+        """Iterate the study's progress events, running it lazily.
+
+        Yields :class:`ScenarioStarted` *before* each scenario runs;
+        the scenario's engine events are buffered while its search
+        executes and yielded as :class:`ScenarioProgress` right after
+        it, followed by :class:`ScenarioResumed` or
+        :class:`ScenarioFinished` carrying the report.  Collect the
+        reports from those terminal events::
+
+            reports = [e.report for e in study.stream()
+                       if isinstance(e, (ScenarioResumed, ScenarioFinished))]
+
+        For strictly-live engine events use :meth:`run` with
+        ``on_event``.
+        """
+        return self._iter_events(resume)

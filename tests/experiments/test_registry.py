@@ -1,0 +1,276 @@
+"""The experiment registry: contract, round-tripping reports, resume."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import (
+    ExperimentReport,
+    ExperimentRequest,
+    available_experiments,
+    experiment_description,
+    get_experiment,
+    register_experiment,
+    run_experiment,
+    unregister_experiment,
+)
+from repro.experiments.registry import render_experiment
+
+
+ALL_EXPERIMENTS = (
+    "fig6",
+    "multicore",
+    "search",
+    "shared_cache",
+    "table1",
+    "table2",
+    "table3",
+)
+
+
+class TestRegistryContract:
+    """Same contract as the strategy and WCET-model registries."""
+
+    def test_builtins_registered(self):
+        assert available_experiments() == ALL_EXPERIMENTS
+
+    def test_unknown_name_fails_fast_naming_registered(self):
+        with pytest.raises(ConfigurationError) as excinfo:
+            get_experiment("tabel1")
+        message = str(excinfo.value)
+        assert "tabel1" in message
+        for name in ALL_EXPERIMENTS:
+            assert name in message
+
+    def test_descriptions_from_docstrings(self):
+        assert "Table I" in experiment_description(get_experiment("table1"))
+
+    def test_register_and_unregister_custom(self):
+        @register_experiment
+        class CustomExperiment:
+            """A registration-contract probe."""
+
+            name = "custom-probe"
+            supports_out = False
+
+            def build(self, request):
+                raise NotImplementedError
+
+            def render(self, report):
+                raise NotImplementedError
+
+        try:
+            assert "custom-probe" in available_experiments()
+            with pytest.raises(ConfigurationError):
+                register_experiment(CustomExperiment)  # double registration
+        finally:
+            unregister_experiment("custom-probe")
+        assert "custom-probe" not in available_experiments()
+
+    def test_register_rejects_incomplete_specs(self):
+        class NoName:
+            supports_out = False
+
+            def build(self, request):
+                ...
+
+            def render(self, report):
+                ...
+
+        with pytest.raises(ConfigurationError):
+            register_experiment(NoName)
+
+        class NoRender:
+            name = "no-render"
+
+            def build(self, request):
+                ...
+
+        with pytest.raises(ConfigurationError):
+            register_experiment(NoRender)
+
+    def test_out_rejected_for_non_writing_experiments(self, tmp_path):
+        with pytest.raises(ConfigurationError) as excinfo:
+            run_experiment("table2", ExperimentRequest(out=tmp_path))
+        assert "fig6" in str(excinfo.value)
+
+    def test_strategy_rejected_for_fixed_search_experiments(self):
+        """--strategy must fail fast where it would be silently ignored."""
+        with pytest.raises(ConfigurationError) as excinfo:
+            run_experiment("search", ExperimentRequest(strategy="annealing"))
+        message = str(excinfo.value)
+        assert "multicore" in message and "shared_cache" in message
+
+    def test_max_count_rejected_for_non_multicore_experiments(self):
+        """A no-op --max-count-per-core must not silently fork artifacts."""
+        with pytest.raises(ConfigurationError) as excinfo:
+            run_experiment("table1", ExperimentRequest(max_count_per_core=2))
+        message = str(excinfo.value)
+        assert "multicore" in message and "shared_cache" in message
+
+    def test_supports_out_requires_write_outputs(self):
+        class NoWriter:
+            name = "no-writer"
+            supports_out = True
+
+            def build(self, request):
+                ...
+
+            def render(self, report):
+                ...
+
+        with pytest.raises(ConfigurationError) as excinfo:
+            register_experiment(NoWriter)
+        assert "write_outputs" in str(excinfo.value)
+
+    def test_shared_cache_resume_compares_its_default_platform(self):
+        """Regression: shared_cache builds on the shared paper platform
+        when no platform is requested; the resume fingerprint must
+        compare against that, not the direct-mapped paper default."""
+        from repro.experiments.registry import _expected_platform
+        from repro.platform import Platform, shared_paper_platform
+
+        assert (
+            _expected_platform("shared_cache", ExperimentRequest())
+            == shared_paper_platform().fingerprint()
+        )
+        assert (
+            _expected_platform("table1", ExperimentRequest())
+            == Platform().fingerprint()
+        )
+
+
+def _request(options, **kwargs) -> ExperimentRequest:
+    return ExperimentRequest(design_options=options, **kwargs)
+
+
+class TestRoundTripCheap:
+    """to_json/from_json identity for the configuration-only artifacts."""
+
+    @pytest.mark.parametrize("name", ["table1", "table2"])
+    def test_report_round_trips(self, name):
+        report = run_experiment(name)
+        assert report.schema_version == 1
+        assert report.profile
+        assert report.platform["wcet_model"] == "static"
+        assert report.run_reports == []
+        assert ExperimentReport.from_json(report.to_json()) == report
+        # Rendering is a pure function of the report.
+        rendered = render_experiment(name, report)
+        assert rendered == render_experiment(
+            name, ExperimentReport.from_json(report.to_json())
+        )
+
+    def test_table1_render_matches_module_run(self):
+        from repro.experiments import table1
+
+        report = run_experiment("table1")
+        assert render_experiment("table1", report) == table1.run().render()
+
+
+@pytest.mark.slow
+class TestRoundTripDesignHeavy:
+    """Identity round-trip for every design- or search-backed artifact."""
+
+    def test_table3(self, quick_design_options):
+        report = run_experiment("table3", _request(quick_design_options))
+        assert ExperimentReport.from_json(report.to_json()) == report
+        assert "Table III" in render_experiment("table3", report)
+
+    def test_fig6_round_trip_and_outputs(self, quick_design_options, tmp_path):
+        report = run_experiment(
+            "fig6", _request(quick_design_options, out=tmp_path)
+        )
+        assert ExperimentReport.from_json(report.to_json()) == report
+        # An explicit out is honored by the runner itself (library path).
+        assert len(list(tmp_path.glob("fig6_*.csv"))) == 3
+        rendered = render_experiment("fig6", report, out=tmp_path)
+        assert "CSV written to" in rendered
+
+    def test_search_embeds_run_reports(self, tiny_design_options):
+        report = run_experiment("search", _request(tiny_design_options))
+        assert ExperimentReport.from_json(report.to_json()) == report
+        assert [r.strategy for r in report.run_reports] == [
+            "exhaustive",
+            "hybrid",
+            "hybrid",
+        ]
+        exhaustive = report.run_reports[0]
+        stats = exhaustive.engine_stats
+        assert stats["n_requested"] == report.data["n_enumerated"]
+        # Rendered statistics come from the report's data alone.
+        rendered = render_experiment("search", report)
+        assert "Section V" in rendered
+        assert rendered == render_experiment(
+            "search", ExperimentReport.from_json(report.to_json())
+        )
+
+    def test_multicore(self, tiny_design_options):
+        report = run_experiment(
+            "multicore", _request(tiny_design_options, max_count_per_core=2)
+        )
+        assert ExperimentReport.from_json(report.to_json()) == report
+        (embedded,) = report.run_reports
+        assert embedded.n_cores == 2 and embedded.cores
+        assert embedded.overall == report.data["best"]["overall"]
+
+    def test_shared_cache(self, tiny_design_options, tmp_path):
+        request = _request(tiny_design_options, max_count_per_core=2)
+        report = run_experiment("shared_cache", request, run_dir=tmp_path)
+        assert ExperimentReport.from_json(report.to_json()) == report
+        # Regression: the rerun must resume from the persisted report
+        # (the fingerprint check used to compare the wrong platform).
+        resumed = run_experiment("shared_cache", request, run_dir=tmp_path)
+        assert resumed == report
+        private, shared = report.run_reports
+        assert private.shared_cache is False and shared.shared_cache is True
+        assert all(core["ways"] is None for core in private.cores)
+        assert all(
+            isinstance(core["ways"], int) for core in shared.cores
+        )
+        assert report.platform["cache"]["associativity"] == 4
+
+
+@pytest.mark.slow
+class TestResume:
+    def test_search_resumes_from_run_dir(self, tiny_design_options, tmp_path):
+        import time
+
+        request = _request(tiny_design_options)
+        started = time.perf_counter()
+        cold = run_experiment("search", request, run_dir=tmp_path)
+        cold_time = time.perf_counter() - started
+        assert list(tmp_path.glob("experiment-search--*.json"))
+
+        started = time.perf_counter()
+        resumed = run_experiment("search", request, run_dir=tmp_path)
+        resumed_time = time.perf_counter() - started
+        assert resumed == cold
+        assert render_experiment("search", resumed) == render_experiment(
+            "search", cold
+        )
+        assert resumed_time < cold_time / 5
+
+    def test_resume_rejects_changed_request(
+        self, tiny_design_options, quick_design_options, tmp_path
+    ):
+        cold = run_experiment(
+            "table3", _request(tiny_design_options), run_dir=tmp_path
+        )
+        other = run_experiment(
+            "table3", _request(quick_design_options), run_dir=tmp_path
+        )
+        assert other.created_at != cold.created_at
+        assert other.request != cold.request
+
+    def test_resume_rejects_corrupt_artifact(
+        self, tiny_design_options, tmp_path
+    ):
+        from repro.experiments.registry import experiment_report_path
+
+        request = _request(tiny_design_options)
+        cold = run_experiment("table3", request, run_dir=tmp_path)
+        path = experiment_report_path(tmp_path, "table3", request)
+        path.write_text("{not json")
+        again = run_experiment("table3", request, run_dir=tmp_path)
+        assert again.created_at != cold.created_at
+        assert again.data == cold.data

@@ -45,6 +45,68 @@ class TestCli:
             assert name in out
         assert "register" in out
 
+    def test_experiments_lists_registry(self, capsys):
+        assert main(["experiments"]) == 0
+        out = capsys.readouterr().out
+        for name in (
+            "table1", "table2", "table3", "fig6",
+            "search", "multicore", "shared_cache",
+        ):
+            assert name in out
+        assert "register" in out
+
+    def test_experiment_unknown_fails_fast(self, capsys):
+        assert main(["experiment", "tabel2"]) == 2
+        err = capsys.readouterr().err
+        assert "tabel2" in err and "table2" in err and "fig6" in err
+
+    def test_experiment_out_scoped_to_fig6(self, capsys, tmp_path):
+        assert main(["experiment", "table2", "--out", str(tmp_path)]) == 2
+        err = capsys.readouterr().err
+        assert "fig6" in err
+
+    def test_experiment_json_round_trips(self, capsys):
+        from repro.experiments import ExperimentReport
+
+        assert main(["experiment", "table2", "--json"]) == 0
+        report = ExperimentReport.from_json(capsys.readouterr().out)
+        assert report.experiment == "table2"
+        assert report.profile == "quick"
+        assert report.data["matches_paper"] is True
+        assert ExperimentReport.from_json(report.to_json()) == report
+
+    def test_experiment_run_dir_resumes_byte_identical(self, capsys, tmp_path):
+        args = ["experiment", "table1", "--json", "--run-dir", str(tmp_path)]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        artifacts = list(tmp_path.glob("experiment-table1--*.json"))
+        assert len(artifacts) == 1
+        assert main(args) == 0
+        assert capsys.readouterr().out == first
+
+    def test_deprecated_shim_byte_identical_to_new_cli(self, capsys):
+        """`python -m repro.experiments <name>` must render exactly what
+        `python -m repro experiment <name>` renders (golden)."""
+        from repro.experiments.__main__ import main as shim_main
+
+        assert main(["experiment", "table2"]) == 0
+        new = capsys.readouterr().out
+        with pytest.warns(DeprecationWarning) as record:
+            assert shim_main(["table2"]) == 0
+        old = capsys.readouterr().out
+        assert old == new
+        deprecations = [
+            w for w in record if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 1  # a single warning
+
+    def test_deprecated_shim_rejects_out_for_non_fig6(self, capsys, tmp_path):
+        from repro.experiments.__main__ import main as shim_main
+
+        with pytest.warns(DeprecationWarning):
+            assert shim_main(["table1", "--out", str(tmp_path)]) == 2
+        assert "fig6" in capsys.readouterr().err
+
     def test_search_with_analytic_model(self, capsys):
         """--wcet-model flows through to the report; analytic coincides
         with static on the calibrated (fitting, single-path) programs."""
