@@ -10,7 +10,7 @@ import numpy as np
 import pytest
 
 from repro.errors import SearchError
-from repro.sched import PeriodicSchedule, enumerate_idle_feasible, hybrid_search
+from repro.sched import enumerate_idle_feasible, hybrid_search
 from repro.sched.feasibility import idle_feasible
 
 N_TRIALS = 8

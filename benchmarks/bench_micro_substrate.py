@@ -5,7 +5,7 @@ and the batched tracking simulator."""
 import numpy as np
 import pytest
 
-from repro.cache import CacheConfig, InstructionCache
+from repro.cache import InstructionCache
 from repro.control import build_simulation_plan, simulate_tracking
 from repro.control.lifted import build_segments, feedforward_gains, lifted_closed_loop
 

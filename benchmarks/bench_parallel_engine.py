@@ -50,7 +50,7 @@ def _best(outcomes):
     return [(o.best_schedule.counts, o.best_overall) for o in outcomes]
 
 
-def test_engine_speedups(suite, tmp_path_factory):
+def test_engine_speedups(suite, tmp_path_factory, bench_json):
     cache_dir = tmp_path_factory.mktemp("engine-cache")
     serial_time, serial = _timed_run(suite, EngineOptions())
     parallel_time, parallel = _timed_run(suite, EngineOptions(workers=WORKERS))
@@ -87,6 +87,21 @@ def test_engine_speedups(suite, tmp_path_factory):
     print(
         f"cold cache {cold_time:.2f} s vs warm {warm_time:.3f} s "
         f"-> speedup {warm_speedup:.1f}x"
+    )
+    bench_json(
+        "parallel_engine",
+        {
+            "n_scenarios": len(suite),
+            "n_cpus": os.cpu_count(),
+            "workers": WORKERS,
+            "serial_seconds": serial_time,
+            "parallel_seconds": parallel_time,
+            "parallel_speedup": parallel_speedup,
+            "cold_cache_seconds": cold_time,
+            "warm_cache_seconds": warm_time,
+            "warm_speedup": warm_speedup,
+            "identical": True,
+        },
     )
     assert warm_time * 5.0 <= cold_time, (
         f"warm rerun only {warm_speedup:.1f}x faster (need >= 5x)"

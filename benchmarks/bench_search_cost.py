@@ -66,7 +66,7 @@ def test_exhaustive_search(benchmark, case_study, shared_evaluator):
     print()
     print(f"feasible: {result.stats['n_feasible']} of 77 (paper: 74 of 76)")
     print(f"optimum: {result.best_schedule} P_all = {result.best_value:.4f} "
-          f"(paper: (3, 2, 3) with 0.195)")
+          "(paper: (3, 2, 3) with 0.195)")
     print("top five:")
     for entry in ranking[:5]:
         print(f"  {entry.schedule}  P_all = {entry.overall:.4f}")

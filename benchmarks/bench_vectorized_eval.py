@@ -1,0 +1,98 @@
+"""Benchmark — vectorized batch evaluation vs the serial oracle.
+
+Evaluates a 64-schedule candidate grid of the paper's case study twice,
+on two fresh evaluators:
+
+* ``eval_backend="serial"`` — the per-candidate oracle loop (one
+  ``design_controller`` call per (application, timing) pair);
+* ``eval_backend="vectorized"`` — the lockstep batch path, which stacks
+  all ~200 unique controller-design problems of the batch into shared
+  array operations.
+
+The two must agree **bitwise** — same gains, settling times, objectives
+and evaluation counts, not merely close values — and the vectorized
+path must clear the speedup floor (``BENCH_SPEEDUP_FLOOR``, default
+5x).  The CI benchmark-regression job runs this file and gates on both.
+
+Run:  python -m pytest benchmarks/bench_vectorized_eval.py -s -q
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import time
+
+import numpy as np
+
+from repro.sched.schedule import PeriodicSchedule
+
+#: Minimum accepted vectorized-over-serial speedup.
+SPEEDUP_FLOOR = float(os.environ.get("BENCH_SPEEDUP_FLOOR", "5.0"))
+
+#: All burst-count combinations up to 4 per app: 64 schedules whose
+#: timings induce ~200 distinct controller-design problems — large
+#: enough that the lockstep path's per-iteration Python overhead is
+#: fully amortized across the stacked units.
+COUNTS = list(itertools.product((1, 2, 3, 4), repeat=3))
+
+
+def _assert_identical(serial, vectorized):
+    """Field-by-field bitwise comparison of two evaluation lists."""
+    assert len(serial) == len(vectorized)
+    for expected, got in zip(serial, vectorized):
+        assert got.schedule.counts == expected.schedule.counts
+        assert got.overall == expected.overall
+        assert got.idle_ok == expected.idle_ok
+        for app_e, app_g in zip(expected.apps, got.apps):
+            assert app_g.settling == app_e.settling
+            assert app_g.performance == app_e.performance
+            assert np.array_equal(app_g.design.gains, app_e.design.gains)
+            assert np.array_equal(
+                app_g.design.feedforward, app_e.design.feedforward
+            )
+            assert app_g.design.objective == app_e.design.objective
+            assert app_g.design.n_evaluations == app_e.design.n_evaluations
+
+
+def test_vectorized_speedup(case_study, design_options, bench_json):
+    schedules = [PeriodicSchedule(counts) for counts in COUNTS]
+
+    serial_evaluator = case_study.evaluator(
+        design_options, eval_backend="serial"
+    )
+    started = time.perf_counter()
+    serial = serial_evaluator.evaluate_batch(schedules)
+    serial_time = time.perf_counter() - started
+
+    vectorized_evaluator = case_study.evaluator(design_options)
+    started = time.perf_counter()
+    vectorized = vectorized_evaluator.evaluate_batch(schedules)
+    vectorized_time = time.perf_counter() - started
+
+    # Bitwise identity first: a fast wrong answer is worthless.
+    _assert_identical(serial, vectorized)
+    assert serial_evaluator.n_designs == vectorized_evaluator.n_designs
+
+    speedup = serial_time / vectorized_time
+    print(
+        f"\n{len(schedules)} schedules, {serial_evaluator.n_designs} designs: "
+        f"serial {serial_time:.2f} s vs vectorized {vectorized_time:.2f} s "
+        f"-> speedup {speedup:.2f}x (floor {SPEEDUP_FLOOR:.1f}x)"
+    )
+    bench_json(
+        "vectorized_eval",
+        {
+            "n_schedules": len(schedules),
+            "n_designs": serial_evaluator.n_designs,
+            "serial_seconds": serial_time,
+            "vectorized_seconds": vectorized_time,
+            "speedup": speedup,
+            "speedup_floor": SPEEDUP_FLOOR,
+            "identical": True,
+        },
+    )
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"vectorized evaluation only {speedup:.2f}x faster than the serial "
+        f"oracle (floor {SPEEDUP_FLOOR:.1f}x)"
+    )

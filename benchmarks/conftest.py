@@ -9,7 +9,9 @@ fidelity — their numbers are profile-independent.
 
 from __future__ import annotations
 
+import json
 import os
+from pathlib import Path
 
 import pytest
 
@@ -20,6 +22,31 @@ from repro.experiments.profiles import PROFILES
 def bench_profile() -> str:
     """Profile for design-heavy benchmarks (defaults to quick)."""
     return os.environ.get("REPRO_PROFILE", "quick")
+
+
+def write_bench_json(name: str, payload: dict) -> Path | None:
+    """Persist a machine-readable benchmark record.
+
+    Writes ``BENCH_<name>.json`` into ``$BENCH_JSON_DIR`` (the CI
+    benchmark-regression job collects these as artifacts and gates on
+    their numbers).  A no-op when the variable is unset, so local
+    ``pytest benchmarks/`` runs stay side-effect free.
+    """
+    out_dir = os.environ.get("BENCH_JSON_DIR")
+    if not out_dir:
+        return None
+    directory = Path(out_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"BENCH_{name}.json"
+    payload = dict(payload, profile=bench_profile())
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+@pytest.fixture(scope="session")
+def bench_json():
+    """Fixture handle on :func:`write_bench_json`."""
+    return write_bench_json
 
 
 @pytest.fixture(scope="session")

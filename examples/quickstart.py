@@ -44,7 +44,7 @@ def main() -> None:
         )
     )
     print()
-    print(f"Overall control performance (eq. 2): "
+    print("Overall control performance (eq. 2): "
           f"{round_robin.overall:.4f} -> {cache_aware.overall:.4f}")
     print(f"Both schedules feasible: {round_robin.feasible and cache_aware.feasible}")
 

@@ -32,7 +32,7 @@ def main() -> None:
         path = " -> ".join(f"{s}@{v:.4f}" for s, v in trace.path)
         print(f"  from {trace.start}: {path}")
         print(f"    evaluated {trace.n_evaluations} schedules "
-              f"(paper: 9 resp. 18 of its 76)")
+              "(paper: 9 resp. 18 of its 76)")
     print(f"  best: {result.best_schedule} with P_all = {result.best_value:.4f}")
 
     print()

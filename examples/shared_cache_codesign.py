@@ -53,7 +53,7 @@ def main() -> None:
         print(f"  engine: {stats.summary()} "
               f"({problem.engine.n_subproblems} distinct (block, ways) sub-problems)")
 
-    print(f"capacity cost of sharing:   "
+    print("capacity cost of sharing:   "
           f"{private.overall - shared.overall:+.4f} P_all")
 
 

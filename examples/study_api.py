@@ -41,7 +41,7 @@ def main() -> None:
     # now lives under .runs/ and will serve the next identical run.
     assert RunReport.from_json(report.to_json()) == report
     print(f"report persisted under {study.run_dir}/ "
-          f"(rerun this script to see the resume)")
+          "(rerun this script to see the resume)")
 
 
 if __name__ == "__main__":

@@ -323,7 +323,11 @@ def _resolve_strategy(args: argparse.Namespace) -> str | None:
 def _engine_options(args: argparse.Namespace):
     from .sched.engine import EngineOptions
 
-    return EngineOptions(workers=args.workers, cache_dir=args.cache_dir)
+    return EngineOptions(
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        eval_backend=args.eval_backend,
+    )
 
 
 def _run_study(study, args: argparse.Namespace):
@@ -662,6 +666,15 @@ def _add_search_arguments(parser: argparse.ArgumentParser) -> None:
         "--cache-dir",
         default=None,
         help="persistent evaluation-cache directory (warm-starts reruns)",
+    )
+    parser.add_argument(
+        "--eval-backend",
+        choices=("vectorized", "serial"),
+        default="vectorized",
+        help="how candidate batches are evaluated: 'vectorized' stacks "
+        "the controller designs of a batch into array operations, "
+        "'serial' keeps the per-candidate oracle loop; both produce "
+        "bit-identical results (default: vectorized)",
     )
     parser.add_argument(
         "--wcet-model",

@@ -77,10 +77,14 @@ class CaseStudy:
     platform: Platform | None = None
 
     def evaluator(
-        self, design_options: DesignOptions | None = None
+        self,
+        design_options: DesignOptions | None = None,
+        eval_backend: str = "vectorized",
     ) -> ScheduleEvaluator:
         """A fresh memoizing evaluator over this case study."""
-        return ScheduleEvaluator(self.apps, self.clock, design_options)
+        return ScheduleEvaluator(
+            self.apps, self.clock, design_options, eval_backend=eval_backend
+        )
 
     def app(self, name: str) -> ControlApplication:
         """Look up an application by name."""

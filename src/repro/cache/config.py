@@ -98,7 +98,7 @@ class CacheConfig:
         """
         if not 1 <= ways <= self.associativity:
             raise ConfigurationError(
-                f"way partition must satisfy 1 <= ways <= associativity "
+                "way partition must satisfy 1 <= ways <= associativity "
                 f"({self.associativity}), got {ways}"
             )
         return replace(self, associativity=ways)

@@ -19,7 +19,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..errors import ControlError
-from .discretize import zoh, zoh_delayed
+from .discretize import zoh_delayed
 
 
 @dataclass(frozen=True)
@@ -64,7 +64,7 @@ def build_segments(
     """
     if len(periods) != len(delays) or not periods:
         raise ControlError(
-            f"periods and delays must be equal-length and non-empty, "
+            "periods and delays must be equal-length and non-empty, "
             f"got {len(periods)} and {len(delays)}"
         )
     segments = []

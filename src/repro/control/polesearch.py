@@ -26,7 +26,6 @@ import numpy as np
 from scipy.optimize import least_squares
 
 from ..errors import ControlError
-from .ackermann import place_poles_siso
 from .lifted import lifted_closed_loop
 from .pso import pso_minimize
 

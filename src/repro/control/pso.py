@@ -18,6 +18,10 @@ from ..errors import ConfigurationError
 #: Objective: maps particle positions ``(P, d)`` to values ``(P,)``.
 BatchObjective = Callable[[np.ndarray], np.ndarray]
 
+#: Fused objective: maps per-problem positions ``[(P, d_i), ...]`` to
+#: per-problem values ``[(P,), ...]``.
+ManyObjective = Callable[[list[np.ndarray]], list[np.ndarray]]
+
 
 @dataclass(frozen=True)
 class PsoOptions:
@@ -131,3 +135,111 @@ def pso_minimize(
         n_evaluations=evaluations,
         history=history,
     )
+
+
+@dataclass
+class _SwarmState:
+    """Per-problem swarm state of a lockstep :func:`pso_minimize_many`."""
+
+    lower: np.ndarray
+    upper: np.ndarray
+    velocity_cap: np.ndarray
+    rng: np.random.Generator
+    positions: np.ndarray
+    velocities: np.ndarray
+    values: np.ndarray | None = None
+    best_positions: np.ndarray | None = None
+    best_values: np.ndarray | None = None
+    g_index: int = 0
+    history: list[float] = field(default_factory=list)
+
+
+def pso_minimize_many(
+    objective_many: ManyObjective,
+    problems: list[tuple[np.ndarray, np.ndarray, np.random.Generator, np.ndarray | None]],
+    options: PsoOptions,
+) -> list[PsoResult]:
+    """Run one swarm per problem in lockstep, sharing objective calls.
+
+    Each problem is a ``(lower, upper, rng, seeds)`` tuple and follows
+    exactly the trajectory :func:`pso_minimize` would give it alone —
+    the same draws from its own ``rng`` and the same update arithmetic —
+    but the objectives of every problem are evaluated through one fused
+    ``objective_many`` call per iteration, so a batched objective can
+    stack its numerical work across problems.  All problems share the
+    swarm ``options`` (that is what keeps them in lockstep).
+    """
+    n = options.n_particles
+    states: list[_SwarmState] = []
+    for lower, upper, rng, seeds in problems:
+        lower = np.asarray(lower, dtype=float).reshape(-1)
+        upper = np.asarray(upper, dtype=float).reshape(-1)
+        if lower.shape != upper.shape or np.any(lower > upper):
+            raise ConfigurationError("invalid PSO bounds")
+        dim = lower.shape[0]
+        span = upper - lower
+        positions = lower + rng.random((n, dim)) * span
+        if seeds is not None:
+            seeds = np.atleast_2d(np.asarray(seeds, dtype=float))
+            count = min(len(seeds), n)
+            positions[:count] = np.clip(seeds[:count], lower, upper)
+        velocity_cap = options.velocity_fraction * np.where(span > 0, span, 1.0)
+        velocities = (rng.random((n, dim)) - 0.5) * velocity_cap
+        states.append(
+            _SwarmState(lower, upper, velocity_cap, rng, positions, velocities)
+        )
+
+    def evaluate() -> None:
+        values_list = objective_many([state.positions for state in states])
+        for state, values in zip(states, values_list):
+            values = np.asarray(values, dtype=float)
+            if values.shape != (n,):
+                raise ConfigurationError(
+                    f"objective must return shape ({n},), got {values.shape}"
+                )
+            state.values = values
+
+    evaluate()
+    for state in states:
+        state.best_positions = state.positions.copy()
+        state.best_values = state.values.copy()
+        state.g_index = int(np.argmin(state.best_values))
+        state.history.append(float(state.best_values[state.g_index]))
+    evaluations = n
+
+    for _ in range(options.n_iterations):
+        for state in states:
+            dim = state.lower.shape[0]
+            r_cognitive = state.rng.random((n, dim))
+            r_social = state.rng.random((n, dim))
+            state.velocities = (
+                options.inertia * state.velocities
+                + options.cognitive * r_cognitive
+                * (state.best_positions - state.positions)
+                + options.social * r_social
+                * (state.best_positions[state.g_index] - state.positions)
+            )
+            state.velocities = np.clip(
+                state.velocities, -state.velocity_cap, state.velocity_cap
+            )
+            state.positions = np.clip(
+                state.positions + state.velocities, state.lower, state.upper
+            )
+        evaluate()
+        evaluations += n
+        for state in states:
+            improved = state.values < state.best_values
+            state.best_positions[improved] = state.positions[improved]
+            state.best_values[improved] = state.values[improved]
+            state.g_index = int(np.argmin(state.best_values))
+            state.history.append(float(state.best_values[state.g_index]))
+
+    return [
+        PsoResult(
+            best_position=state.best_positions[state.g_index].copy(),
+            best_value=float(state.best_values[state.g_index]),
+            n_evaluations=evaluations,
+            history=state.history,
+        )
+        for state in states
+    ]

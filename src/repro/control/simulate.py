@@ -23,7 +23,7 @@ import numpy as np
 
 from ..errors import ControlError
 from .discretize import zoh_delayed
-from .lifted import Segment, build_segments
+from .lifted import build_segments
 
 
 @dataclass(frozen=True)

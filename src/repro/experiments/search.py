@@ -97,9 +97,9 @@ class SearchResultSummary:
             title="Section V: schedule-space search",
         )
         extras = (
-            f"\nhybrid reached the global optimum from every start: "
+            "\nhybrid reached the global optimum from every start: "
             f"{self.hybrid_found_optimum}"
-            f"\nsettling-infeasible schedules: "
+            "\nsettling-infeasible schedules: "
             f"{[str(s) for s in self.infeasible_schedules]}"
         )
         return table + extras

@@ -98,7 +98,7 @@ class SharedCacheSummary:
             + "\n\n"
             + shared_table
             + f"\nshared  P_all = {self.shared.overall:.4f}"
-            + f"\n\nprivate-vs-shared partitioning gain: "
+            + "\n\nprivate-vs-shared partitioning gain: "
             f"{self.partitioning_gain:+.4f}"
             + f"\nengine: {self.engine_summary}"
         )

@@ -200,6 +200,7 @@ class MulticoreProblem:
         platform: Platform | None = None,
         shared_cache: bool = False,
         on_event=None,
+        eval_backend: str = "vectorized",
     ) -> None:
         if n_cores < 1:
             raise ScheduleError(f"need at least one core, got {n_cores}")
@@ -224,6 +225,7 @@ class MulticoreProblem:
             cache_dir=cache_dir,
             platform=platform,
             on_event=on_event,
+            eval_backend=eval_backend,
         )
         self.platform = self.engine.platform
         self.total_ways = self.platform.cache.associativity

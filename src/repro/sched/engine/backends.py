@@ -8,12 +8,15 @@ Each worker process builds its own :class:`ScheduleEvaluator` once (in
 the pool initializer) and keeps it alive across tasks, so the per-
 (application, timing) design memoization still pays off *within* a
 worker; the coordinating engine merges results into the shared memo and
-the persistent store.
+the persistent store.  Workers receive contiguous *chunks* of the
+candidate list rather than single schedules, so the evaluator's
+vectorized batch path can stack the designs of a whole chunk.
 
 Evaluations are deterministic functions of (apps, clock, design
 options, schedule) — all swarm randomness is seeded from the design
-options — so a parallel run returns bit-identical results to a serial
-one, just sooner.
+options and the vectorized batch path is bitwise identical to the
+serial one — so a parallel run returns bit-identical results to a
+serial run with either backend, just sooner.
 """
 
 from __future__ import annotations
@@ -28,10 +31,12 @@ from ..schedule import PeriodicSchedule
 _WORKER_EVALUATOR: ScheduleEvaluator | None = None
 
 
-def _init_worker(apps, clock, design_options) -> None:
+def _init_worker(apps, clock, design_options, eval_backend="vectorized") -> None:
     """Pool initializer: build this worker's long-lived evaluator."""
     global _WORKER_EVALUATOR
-    _WORKER_EVALUATOR = ScheduleEvaluator(apps, clock, design_options)
+    _WORKER_EVALUATOR = ScheduleEvaluator(
+        apps, clock, design_options, eval_backend=eval_backend
+    )
 
 
 def _evaluate_counts(counts: tuple[int, ...]) -> ScheduleEvaluation:
@@ -39,6 +44,30 @@ def _evaluate_counts(counts: tuple[int, ...]) -> ScheduleEvaluation:
     if _WORKER_EVALUATOR is None:  # pragma: no cover - initializer always ran
         raise SearchError("worker evaluator was never initialized")
     return _WORKER_EVALUATOR.evaluate(PeriodicSchedule(counts))
+
+
+def _evaluate_counts_chunk(
+    chunk: list[tuple[int, ...]],
+) -> list[ScheduleEvaluation]:
+    """Task function: evaluate a chunk of schedules in this worker."""
+    if _WORKER_EVALUATOR is None:  # pragma: no cover - initializer always ran
+        raise SearchError("worker evaluator was never initialized")
+    return _WORKER_EVALUATOR.evaluate_batch(
+        [PeriodicSchedule(counts) for counts in chunk]
+    )
+
+
+def split_chunks(items: list, n_chunks: int) -> list[list]:
+    """Split ``items`` into at most ``n_chunks`` contiguous, balanced runs."""
+    n_chunks = min(max(1, n_chunks), len(items)) if items else 0
+    chunks = []
+    start = 0
+    for i in range(n_chunks):
+        stop = start + (len(items) - start) // (n_chunks - i)
+        if stop > start:
+            chunks.append(items[start:stop])
+        start = stop
+    return chunks
 
 
 class SerialBackend:
@@ -50,7 +79,7 @@ class SerialBackend:
         self._evaluator = evaluator
 
     def map(self, schedules: list[PeriodicSchedule]) -> list[ScheduleEvaluation]:
-        return [self._evaluator.evaluate(schedule) for schedule in schedules]
+        return self._evaluator.evaluate_batch(list(schedules))
 
     def close(self) -> None:
         pass
@@ -67,7 +96,12 @@ class ProcessPoolBackend:
         self.workers = workers
         # The worker-side evaluator is rebuilt from the problem spec, so
         # only the (picklable) inputs travel, never the live caches.
-        self._initargs = (evaluator.apps, evaluator.clock, evaluator.design_options)
+        self._initargs = (
+            evaluator.apps,
+            evaluator.clock,
+            evaluator.design_options,
+            evaluator.eval_backend,
+        )
         self._executor: ProcessPoolExecutor | None = None
 
     def _ensure_executor(self) -> ProcessPoolExecutor:
@@ -82,7 +116,11 @@ class ProcessPoolBackend:
     def map(self, schedules: list[PeriodicSchedule]) -> list[ScheduleEvaluation]:
         executor = self._ensure_executor()
         counts = [schedule.counts for schedule in schedules]
-        return list(executor.map(_evaluate_counts, counts))
+        chunks = split_chunks(counts, self.workers)
+        results: list[ScheduleEvaluation] = []
+        for batch in executor.map(_evaluate_counts_chunk, chunks):
+            results.extend(batch)
+        return results
 
     def close(self) -> None:
         if self._executor is not None:

@@ -156,7 +156,10 @@ def run_scenario(
     if scenario.n_cores > 1:
         return _run_multicore_scenario(scenario, options, on_event)
     evaluator = ScheduleEvaluator(
-        scenario.apps, scenario.clock, scenario.design_options
+        scenario.apps,
+        scenario.clock,
+        scenario.design_options,
+        eval_backend=options.eval_backend,
     )
     with options.build(
         evaluator, platform=scenario.platform, on_event=on_event
@@ -206,6 +209,7 @@ def _run_multicore_scenario(
         platform=scenario.platform,
         shared_cache=scenario.shared_cache,
         on_event=on_event,
+        eval_backend=options.eval_backend,
     ) as problem:
         started = time.perf_counter()
         evaluation = problem.optimize(

@@ -103,18 +103,20 @@ _WORKER_EVALUATORS: dict[tuple[tuple[int, ...], int | None], ScheduleEvaluator] 
 _WORKER_VARIANTS: dict[int | None, list] = {}
 
 
-def _init_partition_worker(apps, clock, design_options, platform) -> None:
+def _init_partition_worker(
+    apps, clock, design_options, platform, eval_backend="vectorized"
+) -> None:
     """Pool initializer: remember the global problem, reset evaluators."""
     global _WORKER_PROBLEM
-    _WORKER_PROBLEM = (apps, clock, design_options, platform)
+    _WORKER_PROBLEM = (apps, clock, design_options, platform, eval_backend)
     _WORKER_EVALUATORS.clear()
     _WORKER_VARIANTS.clear()
 
 
-def _evaluate_block_counts(
-    task: tuple[tuple[tuple[int, ...], int | None], tuple[int, ...]],
-) -> ScheduleEvaluation:
-    """Task function: evaluate one (block, schedule) in this worker.
+def _worker_evaluator(
+    indices: tuple[int, ...], ways: int | None
+) -> ScheduleEvaluator:
+    """This worker's (cached) evaluator for one block.
 
     Block evaluators live for the life of the worker, so the per-
     (application, timing) design memo keeps paying off across tasks of
@@ -123,10 +125,9 @@ def _evaluate_block_counts(
     """
     if _WORKER_PROBLEM is None:  # pragma: no cover - initializer always ran
         raise SearchError("partition worker was never initialized")
-    (indices, ways), counts = task
     evaluator = _WORKER_EVALUATORS.get((indices, ways))
     if evaluator is None:
-        apps, clock, design_options, platform = _WORKER_PROBLEM
+        apps, clock, design_options, platform, eval_backend = _WORKER_PROBLEM
         variant = _WORKER_VARIANTS.get(ways)
         if variant is None:
             variant = (
@@ -134,10 +135,30 @@ def _evaluate_block_counts(
             )
             _WORKER_VARIANTS[ways] = variant
         evaluator = ScheduleEvaluator.for_subproblem(
-            variant, clock, design_options, indices
+            variant, clock, design_options, indices, eval_backend=eval_backend
         )
         _WORKER_EVALUATORS[(indices, ways)] = evaluator
+    return evaluator
+
+
+def _evaluate_block_counts(
+    task: tuple[tuple[tuple[int, ...], int | None], tuple[int, ...]],
+) -> ScheduleEvaluation:
+    """Task function: evaluate one (block, schedule) in this worker."""
+    (indices, ways), counts = task
+    evaluator = _worker_evaluator(indices, ways)
     return evaluator.evaluate(PeriodicSchedule(counts))
+
+
+def _evaluate_block_chunk(
+    chunk: tuple[tuple[tuple[int, ...], int | None], list[tuple[int, ...]]],
+) -> list[ScheduleEvaluation]:
+    """Task function: evaluate one block's chunk of schedules at once."""
+    (indices, ways), counts_list = chunk
+    evaluator = _worker_evaluator(indices, ways)
+    return evaluator.evaluate_batch(
+        [PeriodicSchedule(counts) for counts in counts_list]
+    )
 
 
 class PartitionedSerialBackend:
@@ -149,10 +170,21 @@ class PartitionedSerialBackend:
         self._evaluator_for = evaluator_for
 
     def map(self, tasks: list) -> list[ScheduleEvaluation]:
-        return [
-            self._evaluator_for(block).evaluate(schedule)
-            for block, schedule in tasks
-        ]
+        # Group by block so each block's evaluator sees its schedules as
+        # one batch (and can vectorize their designs together), then
+        # restore the submission order.
+        groups: dict[tuple, list[int]] = {}
+        for i, (block, _schedule) in enumerate(tasks):
+            groups.setdefault((block.indices, block.ways), []).append(i)
+        results: list[ScheduleEvaluation | None] = [None] * len(tasks)
+        for positions in groups.values():
+            evaluator = self._evaluator_for(tasks[positions[0]][0])
+            batch = evaluator.evaluate_batch(
+                [tasks[i][1] for i in positions]
+            )
+            for i, evaluation in zip(positions, batch):
+                results[i] = evaluation
+        return results
 
     def close(self) -> None:
         pass
@@ -163,11 +195,21 @@ class PartitionedPoolBackend:
 
     name = "process-pool"
 
-    def __init__(self, apps, clock, design_options, platform, workers: int) -> None:
+    def __init__(
+        self,
+        apps,
+        clock,
+        design_options,
+        platform,
+        workers: int,
+        eval_backend: str = "vectorized",
+    ) -> None:
         if workers < 2:
             raise SearchError(f"process pool needs >= 2 workers, got {workers}")
         self.workers = workers
-        self._initargs = (list(apps), clock, design_options, platform)
+        self._initargs = (
+            list(apps), clock, design_options, platform, eval_backend
+        )
         self._executor: ProcessPoolExecutor | None = None
 
     def _ensure_executor(self) -> ProcessPoolExecutor:
@@ -181,11 +223,27 @@ class PartitionedPoolBackend:
 
     def map(self, tasks: list) -> list[ScheduleEvaluation]:
         executor = self._ensure_executor()
-        plain = [
-            ((block.indices, block.ways), schedule.counts)
-            for block, schedule in tasks
-        ]
-        return list(executor.map(_evaluate_block_counts, plain))
+        # Chunks never span blocks (each lands on one worker evaluator),
+        # and each block's tasks are split so the whole batch still
+        # spreads across the pool.
+        groups: dict[tuple, list[int]] = {}
+        for i, (block, _schedule) in enumerate(tasks):
+            groups.setdefault((block.indices, block.ways), []).append(i)
+        chunk_size = max(1, -(-len(tasks) // self.workers))
+        chunks = []
+        for key, positions in groups.items():
+            for start in range(0, len(positions), chunk_size):
+                part = positions[start:start + chunk_size]
+                chunks.append(
+                    (part, (key, [tasks[i][1].counts for i in part]))
+                )
+        results: list[ScheduleEvaluation | None] = [None] * len(tasks)
+        for (positions, _), batch in zip(
+            chunks, executor.map(_evaluate_block_chunk, [c[1] for c in chunks])
+        ):
+            for i, evaluation in zip(positions, batch):
+                results[i] = evaluation
+        return results
 
     def close(self) -> None:
         if self._executor is not None:
@@ -215,6 +273,7 @@ class PartitionedSearchEngine:
         cache_dir: str | Path | None = None,
         platform: Platform | None = None,
         on_event=None,
+        eval_backend: str = "vectorized",
     ) -> None:
         self.apps = list(apps)
         self.clock = clock
@@ -222,6 +281,7 @@ class PartitionedSearchEngine:
         self.workers = int(workers)
         self.platform = platform or default_platform(clock)
         self.on_event = on_event
+        self.eval_backend = eval_backend
         self.stats = EngineStats()
         self._best_overall: float | None = None
         self._store = PersistentCache(cache_dir) if cache_dir is not None else None
@@ -235,6 +295,7 @@ class PartitionedSearchEngine:
                     self.design_options,
                     self.platform,
                     self.workers,
+                    eval_backend=self.eval_backend,
                 )
             )
         else:
@@ -267,6 +328,7 @@ class PartitionedSearchEngine:
                 self.clock,
                 self.design_options,
                 spec.indices,
+                eval_backend=self.eval_backend,
             )
             platform = (
                 self.platform

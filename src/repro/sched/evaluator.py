@@ -19,9 +19,10 @@ import math
 from dataclasses import dataclass, replace
 
 from ..control.design import ControllerDesign, DesignOptions, design_controller
+from ..control.lockstep import DesignRequest, design_controllers_batch
 from ..core.application import ControlApplication
 from ..core.performance import check_weights, performance_index
-from ..errors import ScheduleError
+from ..errors import DesignInfeasibleError, ScheduleError
 from ..units import Clock
 from .schedule import PeriodicSchedule
 from .timing import AppTiming, ScheduleTiming, derive_timing
@@ -60,20 +61,43 @@ class ScheduleEvaluation:
 
 
 class ScheduleEvaluator:
-    """Memoizing evaluator of overall control performance."""
+    """Memoizing evaluator of overall control performance.
+
+    Serial-oracle contract
+    ----------------------
+    ``eval_backend`` selects how *batches* of schedules are computed.
+    The per-schedule path (:meth:`evaluate` calling ``design_controller``
+    app by app) is the oracle; ``"serial"`` uses it for batches too.
+    The default ``"vectorized"`` backend first runs every yet-unseen
+    controller design of a batch through
+    :func:`repro.control.lockstep.design_controllers_batch`, which
+    advances all of them in lockstep through stacked array operations,
+    then scores the schedules from the warmed design cache.  The lockstep
+    path reproduces the serial designs *bitwise* (same floating-point
+    operations in the same order — see :mod:`repro.control.lockstep`),
+    so the two backends return identical evaluations, not merely close
+    ones, and tests assert exact equality between them.
+    """
 
     def __init__(
         self,
         apps: list[ControlApplication],
         clock: Clock,
         design_options: DesignOptions | None = None,
+        eval_backend: str = "vectorized",
     ) -> None:
         if not apps:
             raise ScheduleError("need at least one application")
+        if eval_backend not in ("vectorized", "serial"):
+            raise ScheduleError(
+                f"unknown eval backend {eval_backend!r}; "
+                "expected 'vectorized' or 'serial'"
+            )
         check_weights([app.weight for app in apps])
         self.apps = list(apps)
         self.clock = clock
         self.design_options = design_options or DesignOptions()
+        self.eval_backend = eval_backend
         self._schedule_cache: dict[tuple[int, ...], ScheduleEvaluation] = {}
         self._design_cache: dict[tuple, ControllerDesign] = {}
 
@@ -84,6 +108,7 @@ class ScheduleEvaluator:
         clock: Clock,
         design_options: DesignOptions | None,
         indices: tuple[int, ...],
+        eval_backend: str = "vectorized",
     ) -> "ScheduleEvaluator":
         """Evaluator over the sub-problem ``[apps[i] for i in indices]``.
 
@@ -105,7 +130,7 @@ class ScheduleEvaluator:
         if total <= 0:
             raise ScheduleError(f"block weights must be positive, got {total}")
         normalized = [replace(app, weight=app.weight / total) for app in block]
-        return cls(normalized, clock, design_options)
+        return cls(normalized, clock, design_options, eval_backend=eval_backend)
 
     @property
     def n_schedule_evaluations(self) -> int:
@@ -193,17 +218,75 @@ class ScheduleEvaluator:
         self._schedule_cache[key] = result
         return result
 
+    def _prefetch_designs(self, schedules: list[PeriodicSchedule]) -> None:
+        """Batch-design every yet-unseen (app, timing) pair of a batch.
+
+        Collects the controller-design problems the per-schedule loop
+        would solve one by one — skipping cached schedules, mismatched
+        schedules and schedules whose timing cannot even be derived
+        (those raise in :meth:`evaluate`, in order) — and runs them all
+        through the lockstep vectorized designer, seeding the design
+        cache the serial loop then hits.
+        """
+        requests: list[DesignRequest] = []
+        keys: list[tuple] = []
+        pending: set[tuple] = set()
+        wcets = [app.wcets for app in self.apps]
+        for schedule in schedules:
+            if schedule.counts in self._schedule_cache:
+                continue
+            if schedule.n_apps != len(self.apps):
+                continue
+            try:
+                timing = derive_timing(schedule, wcets, self.clock)
+            except ScheduleError:
+                continue
+            for i, app in enumerate(self.apps):
+                app_timing = timing.for_app(i)
+                key = self._design_key(i, app_timing)
+                if key in self._design_cache or key in pending:
+                    continue
+                pending.add(key)
+                keys.append(key)
+                requests.append(
+                    DesignRequest(
+                        plant=app.plant,
+                        periods=app_timing.periods,
+                        delays=app_timing.delays,
+                        spec=app.spec,
+                        options=replace(
+                            self.design_options,
+                            seed=self.design_options.seed + 7919 * i,
+                        ),
+                    )
+                )
+        if not requests:
+            return
+        try:
+            designs = design_controllers_batch(requests)
+        except DesignInfeasibleError:
+            # Let the per-schedule loop hit the infeasible design (or an
+            # earlier schedule's error) in the serial order.
+            return
+        for key, design in zip(keys, designs):
+            self._design_cache[key] = design
+
     def evaluate_batch(
         self, schedules: list[PeriodicSchedule]
     ) -> list[ScheduleEvaluation]:
         """Evaluate many schedules, preserving order.
 
-        The plain evaluator runs them serially;
+        With the default ``eval_backend="vectorized"`` the batch's
+        controller designs are computed first, all at once, through the
+        lockstep vectorized path (bitwise identical to the serial
+        designs — see the class docstring); ``"serial"`` simply loops.
         :class:`repro.sched.engine.SearchEngine` overrides this entry
         point with parallel workers and a persistent cache.  Search
         algorithms submit candidates through :func:`evaluate_many` so
         either implementation can serve them.
         """
+        if self.eval_backend == "vectorized":
+            self._prefetch_designs(schedules)
         return [self.evaluate(schedule) for schedule in schedules]
 
     def adopt(self, evaluation: ScheduleEvaluation) -> None:

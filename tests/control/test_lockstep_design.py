@@ -1,0 +1,227 @@
+"""Bitwise identity of the lockstep batch designer vs the serial oracle.
+
+``design_controllers_batch`` must reproduce serial ``design_controller``
+results *exactly* — same gains, feedforwards, objectives, settling times
+and evaluation counts — because the schedule search compares overall
+performances across candidates and any drift would reorder them.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.control.design import DesignOptions, design_controller
+from repro.control.lockstep import (
+    DesignRequest,
+    _poly_from_roots,
+    design_controllers_batch,
+)
+from repro.control.pso import PsoOptions, pso_minimize, pso_minimize_many
+from repro.errors import ControlError
+from repro.sched import PeriodicSchedule, derive_timing
+
+
+def _assert_designs_identical(serial, batched):
+    assert np.array_equal(serial.gains, batched.gains)
+    assert np.array_equal(serial.feedforward, batched.feedforward)
+    assert serial.objective == batched.objective
+    assert serial.settling == batched.settling
+    assert serial.n_evaluations == batched.n_evaluations
+
+
+def _case_requests(case_study, options, counts_list):
+    """One DesignRequest per (app, schedule) with the evaluator's seeding."""
+    wcets = [app.wcets for app in case_study.apps]
+    requests = []
+    for counts in counts_list:
+        timing = derive_timing(
+            PeriodicSchedule(counts), wcets, case_study.clock
+        )
+        for i, app in enumerate(case_study.apps):
+            app_timing = timing.for_app(i)
+            requests.append(
+                DesignRequest(
+                    plant=app.plant,
+                    periods=app_timing.periods,
+                    delays=app_timing.delays,
+                    spec=app.spec,
+                    options=replace(options, seed=options.seed + 7919 * i),
+                )
+            )
+    return requests
+
+
+def _serial_designs(requests):
+    return [
+        design_controller(
+            r.plant, list(r.periods), list(r.delays), r.spec, r.options
+        )
+        for r in requests
+    ]
+
+
+class TestPolyFromRoots:
+    def test_matches_np_poly_conjugate_roots(self, rng):
+        for _ in range(20):
+            real = rng.normal(size=2)
+            imag = rng.normal(size=2)
+            roots = np.concatenate(
+                [real + 1j * imag, (real + 1j * imag).conj()]
+            )
+            assert np.array_equal(
+                _poly_from_roots(roots, cast_real=True), np.poly(roots)
+            )
+
+    def test_matches_np_poly_non_conjugate_roots(self, rng):
+        for _ in range(20):
+            roots = rng.normal(size=3) + 1j * rng.normal(size=3)
+            expected = np.poly(roots)
+            got = _poly_from_roots(roots, cast_real=False)
+            assert got.dtype == expected.dtype == complex
+            assert np.array_equal(got, expected)
+
+    def test_real_roots(self, rng):
+        roots = rng.normal(size=4)
+        assert np.array_equal(
+            _poly_from_roots(roots.astype(complex), cast_real=True),
+            np.poly(roots),
+        )
+
+
+class TestPsoMinimizeMany:
+    def _problems(self, dims, seed):
+        problems = []
+        for i, dim in enumerate(dims):
+            lower = -np.ones(dim) * (i + 1)
+            upper = np.ones(dim) * (i + 2)
+            problems.append(
+                (lower, upper, np.random.default_rng(seed + i), None)
+            )
+        return problems
+
+    @staticmethod
+    def _objective(positions):
+        return np.sum(positions**2, axis=1) + 0.1 * np.sin(positions[:, 0])
+
+    def test_lockstep_matches_individual_runs(self):
+        options = PsoOptions(n_particles=8, n_iterations=12)
+        many = pso_minimize_many(
+            lambda batches: [self._objective(p) for p in batches],
+            self._problems([2, 3, 2], seed=7),
+            options,
+        )
+        for i, dim in enumerate([2, 3, 2]):
+            lower = -np.ones(dim) * (i + 1)
+            upper = np.ones(dim) * (i + 2)
+            alone = pso_minimize(
+                self._objective,
+                lower,
+                upper,
+                options,
+                np.random.default_rng(7 + i),
+            )
+            assert np.array_equal(many[i].best_position, alone.best_position)
+            assert many[i].best_value == alone.best_value
+            assert many[i].n_evaluations == alone.n_evaluations
+
+    def test_seed_positions_respected(self):
+        options = PsoOptions(n_particles=6, n_iterations=8)
+        seeds = np.array([[0.1, -0.2], [0.3, 0.4]])
+        lower, upper = -np.ones(2), np.ones(2)
+        many = pso_minimize_many(
+            lambda batches: [self._objective(p) for p in batches],
+            [(lower, upper, np.random.default_rng(3), seeds)],
+            options,
+        )
+        alone = pso_minimize(
+            self._objective,
+            lower,
+            upper,
+            options,
+            np.random.default_rng(3),
+            seeds=seeds,
+        )
+        assert np.array_equal(many[0].best_position, alone.best_position)
+        assert many[0].best_value == alone.best_value
+
+
+class TestBatchDesignIdentity:
+    def test_single_restart_case_study(self, case_study, tiny_design_options):
+        requests = _case_requests(
+            case_study, tiny_design_options, [(1, 1, 1), (2, 1, 1)]
+        )
+        batched = design_controllers_batch(requests)
+        for serial, got in zip(_serial_designs(requests), batched):
+            _assert_designs_identical(serial, got)
+
+    def test_multi_restart_case_study(self, case_study):
+        options = DesignOptions(
+            restarts=2, stage_a=PsoOptions(8, 6), stage_b=PsoOptions(10, 7)
+        )
+        requests = _case_requests(case_study, options, [(2, 2, 2)])
+        batched = design_controllers_batch(requests)
+        for serial, got in zip(_serial_designs(requests), batched):
+            _assert_designs_identical(serial, got)
+
+    def test_mixed_engines_fall_back_serially(self, case_study):
+        """Engines without a lockstep path defer to design_controller."""
+        lockstep = DesignOptions(
+            restarts=1, stage_a=PsoOptions(6, 6), stage_b=PsoOptions(6, 6)
+        )
+        fallback = DesignOptions(
+            engine="uniform",
+            restarts=1,
+            stage_a=PsoOptions(6, 6),
+            stage_b=PsoOptions(6, 6),
+        )
+        wcets = [app.wcets for app in case_study.apps]
+        timing = derive_timing(
+            PeriodicSchedule((1, 1, 1)), wcets, case_study.clock
+        )
+        app = case_study.apps[0]
+        app_timing = timing.for_app(0)
+        requests = [
+            DesignRequest(
+                plant=app.plant,
+                periods=app_timing.periods,
+                delays=app_timing.delays,
+                spec=app.spec,
+                options=options,
+            )
+            for options in (lockstep, fallback)
+        ]
+        batched = design_controllers_batch(requests)
+        for serial, got in zip(_serial_designs(requests), batched):
+            _assert_designs_identical(serial, got)
+
+    def test_empty_batch(self):
+        assert design_controllers_batch([]) == []
+
+    def test_unknown_engine_rejected(self, case_study, tiny_design_options):
+        request = _case_requests(
+            case_study, tiny_design_options, [(1, 1, 1)]
+        )[0]
+        bad = DesignRequest(
+            plant=request.plant,
+            periods=request.periods,
+            delays=request.delays,
+            spec=request.spec,
+            options=DesignOptions(engine="gradient"),
+        )
+        with pytest.raises(ControlError):
+            design_controllers_batch([bad])
+
+    def test_invalid_restarts_rejected(self, case_study, tiny_design_options):
+        request = _case_requests(
+            case_study, tiny_design_options, [(1, 1, 1)]
+        )[0]
+        bad = DesignRequest(
+            plant=request.plant,
+            periods=request.periods,
+            delays=request.delays,
+            spec=request.spec,
+            options=DesignOptions(restarts=0),
+        )
+        with pytest.raises(ControlError):
+            design_controllers_batch([bad])

@@ -97,7 +97,6 @@ class TestTracking:
         periods, delays = pattern()
         plan = build_simulation_plan(p.a, p.b, p.c, periods, delays)
         gains, feedforward = decent_gains()
-        rng = np.random.default_rng(3)
         batch_gains = np.stack([gains, gains * 0.8, gains * 1.1])
         batch_ff = np.stack([feedforward] * 3)
         batched = simulate_tracking(

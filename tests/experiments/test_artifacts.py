@@ -5,7 +5,6 @@ design-heavy ones (Table III, Fig. 6) run under the quick profile just
 to validate wiring — EXPERIMENTS.md records full-profile numbers.
 """
 
-import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError

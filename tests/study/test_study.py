@@ -4,8 +4,7 @@ import pytest
 
 from repro.sched import PeriodicSchedule, SearchEngine
 from repro.sched.annealing import annealing_search
-from repro.sched.engine import EngineOptions
-from repro.sched.engine.batch import Scenario, synthesize_scenarios
+from repro.sched.engine.batch import synthesize_scenarios
 from repro.sched.exhaustive import exhaustive_search
 from repro.sched.feasibility import enumerate_idle_feasible, idle_feasible
 from repro.sched.hybrid import hybrid_search

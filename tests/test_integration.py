@@ -13,7 +13,6 @@ from repro import (
     build_case_study,
 )
 from repro.sched import hybrid_search
-from repro.sched.feasibility import idle_feasible
 
 
 @pytest.fixture(scope="module")
