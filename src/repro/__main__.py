@@ -19,6 +19,10 @@ Commands
     ``--json``, persisted and resumed under ``--run-dir``.
     (``python -m repro.experiments <name>`` remains as a deprecated
     shim.)
+``lint [--format json] [--checkers a,b] [--list] [paths...]``
+    Run the repo-specific static-analysis suite (cache-key soundness,
+    determinism, registry contracts, exception hygiene; rules
+    RPL001-RPL004 via the lint-checker registry).  Exits 1 on findings.
 ``search [--strategy hybrid] [--starts 4,2,2 1,2,1]``
     Run a schedule-space search on the case study and print the result.
 ``timeline --schedule 2,2,2``
@@ -79,7 +83,7 @@ def _parse_schedule(text: str) -> PeriodicSchedule:
     try:
         counts = tuple(int(part) for part in text.split(","))
         return PeriodicSchedule(counts)
-    except Exception as exc:
+    except (ValueError, ReproError) as exc:
         raise SystemExit(f"invalid schedule {text!r}: {exc}") from exc
 
 
@@ -175,6 +179,49 @@ def cmd_models(_args: argparse.Namespace) -> None:
         )
     )
     print("\nregister your own with @repro.wcet.register_wcet_model")
+
+
+def cmd_lint(args: argparse.Namespace) -> None:
+    from pathlib import Path
+
+    from .lint import (
+        available_checkers,
+        checker_description,
+        default_paths,
+        get_checker,
+        render_json,
+        render_text,
+        run_lint,
+    )
+
+    if args.list:
+        rows = []
+        for name in available_checkers():
+            checker = get_checker(name)
+            rows.append([name, checker.code, checker_description(checker)])
+        print(
+            render_table(
+                ["checker", "rule", "description"],
+                rows,
+                title="registered lint checkers",
+            )
+        )
+        print("\nregister your own with @repro.lint.register_checker")
+        return
+    checkers = (
+        tuple(part.strip() for part in args.checkers.split(",") if part.strip())
+        if args.checkers
+        else None
+    )
+    paths = [Path(p) for p in args.paths] if args.paths else default_paths()
+    findings = run_lint(paths, checkers=checkers)
+    names = list(checkers) if checkers is not None else list(available_checkers())
+    if args.format == "json":
+        print(render_json(findings, names))
+    else:
+        print(render_text(findings))
+    if findings:
+        raise SystemExit(1)
 
 
 def cmd_experiments(_args: argparse.Namespace) -> None:
@@ -534,6 +581,32 @@ def main(argv: list[str] | None = None) -> int:
 
     sub.add_parser("experiments", help="list registered experiments")
 
+    lint = sub.add_parser(
+        "lint",
+        help="run the repo's AST invariant checkers (rules RPL001-RPL004)",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        help="files/directories to check (default: src/)",
+    )
+    lint.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (json is the CI artifact)",
+    )
+    lint.add_argument(
+        "--checkers",
+        default=None,
+        help="comma-separated checker names (default: all registered)",
+    )
+    lint.add_argument(
+        "--list",
+        action="store_true",
+        help="list the registered checkers and exit",
+    )
+
     experiment = sub.add_parser(
         "experiment",
         help="regenerate one paper artifact (resumable via --run-dir)",
@@ -618,6 +691,7 @@ def main(argv: list[str] | None = None) -> int:
         "strategies": cmd_strategies,
         "models": cmd_models,
         "experiments": cmd_experiments,
+        "lint": cmd_lint,
         "experiment": cmd_experiment,
         "search": cmd_search,
         "timeline": cmd_timeline,

@@ -52,7 +52,7 @@ def lqr_gain_augmented(
     r = np.array([[control_weight]])
     try:
         p = solve_discrete_are(a_aug, b_aug, q, r)
-    except Exception as exc:
+    except (ValueError, np.linalg.LinAlgError) as exc:
         raise ControlError(f"discrete Riccati solve failed: {exc}") from exc
     gain = np.linalg.solve(
         r + b_aug.T @ p @ b_aug, b_aug.T @ p @ a_aug

@@ -90,7 +90,7 @@ def gains_for_poles(
         )
         try:
             solution = least_squares(residual, x0, method="lm", max_nfev=max_nfev)
-        except Exception:  # LM can fail on pathological Jacobians
+        except Exception:  # lint: allow-broad-except(LM can fail on pathological Jacobians; next seed retries)
             continue
         if not np.all(np.isfinite(solution.x)):
             continue

@@ -48,7 +48,7 @@ class ControlApplication:
     weight: float
     max_idle: float
     wcets: TaskWcets
-    program: Program | None = None
+    program: Program | None = None  # lint: fingerprint-exempt(trace-validation aid; evaluation never reads it)
 
     def __post_init__(self) -> None:
         if self.weight <= 0:

@@ -1,0 +1,389 @@
+"""RPL001 — cache-key completeness.
+
+The persistent evaluation cache is only sound if its keys capture
+*everything* an evaluation depends on (:mod:`repro.sched.engine.keys`).
+The failure mode is silent: add a field to
+:class:`~repro.core.application.ControlApplication` or
+:class:`~repro.platform.Platform` without extending the fingerprint and
+stale results are served across subtly different problems.
+
+This checker makes that a machine check.  It cross-references two
+views of the same contract, both recovered purely from the AST:
+
+* **definitions** — every ``@dataclass`` in the checked tree and its
+  field list (with annotations, so nesting is followed:
+  ``ControlApplication.spec`` is a ``TrackingSpec``, whose own fields
+  must be reached too);
+* **serialization** — every fingerprint serializer: module functions
+  named ``*_fingerprint`` whose parameters are annotated with a known
+  dataclass, and ``fingerprint`` methods defined *on* a dataclass.
+  Attribute chains rooted at a serializer parameter (``app.spec.r``)
+  mark fields covered, a ``dataclasses.asdict(...)`` call covers the
+  whole (nested) field set at once.
+
+Every dataclass reachable from a serializer — directly as a parameter
+or through covered, dataclass-annotated fields — must have each field
+either covered or explicitly exempted on its definition line::
+
+    program: Program | None = None  # lint: fingerprint-exempt(<reason>)
+
+A stale exemption (the field *is* serialized) is also reported, so
+markers cannot rot.  When the tree contains the keys module itself
+(identified by ``SCHEMA_VERSION`` next to ``*_fingerprint`` functions),
+the configured :attr:`~repro.lint.context.LintConfig.fingerprint_required`
+classes must all be reachable — losing one silently would unanchor the
+whole contract.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterable
+
+from .context import LintContext, SourceFile
+from .findings import Finding
+from .registry import register_checker
+
+EXEMPT_MARKER = "fingerprint-exempt"
+
+
+@dataclass
+class FieldInfo:
+    """One dataclass field: name, definition location, annotation AST."""
+
+    name: str
+    line: int
+    col: int
+    annotation: ast.expr | None
+
+
+@dataclass
+class DataclassInfo:
+    """One ``@dataclass`` definition found in the checked tree."""
+
+    name: str
+    source: SourceFile
+    line: int
+    fields: dict[str, FieldInfo]
+
+
+@dataclass
+class Serializer:
+    """One fingerprint serializer and its parameter -> dataclass roots."""
+
+    source: SourceFile
+    node: ast.FunctionDef
+    roots: dict[str, str]
+
+
+def _is_dataclass_decorator(node: ast.expr) -> bool:
+    target = node.func if isinstance(node, ast.Call) else node
+    if isinstance(target, ast.Attribute):
+        return target.attr == "dataclass"
+    return isinstance(target, ast.Name) and target.id == "dataclass"
+
+
+def _is_classvar(annotation: ast.expr) -> bool:
+    return any(
+        (isinstance(node, ast.Name) and node.id == "ClassVar")
+        or (isinstance(node, ast.Attribute) and node.attr == "ClassVar")
+        for node in ast.walk(annotation)
+    )
+
+
+def _annotation_class(annotation: ast.expr | None, known: set[str]) -> str | None:
+    """The single known dataclass an annotation refers to, or ``None``.
+
+    Handles unions (``Platform | None``), subscripts
+    (``list[ControlApplication]``) and string annotations.  Ambiguous
+    annotations (two known classes) resolve to nothing rather than
+    guessing.
+    """
+    if annotation is None:
+        return None
+    if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+        try:
+            annotation = ast.parse(annotation.value, mode="eval").body
+        except SyntaxError:
+            return None
+    candidates: set[str] = set()
+    for node in ast.walk(annotation):
+        if isinstance(node, ast.Name) and node.id in known:
+            candidates.add(node.id)
+        elif isinstance(node, ast.Attribute) and node.attr in known:
+            candidates.add(node.attr)
+        elif (
+            isinstance(node, ast.Constant)
+            and isinstance(node.value, str)
+            and node.value in known
+        ):
+            candidates.add(node.value)
+    if len(candidates) == 1:
+        return candidates.pop()
+    return None
+
+
+def _collect_dataclasses(files: list[SourceFile]) -> dict[str, DataclassInfo]:
+    classes: dict[str, DataclassInfo] = {}
+    for source in files:
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if not any(_is_dataclass_decorator(d) for d in node.decorator_list):
+                continue
+            fields: dict[str, FieldInfo] = {}
+            for stmt in node.body:
+                if (
+                    isinstance(stmt, ast.AnnAssign)
+                    and isinstance(stmt.target, ast.Name)
+                    and not _is_classvar(stmt.annotation)
+                ):
+                    fields[stmt.target.id] = FieldInfo(
+                        stmt.target.id,
+                        stmt.lineno,
+                        stmt.col_offset + 1,
+                        stmt.annotation,
+                    )
+            classes.setdefault(
+                node.name, DataclassInfo(node.name, source, node.lineno, fields)
+            )
+    return classes
+
+
+def _collect_serializers(
+    files: list[SourceFile], known: set[str]
+) -> list[Serializer]:
+    serializers: list[Serializer] = []
+    for source in files:
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.ClassDef) and node.name in known:
+                for stmt in node.body:
+                    if isinstance(stmt, ast.FunctionDef) and stmt.name == "fingerprint":
+                        serializers.append(
+                            Serializer(source, stmt, {"self": node.name})
+                        )
+            elif isinstance(node, ast.FunctionDef) and node.name.endswith(
+                "_fingerprint"
+            ):
+                roots: dict[str, str] = {}
+                for arg in [*node.args.args, *node.args.kwonlyargs]:
+                    cls = _annotation_class(arg.annotation, known)
+                    if cls is not None:
+                        roots[arg.arg] = cls
+                if roots:
+                    serializers.append(Serializer(source, node, roots))
+    return serializers
+
+
+def _attribute_chain(node: ast.Attribute) -> tuple[str, list[str]] | None:
+    """``(root name, [attr, ...])`` of a dotted access, or ``None``."""
+    parts: list[str] = []
+    current: ast.expr = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        return current.id, list(reversed(parts))
+    return None
+
+
+class _Coverage:
+    """Which fields of which dataclass the serializers reach."""
+
+    def __init__(self, classes: dict[str, DataclassInfo]) -> None:
+        self.classes = classes
+        self.known = set(classes)
+        self.covered: dict[str, set[str]] = {}
+        self.fully: set[str] = set()
+
+    def cover_chain(self, start: str, attrs: list[str]) -> None:
+        """Mark ``start.a.b.c`` covered, descending through annotations."""
+        cls = start
+        for attr in attrs:
+            self.covered.setdefault(cls, set()).add(attr)
+            info = self.classes.get(cls)
+            if info is None or attr not in info.fields:
+                return
+            nested = _annotation_class(info.fields[attr].annotation, self.known)
+            if nested is None:
+                return
+            cls = nested
+
+    def cover_fully(self, cls: str) -> None:
+        """``asdict`` reached the class: all fields, recursively."""
+        if cls in self.fully:
+            return
+        self.fully.add(cls)
+        info = self.classes.get(cls)
+        if info is None:
+            return
+        for field in info.fields.values():
+            self.covered.setdefault(cls, set()).add(field.name)
+            nested = _annotation_class(field.annotation, self.known)
+            if nested is not None:
+                self.cover_fully(nested)
+
+    def is_covered(self, cls: str, field_name: str) -> bool:
+        return cls in self.fully or field_name in self.covered.get(cls, set())
+
+
+def _walk_serializer(serializer: Serializer, coverage: _Coverage) -> None:
+    for node in ast.walk(serializer.node):
+        if isinstance(node, ast.Attribute):
+            chain = _attribute_chain(node)
+            if chain is not None and chain[0] in serializer.roots:
+                coverage.cover_chain(serializer.roots[chain[0]], chain[1])
+        elif isinstance(node, ast.Call):
+            func = node.func
+            is_asdict = (
+                isinstance(func, ast.Name) and func.id == "asdict"
+            ) or (isinstance(func, ast.Attribute) and func.attr == "asdict")
+            if is_asdict and node.args:
+                arg = node.args[0]
+                if isinstance(arg, ast.Name) and arg.id in serializer.roots:
+                    coverage.cover_fully(serializer.roots[arg.id])
+
+
+def _target_classes(
+    serializers: list[Serializer], coverage: _Coverage
+) -> set[str]:
+    """Serializer subjects plus dataclasses reached through covered fields."""
+    targets = {cls for s in serializers for cls in s.roots.values()}
+    changed = True
+    while changed:
+        changed = False
+        for cls in list(targets):
+            info = coverage.classes.get(cls)
+            if info is None:
+                continue
+            for field_name in coverage.covered.get(cls, set()):
+                field = info.fields.get(field_name)
+                if field is None:
+                    continue
+                nested = _annotation_class(field.annotation, coverage.known)
+                if nested is not None and nested not in targets:
+                    targets.add(nested)
+                    changed = True
+    return targets
+
+
+def _find_keys_module(files: list[SourceFile]) -> SourceFile | None:
+    """The module anchoring the cache-key contract, if present.
+
+    Identified by a module-level ``SCHEMA_VERSION`` binding next to at
+    least one ``*_fingerprint`` function — :mod:`repro.sched.engine.keys`
+    in this repository.
+    """
+    for source in files:
+        has_schema = any(
+            isinstance(stmt, (ast.Assign, ast.AnnAssign))
+            and any(
+                isinstance(target, ast.Name) and target.id == "SCHEMA_VERSION"
+                for target in (
+                    stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+                )
+            )
+            for stmt in source.tree.body
+        )
+        has_fingerprint = any(
+            isinstance(stmt, ast.FunctionDef) and stmt.name.endswith("_fingerprint")
+            for stmt in source.tree.body
+        )
+        if has_schema and has_fingerprint:
+            return source
+    return None
+
+
+@register_checker
+class CacheKeyChecker:
+    """RPL001: every field of a fingerprinted dataclass must reach the cache key."""
+
+    name = "cache-keys"
+    code = "RPL001"
+
+    def check(self, context: LintContext) -> Iterable[Finding]:
+        classes = _collect_dataclasses(context.files)
+        serializers = _collect_serializers(context.files, set(classes))
+        coverage = _Coverage(classes)
+        for serializer in serializers:
+            _walk_serializer(serializer, coverage)
+        targets = _target_classes(serializers, coverage)
+
+        findings: list[Finding] = []
+        for cls in sorted(targets):
+            info = classes.get(cls)
+            if info is None:
+                continue
+            for field in info.fields.values():
+                covered = coverage.is_covered(cls, field.name)
+                marker = info.source.marker(field.line, EXEMPT_MARKER)
+                if covered:
+                    if marker is not None:
+                        findings.append(
+                            Finding(
+                                info.source.posix,
+                                field.line,
+                                field.col,
+                                self.code,
+                                f"stale '# lint: {EXEMPT_MARKER}' marker: field "
+                                f"'{field.name}' of '{cls}' is serialized in the "
+                                "fingerprint; drop the marker",
+                            )
+                        )
+                    continue
+                if marker is not None:
+                    if not marker.reason:
+                        findings.append(
+                            Finding(
+                                info.source.posix,
+                                field.line,
+                                field.col,
+                                self.code,
+                                f"'# lint: {EXEMPT_MARKER}(...)' needs a "
+                                "non-empty reason",
+                            )
+                        )
+                    continue
+                findings.append(
+                    Finding(
+                        info.source.posix,
+                        field.line,
+                        field.col,
+                        self.code,
+                        f"field '{field.name}' of fingerprinted dataclass "
+                        f"'{cls}' never reaches the cache-key fingerprint; "
+                        "serialize it (and bump SCHEMA_VERSION) or mark it "
+                        f"'# lint: {EXEMPT_MARKER}(<reason>)'",
+                    )
+                )
+
+        keys_module = _find_keys_module(context.files)
+        if keys_module is not None:
+            for required in context.config.fingerprint_required:
+                if required in targets:
+                    continue
+                anchor = classes.get(required)
+                if anchor is not None:
+                    findings.append(
+                        Finding(
+                            anchor.source.posix,
+                            anchor.line,
+                            1,
+                            self.code,
+                            f"required dataclass '{required}' is not reached "
+                            "by any cache-key fingerprint serializer",
+                        )
+                    )
+                else:
+                    findings.append(
+                        Finding(
+                            keys_module.posix,
+                            1,
+                            1,
+                            self.code,
+                            f"required fingerprinted dataclass '{required}' "
+                            "was not found in the linted tree",
+                        )
+                    )
+        return findings

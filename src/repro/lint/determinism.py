@@ -1,0 +1,148 @@
+"""RPL002 — determinism of design/evaluation code.
+
+Reproducibility rests on evaluation being a pure function of the cache
+key.  Global-state randomness (``np.random.seed`` + module-level draws,
+bare ``random.random``) and ambient reads (wall clocks, ``uuid4``,
+``os.urandom``) break that silently: results change run to run while
+the fingerprint stays identical, poisoning the persistent cache.
+
+Inside the deterministic scope — any file whose path contains one of
+:attr:`~repro.lint.context.LintConfig.determinism_dirs` — this checker
+forbids calls into those ambient-state APIs.  Seeded, threaded-through
+randomness is the encouraged replacement and passes untouched:
+``numpy.random.default_rng(seed)`` is explicitly allowed, and draws on
+the resulting generator object (``rng.normal(...)``) are calls on a
+local, which the resolver never flags.
+
+Escapes, in reviewability order: the config allowlist
+(:attr:`~repro.lint.context.LintConfig.determinism_allowed`, for known
+observability-only uses like engine wall-time stats) and the inline
+marker ``# lint: allow-ambient(<reason>)``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from .context import LintContext, SourceFile, import_aliases, resolve_call, suppression
+from .findings import Finding
+from .registry import register_checker
+
+AMBIENT_MARKER = "allow-ambient"
+
+#: numpy.random attributes that are constructors of seeded generators,
+#: not draws from the hidden global state.
+_NUMPY_RANDOM_OK = {
+    "default_rng",
+    "Generator",
+    "RandomState",
+    "SeedSequence",
+    "BitGenerator",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "SFC64",
+    "MT19937",
+}
+
+#: random-module attributes that construct independent generators.
+_RANDOM_OK = {"Random", "SystemRandom"}
+
+#: Fully-qualified wall-clock / ambient-entropy reads.
+_AMBIENT = {
+    "time.time",
+    "time.time_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.process_time",
+    "time.process_time_ns",
+    "time.clock_gettime",
+    "time.clock_gettime_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+    "os.urandom",
+    "os.getrandom",
+    "uuid.uuid1",
+    "uuid.uuid4",
+}
+
+
+def _in_scope(source: SourceFile, dirs: tuple[str, ...]) -> bool:
+    return any(part in dirs for part in source.path.parts)
+
+
+def _classify(qualified: str) -> str | None:
+    """Why a qualified call is non-deterministic, or ``None`` if fine."""
+    if qualified.startswith("numpy.random."):
+        attr = qualified.removeprefix("numpy.random.")
+        if attr not in _NUMPY_RANDOM_OK:
+            return (
+                "draws from numpy's global RNG state; thread a seeded "
+                "numpy.random.default_rng(seed) generator through instead"
+            )
+        return None
+    if qualified.startswith("random."):
+        attr = qualified.removeprefix("random.")
+        if attr not in _RANDOM_OK:
+            return (
+                "draws from the random module's global state; use a "
+                "seeded random.Random(seed) instance instead"
+            )
+        return None
+    if qualified in _AMBIENT or qualified.startswith("secrets."):
+        return (
+            "reads ambient state (wall clock / OS entropy); evaluation "
+            "results must be a pure function of the cache key"
+        )
+    return None
+
+
+@register_checker
+class DeterminismChecker:
+    """RPL002: no global-RNG or wall-clock reads in design/evaluation code."""
+
+    name = "determinism"
+    code = "RPL002"
+
+    def check(self, context: LintContext) -> Iterable[Finding]:
+        findings: list[Finding] = []
+        for source in context.files:
+            if not _in_scope(source, context.config.determinism_dirs):
+                continue
+            allowed = {
+                qual
+                for suffix, qual in context.config.determinism_allowed
+                if source.posix.endswith(suffix)
+            }
+            aliases = import_aliases(source.tree)
+            for node in ast.walk(source.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                qualified = resolve_call(node.func, aliases)
+                if qualified is None:
+                    continue
+                reason = _classify(qualified)
+                if reason is None or qualified in allowed:
+                    continue
+                suppressed, replacement = suppression(
+                    source, node.lineno, AMBIENT_MARKER, self.code
+                )
+                if replacement is not None:
+                    findings.append(replacement)
+                if suppressed:
+                    continue
+                findings.append(
+                    Finding(
+                        source.posix,
+                        node.lineno,
+                        node.col_offset + 1,
+                        self.code,
+                        f"call to '{qualified}' {reason}",
+                    )
+                )
+        return findings

@@ -1,0 +1,97 @@
+"""RPL004 — exception hygiene.
+
+A ``except Exception:`` (or bare ``except:``) that swallows the error
+is how real failures turn into silently-wrong experiment results: an
+infeasible design, a broken WCET model or a corrupt cache entry gets
+absorbed and the study reports a number anyway.
+
+This checker flags every handler that catches ``Exception`` or
+``BaseException`` (directly or inside a tuple) unless the handler body
+re-raises the *same* exception with a bare ``raise``.  Wrapping into a
+typed :class:`~repro.errors.ReproError` subclass does **not** excuse
+the broad catch — ``except Exception: raise ControlError(...)`` still
+masks ``KeyboardInterrupt``-adjacent bugs and typos in the guarded
+block; catch the specific failures the wrapped call can actually
+raise.
+
+When a broad catch is genuinely required (e.g. a best-effort search
+loop that must survive any numerical blow-up), mark it inline::
+
+    except Exception:  # lint: allow-broad-except(LM solver may raise anything)
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from .context import LintContext, suppression
+from .findings import Finding
+from .registry import register_checker
+
+BROAD_MARKER = "allow-broad-except"
+
+_BROAD_NAMES = {"Exception", "BaseException"}
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return True
+    exprs = (
+        handler.type.elts if isinstance(handler.type, ast.Tuple) else [handler.type]
+    )
+    for expr in exprs:
+        if isinstance(expr, ast.Name) and expr.id in _BROAD_NAMES:
+            return True
+        if isinstance(expr, ast.Attribute) and expr.attr in _BROAD_NAMES:
+            return True
+    return False
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    """True if the handler body re-raises the caught exception as-is."""
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise) and node.exc is None:
+            return True
+    return False
+
+
+@register_checker
+class BroadExceptChecker:
+    """RPL004: no swallowing ``except Exception`` without a marked reason."""
+
+    name = "broad-except"
+    code = "RPL004"
+
+    def check(self, context: LintContext) -> Iterable[Finding]:
+        findings: list[Finding] = []
+        for source in context.files:
+            for node in ast.walk(source.tree):
+                if not isinstance(node, ast.ExceptHandler):
+                    continue
+                if not _is_broad(node) or _reraises(node):
+                    continue
+                suppressed, replacement = suppression(
+                    source, node.lineno, BROAD_MARKER, self.code
+                )
+                if replacement is not None:
+                    findings.append(replacement)
+                if suppressed:
+                    continue
+                caught = (
+                    "bare except"
+                    if node.type is None
+                    else f"except {ast.unparse(node.type)}"
+                )
+                findings.append(
+                    Finding(
+                        source.posix,
+                        node.lineno,
+                        node.col_offset + 1,
+                        self.code,
+                        f"{caught} without re-raise; catch the specific "
+                        "exception types, or mark the handler "
+                        f"'# lint: {BROAD_MARKER}(<reason>)'",
+                    )
+                )
+        return findings

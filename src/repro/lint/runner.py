@@ -1,0 +1,72 @@
+"""Run the checker suite over a file set and render the report.
+
+:func:`run_lint` is the library entry point the CLI
+(``python -m repro lint``), CI and tests all share: expand the paths,
+parse each file once, hand the whole tree to every selected checker,
+then deduplicate and sort the findings by location.  Unparseable files
+surface as ``RPL000`` findings rather than crashing the run.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Sequence
+
+from .context import LintConfig, LintContext, collect_paths, load_files
+from .findings import Finding
+from .registry import available_checkers, get_checker
+
+#: Version stamp of the ``--format json`` report layout.
+REPORT_SCHEMA_VERSION = 1
+
+
+def default_paths(root: Path | None = None) -> list[Path]:
+    """The tree ``python -m repro lint`` checks when given no paths."""
+    base = root if root is not None else Path.cwd()
+    candidate = base / "src"
+    return [candidate if candidate.is_dir() else base]
+
+
+def run_lint(
+    paths: Sequence[Path],
+    checkers: Sequence[str] | None = None,
+    config: LintConfig | None = None,
+) -> list[Finding]:
+    """Run ``checkers`` (default: all registered) over ``paths``.
+
+    Unknown checker names raise
+    :class:`~repro.errors.ConfigurationError` before any file is read.
+    """
+    names = tuple(checkers) if checkers is not None else available_checkers()
+    selected = [get_checker(name) for name in names]
+    files, findings = load_files(collect_paths([Path(p) for p in paths]))
+    context = LintContext(files=files, config=config or LintConfig())
+    for checker in selected:
+        findings.extend(checker.check(context))
+    return sorted(set(findings))
+
+
+def render_text(findings: Sequence[Finding]) -> str:
+    """One ``path:line:col: RULE message`` line per finding plus a tally."""
+    lines = [finding.render() for finding in findings]
+    count = len(findings)
+    lines.append(
+        "no findings" if count == 0 else f"{count} finding{'s' if count != 1 else ''}"
+    )
+    return "\n".join(lines)
+
+
+def render_json(
+    findings: Sequence[Finding], checkers: Sequence[str] | None = None
+) -> str:
+    """The machine-readable report uploaded as a CI artifact."""
+    report = {
+        "schema_version": REPORT_SCHEMA_VERSION,
+        "checkers": list(checkers) if checkers is not None else list(
+            available_checkers()
+        ),
+        "n_findings": len(findings),
+        "findings": [finding.to_dict() for finding in findings],
+    }
+    return json.dumps(report, indent=2, sort_keys=True)

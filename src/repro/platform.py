@@ -18,9 +18,15 @@ models.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING
 
 from .cache.config import CacheConfig
 from .units import Clock
+
+if TYPE_CHECKING:  # runtime imports stay lazy: repro.wcet is a heavy subtree
+    from .core.application import ControlApplication
+    from .program import Program
+    from .wcet.results import TaskWcets
 
 
 @dataclass(frozen=True)
@@ -51,7 +57,7 @@ class Platform:
 
         get_wcet_model(self.wcet_model)  # fail fast on unknown names
 
-    def analyze(self, program):
+    def analyze(self, program: Program) -> TaskWcets:
         """Cold/warm :class:`~repro.wcet.results.TaskWcets` of ``program``
         under this platform's cache and WCET model."""
         from .wcet.models import get_wcet_model
@@ -63,7 +69,9 @@ class Platform:
         (one core's slice of a way-partitioned multicore)."""
         return replace(self, cache=self.cache.with_ways(ways))
 
-    def reanalyze(self, apps, ways: int) -> list:
+    def reanalyze(
+        self, apps: list[ControlApplication], ways: int
+    ) -> list[ControlApplication]:
         """``apps`` with WCETs re-analyzed under ``ways`` ways.
 
         This is the one definition of what a way allocation does to an
@@ -79,7 +87,7 @@ class Platform:
 
         cache = self.cache.with_ways(ways)
         model = get_wcet_model(self.wcet_model)
-        out = []
+        out: list[ControlApplication] = []
         for app in apps:
             if app.program is None:
                 raise ConfigurationError(

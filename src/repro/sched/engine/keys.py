@@ -22,6 +22,7 @@ import hashlib
 import json
 
 from ...control.design import DesignOptions
+from ...control.lti import LtiPlant
 from ...core.application import ControlApplication
 from ...platform import Platform, default_platform
 from ...units import Clock
@@ -35,7 +36,7 @@ from ..schedule import PeriodicSchedule
 SCHEMA_VERSION = 2
 
 
-def plant_fingerprint(plant) -> dict:
+def plant_fingerprint(plant: LtiPlant) -> dict:
     """Canonical form of an LTI plant (name + exact matrices)."""
     return {
         "name": plant.name,

@@ -78,7 +78,7 @@ class TaskWcets:
     (the guaranteed reduction ``E_gu``).
     """
 
-    name: str
+    name: str  # lint: fingerprint-exempt(label only; app_fingerprint keys on app.name)
     cold_cycles: int
     warm_cycles: int
 

@@ -1,0 +1,27 @@
+"""RPL001 fixture: a keys module whose fingerprint misses one field.
+
+``Gadget.secret`` influences behaviour but is never serialized —
+exactly the cache-poisoning bug the checker exists to catch.
+``skipped`` carries a reasoned exemption and must stay silent.
+"""
+
+from dataclasses import dataclass
+
+SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class GadgetSpec:
+    tolerance: float
+
+
+@dataclass(frozen=True)
+class Gadget:
+    name: str
+    spec: GadgetSpec
+    secret: int
+    skipped: int = 0  # lint: fingerprint-exempt(display only, never read)
+
+
+def gadget_fingerprint(gadget: Gadget) -> dict:
+    return {"name": gadget.name, "tolerance": gadget.spec.tolerance}

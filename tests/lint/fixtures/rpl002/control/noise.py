@@ -1,0 +1,20 @@
+"""RPL002 fixture: ambient state in (fixture) design code.
+
+The ``control`` directory component puts this file in the
+deterministic scope; the three unmarked ambient calls must each fire,
+the marked one and the seeded generator must not.
+"""
+
+import random
+import time
+
+import numpy as np
+
+
+def jitter() -> float:
+    noisy = np.random.random()
+    salt = random.random()
+    stamp = time.time()
+    allowed = time.perf_counter()  # lint: allow-ambient(fixture wall-time stat)
+    rng = np.random.default_rng(7)
+    return noisy + salt + stamp + allowed + rng.normal()

@@ -1,0 +1,25 @@
+"""RPL003 fixture: a protocol-violating plugin and leaky accessors.
+
+``register_strategy`` is a local stand-in (never the real registry, so
+importing this file registers nothing); the checker keys on the
+decorator *name*.  ``HalfStrategy`` is missing ``options_type`` and
+``run``; ``get_plugin`` leaks ``KeyError`` twice over.
+"""
+
+
+def register_strategy(cls: type) -> type:
+    return cls
+
+
+@register_strategy
+class HalfStrategy:
+    name = "half"
+
+
+_REGISTRY = {"half": HalfStrategy}
+
+
+def get_plugin(name: str) -> type:
+    if name not in _REGISTRY:
+        raise KeyError(name)
+    return _REGISTRY[name]

@@ -1,0 +1,33 @@
+"""RPL004 fixture: broad handlers in every flavour.
+
+``swallow`` and ``bare`` must fire; ``reraise`` (bare ``raise``) and
+``marked`` (reasoned marker) must not.
+"""
+
+
+def swallow() -> int:
+    try:
+        return 1
+    except Exception:
+        return 0
+
+
+def bare() -> int:
+    try:
+        return 1
+    except:  # noqa: E722
+        return 0
+
+
+def reraise() -> int:
+    try:
+        return 1
+    except Exception:
+        raise
+
+
+def marked() -> int:
+    try:
+        return 1
+    except Exception:  # lint: allow-broad-except(fixture must never die)
+        return 0

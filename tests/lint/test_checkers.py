@@ -1,0 +1,183 @@
+"""Every rule fires on its seeded fixture — right rule id, right line."""
+
+from pathlib import Path
+from textwrap import dedent
+
+from repro.lint import LintConfig, run_lint
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def line_of(path: Path, needle: str) -> int:
+    """1-based line of the first line containing ``needle``."""
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        if needle in line:
+            return lineno
+    raise AssertionError(f"{needle!r} not found in {path}")
+
+
+def fixture_config() -> LintConfig:
+    return LintConfig(fingerprint_required=("Gadget", "GadgetSpec"))
+
+
+class TestRPL001:
+    def test_uncovered_field_fires(self):
+        model = FIXTURES / "rpl001" / "model.py"
+        findings = run_lint(
+            [model], checkers=["cache-keys"], config=fixture_config()
+        )
+        assert [f.rule for f in findings] == ["RPL001"]
+        finding = findings[0]
+        assert finding.path.endswith("rpl001/model.py")
+        assert finding.line == line_of(model, "secret: int")
+        assert "'secret'" in finding.message
+        assert "'Gadget'" in finding.message
+
+    def test_exempt_marker_suppresses(self):
+        model = FIXTURES / "rpl001" / "model.py"
+        findings = run_lint(
+            [model], checkers=["cache-keys"], config=fixture_config()
+        )
+        assert not any("skipped" in f.message for f in findings)
+
+    def test_default_config_demands_repo_dataclasses(self):
+        # With the repo's own config, the fixture keys module is missing
+        # every required dataclass (ControlApplication, Platform, ...).
+        findings = run_lint([FIXTURES / "rpl001"], checkers=["cache-keys"])
+        missing = {
+            f.message.split("'")[1]
+            for f in findings
+            if "was not found" in f.message
+        }
+        assert missing == set(LintConfig().fingerprint_required)
+
+    def test_stale_marker_reported(self, tmp_path):
+        (tmp_path / "model.py").write_text(
+            dedent(
+                """\
+                from dataclasses import dataclass
+
+
+                @dataclass
+                class Widget:
+                    size: int  # lint: fingerprint-exempt(obsolete)
+
+
+                def widget_fingerprint(widget: Widget) -> dict:
+                    return {"size": widget.size}
+                """
+            )
+        )
+        findings = run_lint(
+            [tmp_path],
+            checkers=["cache-keys"],
+            config=LintConfig(fingerprint_required=()),
+        )
+        assert [f.rule for f in findings] == ["RPL001"]
+        assert "stale" in findings[0].message
+
+    def test_empty_reason_reported(self, tmp_path):
+        (tmp_path / "model.py").write_text(
+            dedent(
+                """\
+                from dataclasses import dataclass
+
+
+                @dataclass
+                class Widget:
+                    size: int
+                    hidden: int  # lint: fingerprint-exempt()
+
+
+                def widget_fingerprint(widget: Widget) -> dict:
+                    return {"size": widget.size}
+                """
+            )
+        )
+        findings = run_lint(
+            [tmp_path],
+            checkers=["cache-keys"],
+            config=LintConfig(fingerprint_required=()),
+        )
+        assert [f.rule for f in findings] == ["RPL001"]
+        assert "non-empty reason" in findings[0].message
+
+
+class TestRPL002:
+    def test_ambient_calls_fire(self):
+        noise = FIXTURES / "rpl002" / "control" / "noise.py"
+        findings = run_lint([FIXTURES / "rpl002"], checkers=["determinism"])
+        assert all(f.rule == "RPL002" for f in findings)
+        assert sorted(f.line for f in findings) == sorted(
+            [
+                line_of(noise, "np.random.random()"),
+                line_of(noise, "salt = random.random()"),
+                line_of(noise, "stamp = time.time()"),
+            ]
+        )
+
+    def test_marker_and_seeded_rng_silent(self):
+        noise = FIXTURES / "rpl002" / "control" / "noise.py"
+        findings = run_lint([FIXTURES / "rpl002"], checkers=["determinism"])
+        fired = {f.line for f in findings}
+        assert line_of(noise, "time.perf_counter()") not in fired
+        assert line_of(noise, "default_rng") not in fired
+        assert line_of(noise, "rng.normal()") not in fired
+
+    def test_out_of_scope_file_ignored(self, tmp_path):
+        # Same ambient calls, but no determinism_dirs component in the path.
+        (tmp_path / "tooling.py").write_text("import time\nnow = time.time()\n")
+        assert run_lint([tmp_path], checkers=["determinism"]) == []
+
+    def test_config_allowlist(self):
+        noise = FIXTURES / "rpl002" / "control" / "noise.py"
+        config = LintConfig(
+            determinism_allowed=(("control/noise.py", "time.time"),)
+        )
+        findings = run_lint(
+            [FIXTURES / "rpl002"], checkers=["determinism"], config=config
+        )
+        assert line_of(noise, "time.time()") not in {f.line for f in findings}
+        assert len(findings) == 2
+
+
+class TestRPL003:
+    def test_contract_and_accessor_violations(self):
+        plugins = FIXTURES / "rpl003" / "plugins.py"
+        findings = run_lint([FIXTURES / "rpl003"], checkers=["registry-contract"])
+        assert all(f.rule == "RPL003" for f in findings)
+        messages = "\n".join(f.message for f in findings)
+        assert "'options_type'" in messages
+        assert "'run'" in messages
+        assert "raises KeyError" in messages
+        assert "_REGISTRY[...]" in messages
+        assert len(findings) == 4
+        class_line = line_of(plugins, "class HalfStrategy")
+        assert sum(1 for f in findings if f.line == class_line) == 2
+
+
+class TestRPL004:
+    def test_swallowing_handlers_fire(self):
+        worker = FIXTURES / "rpl004" / "worker.py"
+        findings = run_lint([FIXTURES / "rpl004"], checkers=["broad-except"])
+        assert all(f.rule == "RPL004" for f in findings)
+        fired = {f.line for f in findings}
+        assert fired == {
+            line_of(worker, "except Exception:\n".strip()),
+            line_of(worker, "except:"),
+        }
+        assert len(findings) == 2
+
+    def test_reraise_and_marker_silent(self):
+        worker = FIXTURES / "rpl004" / "worker.py"
+        findings = run_lint([FIXTURES / "rpl004"], checkers=["broad-except"])
+        fired = {f.line for f in findings}
+        assert line_of(worker, "allow-broad-except") not in fired
+
+
+class TestRPL000:
+    def test_syntax_error_becomes_finding(self, tmp_path):
+        (tmp_path / "broken.py").write_text("def oops(:\n")
+        findings = run_lint([tmp_path])
+        assert [f.rule for f in findings] == ["RPL000"]
+        assert "syntax error" in findings[0].message
