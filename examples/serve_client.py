@@ -1,0 +1,73 @@
+"""Search-as-a-service: submit a job, stream its events, fetch the report.
+
+Starts a real ``repro serve`` server in-process (the same
+:class:`~repro.serve.testing.ServerThread` the tests and benchmarks
+use), then drives it through the stdlib client:
+
+* submit a case-study search as a :class:`~repro.serve.JobSpec`;
+* watch the live NDJSON stream — typed status transitions plus the
+  same :class:`StudyEvent`/:class:`EngineEvent` objects a local
+  ``Study.run(on_event=...)`` delivers;
+* fetch the finished :class:`RunReport` and resubmit the identical
+  spec — the second job resumes the persisted report from the shared
+  warm run dir byte-identically instead of re-searching.
+
+Against a long-running server, drop the ``ServerThread`` block and
+point ``ServeClient`` at its URL (default ``http://127.0.0.1:8765``).
+
+Run:  python examples/serve_client.py
+"""
+
+import os
+import tempfile
+
+os.environ.setdefault("REPRO_PROFILE", "quick")
+
+from repro.sched.engine.events import BatchCompleted
+from repro.serve import JobSpec, ServeClient
+from repro.serve.testing import ServerThread
+from repro.serve.wire import EventMessage, StatusMessage
+from repro.study import ScenarioFinished
+
+
+def watch(client: ServeClient, job_id: str) -> None:
+    for message in client.watch(job_id):
+        if isinstance(message, StatusMessage):
+            print(f"  [{message.seq}] status -> {message.state}")
+        elif isinstance(message, EventMessage):
+            event = message.event
+            if isinstance(event, BatchCompleted):
+                print(f"  [{message.seq}] batch of {event.n_batch}: "
+                      f"{event.n_computed} computed, "
+                      f"{event.n_disk_hits} disk hits")
+            elif isinstance(event, ScenarioFinished):
+                print(f"  [{message.seq}] finished: "
+                      f"P_all = {event.report.overall:.4f} "
+                      f"in {event.wall_time:.2f} s")
+
+
+def main() -> None:
+    spec = JobSpec(strategy="hybrid", starts=((4, 2, 2),), n_starts=1)
+    with tempfile.TemporaryDirectory() as tmp:
+        with ServerThread(run_dir=os.path.join(tmp, "serve")) as server:
+            client = ServeClient(server.url)
+            print(f"server up at {server.url}: {client.health()}")
+
+            record = client.submit(spec)
+            print(f"\nsubmitted {record.id}; streaming events:")
+            watch(client, record.id)
+            [report] = client.reports(record.id)
+            print(f"\n{record.id}: best schedule {report.best_schedule}, "
+                  f"P_all = {report.overall:.4f}")
+
+            again = client.submit(spec)
+            print(f"\nresubmitted the same spec as {again.id}:")
+            watch(client, again.id)
+            final = client.wait(again.id)
+            identical = final.reports == client.job(record.id).reports
+            print(f"warm resubmit byte-identical: {identical}")
+            assert identical
+
+
+if __name__ == "__main__":
+    main()

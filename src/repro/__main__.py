@@ -36,6 +36,22 @@ Commands
     partition and the per-core schedules — private caches by default,
     or one way-partitioned shared cache with ``--shared-cache`` (the
     way allocation is then co-optimized too).
+``serve [--host --port --jobs --workers --queue-size --run-dir]``
+    Run the search service: a long-lived asyncio HTTP job queue over
+    the same ``Study`` machinery, with one shared persistent
+    evaluation cache and run directory across all jobs (every job
+    warm-starts from every prior job).  SIGINT/SIGTERM drain
+    gracefully; a restarted server resumes its ledger from disk.
+``submit [--server URL] [--strategy hybrid] [--starts 4,2,2] ...``
+    Submit a search job to a running server; validation happens
+    server-side (an unknown strategy fails over HTTP with the
+    registered list, exit code 2 like a direct run).
+``status [JOB] [--server URL] [--json]``
+    One job's record (or the full job listing without JOB).
+``watch JOB [--server URL] [--json]``
+    Stream a job's progress events live until it finishes
+    (``--json`` prints the raw NDJSON wire messages); a failed job
+    exits 2 with its error.
 
 ``search``, ``batch`` and ``multicore`` all run through the unified
 :class:`repro.study.Study` facade and share one flag set:
@@ -554,6 +570,193 @@ def cmd_multicore(args: argparse.Namespace) -> None:
     )
 
 
+def cmd_serve(args: argparse.Namespace) -> None:
+    import asyncio
+
+    from .serve.server import run_server
+
+    try:
+        asyncio.run(
+            run_server(
+                host=args.host,
+                port=args.port,
+                run_dir=args.run_dir,
+                cache_dir=args.cache_dir,
+                max_jobs=args.jobs,
+                engine_workers=args.workers,
+                queue_size=args.queue_size,
+                job_timeout=args.job_timeout,
+            )
+        )
+    except KeyboardInterrupt:
+        # Platforms without loop signal handlers: the drain in
+        # run_server's finally block already ran on the way out.
+        pass
+
+
+def _submit_spec(args: argparse.Namespace):
+    """The :class:`~repro.serve.JobSpec` the submit flags describe.
+
+    Deliberately *not* validated here — the server owns validation, so
+    an unknown strategy fails over HTTP with the registry message.
+    """
+    from .serve.jobs import JobSpec
+
+    platform = _platform_from_args(args, shared=args.shared_cache)
+    starts = (
+        tuple(_parse_schedule(text).counts for text in args.starts)
+        if args.starts
+        else None
+    )
+    return JobSpec(
+        kind="suite" if args.suite_size is not None else "search",
+        strategy=_resolve_strategy(args),
+        starts=starts,
+        n_starts=args.n_starts,
+        seed=args.seed,
+        n_cores=args.cores,
+        max_count_per_core=args.max_count_per_core,
+        shared_cache=args.shared_cache,
+        suite_size=args.suite_size if args.suite_size is not None else 4,
+        platform=platform.fingerprint() if platform is not None else None,
+        eval_backend=args.eval_backend,
+        resume=not args.no_resume,
+    )
+
+
+def cmd_submit(args: argparse.Namespace) -> None:
+    from .serve.client import ServeClient
+
+    record = ServeClient(args.server).submit(_submit_spec(args))
+    if args.json:
+        print(json.dumps(record.to_dict(), indent=2, sort_keys=True))
+        return
+    print(
+        f"submitted {record.id} ({record.state}); follow it with "
+        f"`python -m repro watch {record.id} --server {args.server}`"
+    )
+
+
+def cmd_status(args: argparse.Namespace) -> None:
+    from .serve.client import ServeClient
+
+    client = ServeClient(args.server)
+    if args.job is None:
+        records = client.jobs()
+        if args.json:
+            print(
+                json.dumps(
+                    [r.to_dict(include_reports=False) for r in records],
+                    indent=2,
+                    sort_keys=True,
+                )
+            )
+            return
+        rows = [
+            [
+                record.id,
+                record.state,
+                record.spec.kind,
+                record.spec.strategy or "default",
+                record.error or "",
+            ]
+            for record in records
+        ]
+        print(
+            render_table(
+                ["job", "state", "kind", "strategy", "error"],
+                rows,
+                title=f"jobs at {client.base_url}",
+            )
+        )
+        return
+    record = client.job(args.job)
+    if args.json:
+        print(json.dumps(record.to_dict(), indent=2, sort_keys=True))
+        return
+    print(f"{record.id}: {record.state}")
+    if record.error:
+        print(f"error: {record.error}")
+    for report in record.reports or []:
+        print(
+            f"  {report['scenario']}: P_all = {report['overall']:.4f}"
+            f"  feasible: {report['feasible']}"
+        )
+
+
+def _render_watch_event(event) -> str:
+    """One human-readable line per streamed study/engine event."""
+    from .sched.engine.events import BatchCompleted, BatchSubmitted
+    from .study.events import (
+        ScenarioFinished,
+        ScenarioProgress,
+        ScenarioResumed,
+        ScenarioStarted,
+    )
+
+    if isinstance(event, ScenarioStarted):
+        return (
+            f"scenario {event.scenario} started "
+            f"({event.strategy or 'default'}, {event.n_cores} core(s))"
+        )
+    if isinstance(event, ScenarioProgress):
+        engine = event.engine
+        if isinstance(engine, BatchCompleted):
+            best = (
+                f", best {engine.best_overall:.4f}"
+                if engine.best_overall is not None
+                else ""
+            )
+            return (
+                f"scenario {event.scenario}: {engine.n_computed} computed / "
+                f"{engine.n_requested} requested{best}"
+            )
+        if isinstance(engine, BatchSubmitted):
+            return (
+                f"scenario {event.scenario}: batch of {engine.n_batch} submitted"
+            )
+        return f"scenario {event.scenario}: {type(engine).__name__}"
+    if isinstance(event, ScenarioResumed):
+        return (
+            f"scenario {event.scenario} resumed from disk "
+            f"(P_all = {event.report.overall:.4f})"
+        )
+    if isinstance(event, ScenarioFinished):
+        return (
+            f"scenario {event.scenario} finished in {event.wall_time:.2f} s "
+            f"(P_all = {event.report.overall:.4f})"
+        )
+    return type(event).__name__
+
+
+def cmd_watch(args: argparse.Namespace) -> None:
+    from .errors import ServeError
+    from .serve.client import ServeClient
+    from .serve.wire import TERMINAL_STATES, StatusMessage
+
+    final_state = None
+    final_error = None
+    for message in ServeClient(args.server).watch(args.job):
+        if args.json:
+            print(message.to_json(), flush=True)
+        elif isinstance(message, StatusMessage):
+            line = f"[{message.job}] {message.state}"
+            if message.error:
+                line += f": {message.error}"
+            print(line, flush=True)
+        else:
+            print(f"[{message.job}] {_render_watch_event(message.event)}",
+                  flush=True)
+        if isinstance(message, StatusMessage):
+            final_state, final_error = message.state, message.error
+    if final_state == "failed":
+        raise ServeError(f"{args.job} failed: {final_error}")
+    if final_state not in TERMINAL_STATES:
+        raise ServeError(
+            f"stream ended before {args.job} finished (server draining?)"
+        )
+
+
 def cmd_timeline(args: argparse.Namespace) -> None:
     schedule = _parse_schedule(args.schedule)
     case = build_case_study()
@@ -684,6 +887,136 @@ def main(argv: list[str] | None = None) -> int:
     )
     _add_search_arguments(multicore)
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the search service (HTTP job queue, shared warm cache)",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=8765, help="bind port (0 = ephemeral)"
+    )
+    serve.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="jobs executing concurrently (executor threads)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="evaluation worker processes per job (0/1 = serial)",
+    )
+    serve.add_argument(
+        "--queue-size",
+        type=int,
+        default=64,
+        help="max queued jobs before submissions are rejected (HTTP 429)",
+    )
+    serve.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        help="per-job wall-clock budget in seconds (default: unlimited)",
+    )
+    serve.add_argument(
+        "--run-dir",
+        default=".repro-serve",
+        help="service state root: job ledger, shared report run dir "
+        "and (unless --cache-dir) the shared evaluation cache",
+    )
+    serve.add_argument(
+        "--cache-dir",
+        default=None,
+        help="shared persistent evaluation cache (default: RUN_DIR/cache)",
+    )
+
+    submit = sub.add_parser(
+        "submit", help="submit a search job to a running server"
+    )
+    _add_server_argument(submit)
+    submit.add_argument(
+        "--starts", nargs="*", help="e.g. --starts 4,2,2 1,2,1"
+    )
+    submit.add_argument(
+        "--n-starts",
+        type=int,
+        default=2,
+        help="deterministic start schedules when --starts is omitted",
+    )
+    submit.add_argument("--seed", type=int, default=2018, help="search seed")
+    submit.add_argument(
+        "--cores",
+        type=int,
+        default=1,
+        help="co-design over this many cores (1 = single-core search)",
+    )
+    submit.add_argument(
+        "--max-count-per-core",
+        type=int,
+        default=6,
+        help="burst-length cap per core for multicore jobs",
+    )
+    submit.add_argument(
+        "--shared-cache",
+        action="store_true",
+        help="way-partition one shared cache (needs --cores >= 2)",
+    )
+    submit.add_argument(
+        "--suite-size",
+        type=int,
+        default=None,
+        help="sweep a synthesized suite of this size instead of the "
+        "case study",
+    )
+    submit.add_argument(
+        "--no-resume",
+        action="store_true",
+        help="recompute even if the server holds a matching report",
+    )
+    submit.add_argument(
+        "--strategy",
+        default=None,
+        help="registered search strategy (validated by the server)",
+    )
+    submit.add_argument(
+        "--method", default=None, help=argparse.SUPPRESS
+    )
+    submit.add_argument(
+        "--eval-backend",
+        choices=("vectorized", "serial"),
+        default="vectorized",
+        help="candidate-batch evaluation backend on the server",
+    )
+    submit.add_argument(
+        "--json",
+        action="store_true",
+        help="print the submitted job record JSON instead of a summary",
+    )
+    _add_platform_arguments(submit)
+
+    status = sub.add_parser(
+        "status", help="job status from a running server"
+    )
+    status.add_argument(
+        "job", nargs="?", default=None, help="job id (omit to list all jobs)"
+    )
+    _add_server_argument(status)
+    status.add_argument(
+        "--json", action="store_true", help="print the record JSON"
+    )
+
+    watch = sub.add_parser(
+        "watch", help="stream a job's progress events until it finishes"
+    )
+    watch.add_argument("job", help="job id (see `python -m repro status`)")
+    _add_server_argument(watch)
+    watch.add_argument(
+        "--json",
+        action="store_true",
+        help="print the raw NDJSON wire messages instead of summaries",
+    )
+
     args = parser.parse_args(argv)
     command = {
         "info": cmd_info,
@@ -697,6 +1030,10 @@ def main(argv: list[str] | None = None) -> int:
         "timeline": cmd_timeline,
         "batch": cmd_batch,
         "multicore": cmd_multicore,
+        "serve": cmd_serve,
+        "submit": cmd_submit,
+        "status": cmd_status,
+        "watch": cmd_watch,
     }[args.command]
     try:
         command(args)
@@ -750,6 +1087,19 @@ def _add_search_arguments(parser: argparse.ArgumentParser) -> None:
         "'serial' keeps the per-candidate oracle loop; both produce "
         "bit-identical results (default: vectorized)",
     )
+    _add_platform_arguments(parser)
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="emit progress on stderr even when it is not a TTY "
+        "(in-place line on a TTY — the automatic default there — "
+        "one line per finished scenario / computed batch otherwise)",
+    )
+
+
+def _add_platform_arguments(parser: argparse.ArgumentParser) -> None:
+    """The platform flag set (shared by the search commands and
+    ``submit``, which ships them to the server as a fingerprint)."""
     parser.add_argument(
         "--wcet-model",
         default=None,
@@ -780,12 +1130,13 @@ def _add_search_arguments(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="processor clock in MHz (default: 20)",
     )
+
+
+def _add_server_argument(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
-        "--progress",
-        action="store_true",
-        help="emit progress on stderr even when it is not a TTY "
-        "(in-place line on a TTY — the automatic default there — "
-        "one line per finished scenario / computed batch otherwise)",
+        "--server",
+        default="http://127.0.0.1:8765",
+        help="base URL of the running `python -m repro serve`",
     )
 
 

@@ -42,3 +42,7 @@ class ScheduleError(ReproError):
 
 class SearchError(ReproError):
     """Schedule-space search failed (empty feasible space, bad start point)."""
+
+
+class ServeError(ReproError):
+    """Search-service failure (full queue, unknown job, draining server)."""

@@ -12,12 +12,20 @@ processes (e.g. two ``python -m repro batch`` runs pointed at the same
 ``--cache-dir``) can read and write the same cache concurrently: WAL
 lets readers proceed during a write, and writers that do collide wait
 out the lock instead of dying with "database is locked".
+
+Within one process the store is additionally *thread-safe*: the
+connection is opened with ``check_same_thread=False`` and every
+operation is serialized behind an internal lock, so one shared cache
+directory can serve engines running on different threads — the
+``repro serve`` job server drains its queue into executor threads that
+all warm-start from (and feed) the same evaluation cache.
 """
 
 from __future__ import annotations
 
 import json
 import sqlite3
+import threading
 import time
 from pathlib import Path
 
@@ -43,8 +51,12 @@ class PersistentCache:
                 "existing file; pass a directory path"
             ) from exc
         self.path = self.cache_dir / DB_FILENAME
+        # The lock (not SQLite's per-thread check) is what serializes
+        # cross-thread use: engines on serve's job threads may share one
+        # store object, and each operation below is a lock-held unit.
+        self._lock = threading.RLock()
         self._conn: sqlite3.Connection | None = sqlite3.connect(
-            str(self.path), timeout=BUSY_TIMEOUT_S
+            str(self.path), timeout=BUSY_TIMEOUT_S, check_same_thread=False
         )
         # WAL survives in the database file, but setting it is idempotent
         # and some filesystems silently refuse it — never assert the mode.
@@ -75,62 +87,75 @@ class PersistentCache:
 
     def get(self, key: str) -> dict | None:
         """The stored payload for ``key``, or ``None`` on a miss."""
-        row = self._connection().execute(
-            "SELECT payload FROM evaluations WHERE key = ?", (key,)
-        ).fetchone()
+        with self._lock:
+            row = self._connection().execute(
+                "SELECT payload FROM evaluations WHERE key = ?", (key,)
+            ).fetchone()
         if row is None:
             return None
         return json.loads(row[0])
 
     def put(self, key: str, payload: dict) -> None:
         """Store (or overwrite) the payload for ``key``."""
-        conn = self._connection()
-        conn.execute(
-            "INSERT OR REPLACE INTO evaluations (key, payload, created) "
-            "VALUES (?, ?, ?)",
-            (key, json.dumps(payload), time.time()),
-        )
-        conn.commit()
+        with self._lock:
+            conn = self._connection()
+            conn.execute(
+                "INSERT OR REPLACE INTO evaluations (key, payload, created) "
+                "VALUES (?, ?, ?)",
+                (key, json.dumps(payload), time.time()),
+            )
+            conn.commit()
 
     def put_many(self, entries: list[tuple[str, dict]]) -> None:
         """Store a batch of (key, payload) pairs in one transaction."""
-        conn = self._connection()
-        conn.executemany(
-            "INSERT OR REPLACE INTO evaluations (key, payload, created) "
-            "VALUES (?, ?, ?)",
-            [(key, json.dumps(payload), time.time()) for key, payload in entries],
-        )
-        conn.commit()
+        with self._lock:
+            conn = self._connection()
+            conn.executemany(
+                "INSERT OR REPLACE INTO evaluations (key, payload, created) "
+                "VALUES (?, ?, ?)",
+                [
+                    (key, json.dumps(payload), time.time())
+                    for key, payload in entries
+                ],
+            )
+            conn.commit()
 
     def __contains__(self, key: str) -> bool:
-        row = self._connection().execute(
-            "SELECT 1 FROM evaluations WHERE key = ?", (key,)
-        ).fetchone()
+        with self._lock:
+            row = self._connection().execute(
+                "SELECT 1 FROM evaluations WHERE key = ?", (key,)
+            ).fetchone()
         return row is not None
 
     def __len__(self) -> int:
-        return int(
-            self._connection().execute(
-                "SELECT COUNT(*) FROM evaluations"
-            ).fetchone()[0]
-        )
+        with self._lock:
+            return int(
+                self._connection().execute(
+                    "SELECT COUNT(*) FROM evaluations"
+                ).fetchone()[0]
+            )
 
     def keys(self) -> list[str]:
         """All stored keys (diagnostics / tests)."""
-        rows = self._connection().execute("SELECT key FROM evaluations").fetchall()
+        with self._lock:
+            rows = self._connection().execute(
+                "SELECT key FROM evaluations"
+            ).fetchall()
         return [row[0] for row in rows]
 
     def clear(self) -> None:
         """Drop every entry (keeps the file)."""
-        conn = self._connection()
-        conn.execute("DELETE FROM evaluations")
-        conn.commit()
+        with self._lock:
+            conn = self._connection()
+            conn.execute("DELETE FROM evaluations")
+            conn.commit()
 
     def close(self) -> None:
         """Close the underlying connection (idempotent)."""
-        if self._conn is not None:
-            self._conn.close()
-            self._conn = None
+        with self._lock:
+            if self._conn is not None:
+                self._conn.close()
+                self._conn = None
 
     def __enter__(self) -> "PersistentCache":
         return self

@@ -1,0 +1,53 @@
+"""Shared fixtures for the serve test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.study.report import RunReport
+
+
+@pytest.fixture(autouse=True)
+def quick_profile(monkeypatch):
+    """Server-side searches use the quick design budget."""
+    monkeypatch.setenv("REPRO_PROFILE", "quick")
+
+
+@pytest.fixture()
+def synthetic_report() -> RunReport:
+    """A small, fully-populated report for round-trip tests."""
+    return RunReport(
+        scenario="casestudy",
+        strategy="hybrid",
+        options={},
+        seed=2018,
+        n_starts=1,
+        starts=[[4, 2, 2]],
+        n_cores=1,
+        max_count_per_core=6,
+        platform={
+            "cache": {
+                "n_sets": 128,
+                "associativity": 1,
+                "line_size": 16,
+                "hit_cycles": 1,
+                "miss_cycles": 100,
+                "policy": "lru",
+            },
+            "clock_hz": 20e6,
+            "wcet_model": "static",
+        },
+        shared_cache=False,
+        n_apps=3,
+        problem="deadbeef",
+        n_space=77,
+        backend="vectorized",
+        engine_stats={"n_computed": 5, "n_requested": 9},
+        best_schedule=[4, 2, 2],
+        cores=None,
+        overall=0.61,
+        feasible=True,
+        apps=[{"name": "C1", "settling": 0.01, "performance": 0.2}],
+        wall_time=1.25,
+        created_at=1700000000.0,
+    )

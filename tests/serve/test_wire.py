@@ -1,0 +1,171 @@
+"""Wire-format round trips: events, messages, NDJSON/SSE framing."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sched.engine.events import BatchCompleted, BatchSubmitted, EngineEvent
+from repro.serve.wire import (
+    TERMINAL_STATES,
+    EventMessage,
+    StatusMessage,
+    decode_event,
+    decode_message,
+    format_ndjson,
+    format_sse,
+)
+from repro.study.events import (
+    ScenarioFinished,
+    ScenarioProgress,
+    ScenarioResumed,
+    ScenarioStarted,
+    StudyEvent,
+)
+
+
+def _engine_events():
+    return [
+        BatchSubmitted(n_batch=3, n_requested=5),
+        BatchCompleted(
+            n_batch=3,
+            n_requested=5,
+            n_memo_hits=1,
+            n_disk_hits=1,
+            n_duplicates=0,
+            n_computed=3,
+            best_overall=0.42,
+        ),
+        BatchCompleted(
+            n_batch=1,
+            n_requested=6,
+            n_memo_hits=2,
+            n_disk_hits=1,
+            n_duplicates=0,
+            n_computed=3,
+            best_overall=None,
+        ),
+    ]
+
+
+def _study_events(report):
+    common = dict(index=0, n_scenarios=2, scenario="casestudy")
+    return [
+        ScenarioStarted(strategy="hybrid", n_cores=1, **common),
+        ScenarioProgress(engine=_engine_events()[1], **common),
+        ScenarioResumed(report=report, **common),
+        ScenarioFinished(
+            report=report,
+            wall_time=1.5,
+            n_computed_total=7,
+            throughput=4.7,
+            **common,
+        ),
+        ScenarioFinished(
+            report=report,
+            wall_time=0.0,
+            n_computed_total=0,
+            throughput=None,
+            **common,
+        ),
+    ]
+
+
+class TestEngineEventRoundTrip:
+    def test_json_identity(self):
+        for event in _engine_events():
+            assert EngineEvent.from_json(event.to_json()) == event
+
+    def test_dict_carries_class_tag(self):
+        data = _engine_events()[0].to_dict()
+        assert data["event"] == "BatchSubmitted"
+        assert data["n_batch"] == 3
+
+    def test_unknown_event_name_lists_known(self):
+        with pytest.raises(ConfigurationError) as exc:
+            EngineEvent.from_dict({"event": "BatchExploded"})
+        assert "BatchExploded" in str(exc.value)
+        assert "BatchCompleted" in str(exc.value)
+
+    def test_malformed_payload_fails(self):
+        with pytest.raises(ConfigurationError):
+            EngineEvent.from_dict({"event": "BatchSubmitted", "bogus": 1})
+        with pytest.raises(ConfigurationError):
+            EngineEvent.from_dict([1, 2])
+
+
+class TestStudyEventRoundTrip:
+    def test_json_identity(self, synthetic_report):
+        for event in _study_events(synthetic_report):
+            assert StudyEvent.from_json(event.to_json()) == event
+
+    def test_nested_engine_event_keeps_its_tag(self, synthetic_report):
+        progress = _study_events(synthetic_report)[1]
+        data = progress.to_dict()
+        assert data["event"] == "ScenarioProgress"
+        assert data["engine"]["event"] == "BatchCompleted"
+        rebuilt = StudyEvent.from_dict(data)
+        assert isinstance(rebuilt, ScenarioProgress)
+        assert isinstance(rebuilt.engine, BatchCompleted)
+
+    def test_nested_report_round_trips(self, synthetic_report):
+        finished = _study_events(synthetic_report)[3]
+        rebuilt = StudyEvent.from_json(finished.to_json())
+        assert rebuilt.report == synthetic_report
+
+    def test_unknown_event_name_lists_known(self):
+        with pytest.raises(ConfigurationError) as exc:
+            StudyEvent.from_dict({"event": "ScenarioImploded"})
+        assert "ScenarioFinished" in str(exc.value)
+
+
+class TestMessages:
+    def test_event_message_round_trip(self, synthetic_report):
+        for event in _study_events(synthetic_report) + _engine_events():
+            message = EventMessage(job="job-000001", seq=4, event=event)
+            assert decode_message(json.loads(message.to_json())) == message
+
+    def test_status_message_round_trip(self):
+        for state, error in [("queued", None), ("failed", "boom")]:
+            message = StatusMessage(
+                job="job-000002", seq=0, state=state, error=error, at=12.5
+            )
+            assert decode_message(json.loads(message.to_json())) == message
+
+    def test_unknown_message_type_fails(self):
+        with pytest.raises(ConfigurationError) as exc:
+            decode_message({"type": "gossip"})
+        assert "gossip" in str(exc.value)
+
+    def test_malformed_message_fails(self):
+        with pytest.raises(ConfigurationError):
+            decode_message({"type": "status", "job": "x"})  # missing fields
+        with pytest.raises(ConfigurationError):
+            decode_message("not an object")
+
+    def test_decode_event_covers_both_registries(self):
+        engine = _engine_events()[0]
+        assert decode_event(engine.to_dict()) == engine
+        with pytest.raises(ConfigurationError) as exc:
+            decode_event({"event": "Nope"})
+        assert "ScenarioStarted" in str(exc.value)
+        assert "BatchSubmitted" in str(exc.value)
+
+    def test_terminal_states(self):
+        assert TERMINAL_STATES == {"done", "failed"}
+
+
+class TestFraming:
+    def test_ndjson_is_one_line(self):
+        line = format_ndjson({"type": "status", "state": "done"})
+        assert line.endswith("\n")
+        assert line.count("\n") == 1
+        assert json.loads(line) == {"type": "status", "state": "done"}
+
+    def test_sse_frame_shape(self):
+        frame = format_sse({"type": "event", "seq": 1})
+        assert frame.startswith("event: event\n")
+        assert "\ndata: " in frame
+        assert frame.endswith("\n\n")
+        payload = frame.split("data: ", 1)[1].strip()
+        assert json.loads(payload) == {"type": "event", "seq": 1}

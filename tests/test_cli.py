@@ -235,3 +235,111 @@ class TestCli:
         assert warm.engine_stats["n_computed"] == 0
         assert warm.cores == report.cores
         assert warm.overall == report.overall
+
+
+class TestServeCli:
+    """The serve/submit/status/watch subcommands (server on a thread)."""
+
+    def test_serve_help_documents_the_service(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["serve", "--help"])
+        assert exc.value.code == 0
+        out = capsys.readouterr().out
+        for flag in ("--host", "--port", "--jobs", "--workers",
+                     "--queue-size", "--job-timeout", "--run-dir",
+                     "--cache-dir"):
+            assert flag in out
+
+    def test_submit_status_watch_help(self, capsys):
+        for command in ("submit", "status", "watch"):
+            with pytest.raises(SystemExit) as exc:
+                main([command, "--help"])
+            assert exc.value.code == 0
+            assert "--server" in capsys.readouterr().out
+
+    def test_submit_unreachable_server_exits_2(self, capsys):
+        assert main(
+            ["submit", "--server", "http://127.0.0.1:1", "--strategy", "hybrid"]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "cannot reach" in err and "127.0.0.1:1" in err
+
+    def test_submit_unknown_strategy_fails_over_http(self, capsys, tmp_path):
+        from repro.serve.testing import ServerThread
+
+        with ServerThread(run_dir=tmp_path / "serve") as server:
+            code = main(
+                ["submit", "--server", server.url, "--strategy", "anealing"]
+            )
+        assert code == 2
+        err = capsys.readouterr().err
+        # The server's 400 carries the registry-naming ConfigurationError
+        # message, so the CLI fails exactly like a direct run would.
+        assert "anealing" in err
+        assert "annealing" in err and "exhaustive" in err
+
+    @pytest.mark.slow
+    def test_submit_watch_status_full_loop(self, capsys, tmp_path):
+        from repro.serve.testing import ServerThread
+
+        with ServerThread(run_dir=tmp_path / "serve") as server:
+            assert main(
+                ["submit", "--server", server.url, "--strategy", "hybrid",
+                 "--starts", "4,2,2", "--n-starts", "1", "--json"]
+            ) == 0
+            record = json.loads(capsys.readouterr().out)
+            job_id = record["id"]
+            assert record["state"] == "queued"
+            assert record["spec"]["strategy"] == "hybrid"
+
+            assert main(["watch", job_id, "--server", server.url, "--json"]) == 0
+            lines = [
+                json.loads(line)
+                for line in capsys.readouterr().out.splitlines()
+                if line.strip()
+            ]
+            assert lines[0]["type"] == "status" and lines[0]["state"] == "queued"
+            assert lines[-1]["type"] == "status" and lines[-1]["state"] == "done"
+            assert any(line["type"] == "event" for line in lines)
+
+            assert main(["status", job_id, "--server", server.url, "--json"]) == 0
+            final = json.loads(capsys.readouterr().out)
+            assert final["state"] == "done"
+            [report] = final["reports"]
+            assert RunReport.from_dict(report).feasible
+
+            # Human-readable forms render too.
+            assert main(["status", job_id, "--server", server.url]) == 0
+            out = capsys.readouterr().out
+            assert job_id in out and "P_all" in out
+            assert main(["status", "--server", server.url]) == 0
+            out = capsys.readouterr().out
+            assert job_id in out and "done" in out
+            assert main(["watch", job_id, "--server", server.url]) == 0
+            out = capsys.readouterr().out
+            assert "finished" in out or "resumed" in out
+
+    @pytest.mark.slow
+    def test_watch_failed_job_exits_2(self, capsys, tmp_path):
+        from repro.serve.testing import ServerThread
+
+        with ServerThread(
+            run_dir=tmp_path / "serve", job_timeout=0.001
+        ) as server:
+            assert main(
+                ["submit", "--server", server.url, "--strategy", "hybrid",
+                 "--starts", "4,2,2", "--json"]
+            ) == 0
+            job_id = json.loads(capsys.readouterr().out)["id"]
+            assert main(["watch", job_id, "--server", server.url]) == 2
+        err = capsys.readouterr().err
+        assert "failed" in err and "timeout" in err
+
+    def test_status_unknown_job_exits_2(self, capsys, tmp_path):
+        from repro.serve.testing import ServerThread
+
+        with ServerThread(run_dir=tmp_path / "serve") as server:
+            assert main(
+                ["status", "job-999999", "--server", server.url]
+            ) == 2
+        assert "job-999999" in capsys.readouterr().err
