@@ -1,0 +1,141 @@
+"""Benchmark — heuristic partition allocators vs exhaustive enumeration.
+
+Gates the two claims the allocator registry exists for:
+
+* **zero optimality gap at small N** — on the 3-app/2-core case study
+  (where exhaustive enumeration is cheap ground truth), the ``greedy``
+  and ``scored`` heuristics must find the *same* optimum: identical
+  overall performance, bit-for-bit.  Small problems are exactly where
+  a heuristic silently going wrong would poison every larger run.
+* **>= 10x fewer partitions at 8 cores** — replicating the case study
+  to 8 applications on 8 cores, exhaustive enumeration faces the Bell
+  number B(8) = 4140 partitions; a heuristic allocator must reach a
+  feasible co-design while streaming at most a tenth of that.  The
+  gate is on partition counts, not wall time, so it is deterministic
+  on any machine.
+
+Run:  python -m pytest benchmarks/bench_allocators.py -s -q
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.multicore import MulticoreProblem, enumerate_partitions, replicate_apps
+
+#: Burst cap per core: keeps the per-block schedule spaces small so the
+#: benchmark measures partition streaming, not schedule enumeration.
+MAX_COUNT = 3
+#: Many-core configuration of the speedup gate.
+MANY_APPS = 8
+MANY_CORES = 8
+#: Burst cap of the many-core run (single-app blocks everywhere).
+MANY_MAX_COUNT = 2
+#: Partition-count speedup the heuristics must deliver at 8 cores.
+MIN_SPEEDUP = 10.0
+
+
+def _optimize(apps, clock, n_cores, design_options, allocator, max_count):
+    problem = MulticoreProblem(
+        apps,
+        clock,
+        n_cores=n_cores,
+        design_options=design_options,
+        max_count_per_core=max_count,
+        allocator=allocator,
+    )
+    started = time.perf_counter()
+    result = problem.optimize()
+    elapsed = time.perf_counter() - started
+    return result, elapsed
+
+
+def test_heuristics_match_exhaustive_optimum(
+    case_study, design_options, bench_json
+):
+    """Zero optimality gap on the 2-core ground-truth problem."""
+    results = {}
+    for allocator in ("exhaustive", "greedy", "scored"):
+        result, elapsed = _optimize(
+            case_study.apps,
+            case_study.clock,
+            2,
+            design_options,
+            allocator,
+            MAX_COUNT,
+        )
+        results[allocator] = result
+        print(
+            f"{allocator:>10}: P_all = {result.overall:.6f} over "
+            f"{result.n_partitions} partition(s) in {elapsed:.2f} s"
+        )
+    exhaustive = results["exhaustive"]
+    assert exhaustive.feasible
+    for allocator in ("greedy", "scored"):
+        assert results[allocator].overall == exhaustive.overall, (
+            f"{allocator} missed the 2-core optimum: "
+            f"{results[allocator].overall!r} != {exhaustive.overall!r}"
+        )
+    bench_json(
+        "allocators_gap",
+        {
+            "n_apps": len(case_study.apps),
+            "n_cores": 2,
+            "overall": {
+                name: result.overall for name, result in results.items()
+            },
+            "n_partitions": {
+                name: result.n_partitions for name, result in results.items()
+            },
+            "gap": {
+                name: exhaustive.overall - results[name].overall
+                for name in ("greedy", "scored")
+            },
+        },
+    )
+
+
+def test_heuristics_stream_fraction_of_partitions_at_8_cores(
+    case_study, design_options, bench_json
+):
+    """>= 10x fewer partitions than exhaustive on the many-core run."""
+    apps = replicate_apps(case_study.apps, MANY_APPS)
+    exhaustive_count = sum(1 for _ in enumerate_partitions(MANY_APPS, MANY_CORES))
+    assert exhaustive_count == 4140  # Bell(8): the ground-truth workload
+
+    record: dict = {
+        "n_apps": MANY_APPS,
+        "n_cores": MANY_CORES,
+        "exhaustive_partitions": exhaustive_count,
+        "allocators": {},
+    }
+    print(f"\n{MANY_APPS} apps / {MANY_CORES} cores: exhaustive would "
+          f"enumerate {exhaustive_count} partitions")
+    for allocator in ("greedy", "scored"):
+        result, elapsed = _optimize(
+            apps,
+            case_study.clock,
+            MANY_CORES,
+            design_options,
+            allocator,
+            MANY_MAX_COUNT,
+        )
+        assert result.feasible, f"{allocator} found no feasible co-design"
+        speedup = exhaustive_count / result.n_partitions
+        print(
+            f"{allocator:>10}: {result.n_partitions} partition(s) "
+            f"({speedup:.1f}x fewer), P_all = {result.overall:.4f}, "
+            f"{elapsed:.2f} s"
+        )
+        record["allocators"][allocator] = {
+            "n_partitions": result.n_partitions,
+            "speedup": speedup,
+            "overall": result.overall,
+            "seconds": elapsed,
+        }
+        assert speedup >= MIN_SPEEDUP, (
+            f"{allocator} streamed {result.n_partitions} of "
+            f"{exhaustive_count} partitions: only {speedup:.1f}x fewer "
+            f"(need >= {MIN_SPEEDUP:.0f}x)"
+        )
+    bench_json("allocators_speedup", record)

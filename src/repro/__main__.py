@@ -8,6 +8,8 @@ Commands
     Evaluate one periodic schedule (timing, per-app settling, P_all).
 ``strategies``
     List the registered search strategies (the strategy registry).
+``allocators``
+    List the registered partition allocators (the allocator registry).
 ``models``
     List the registered WCET models (the platform registry).
 ``experiments``
@@ -35,7 +37,11 @@ Commands
     Partition the case study across cores and jointly optimize the
     partition and the per-core schedules — private caches by default,
     or one way-partitioned shared cache with ``--shared-cache`` (the
-    way allocation is then co-optimized too).
+    way allocation is then co-optimized too).  ``--allocator`` picks a
+    registered partition allocator (``exhaustive`` ground truth, or
+    the ``greedy``/``scored`` heuristics for many cores); ``--apps N``
+    replicates the case-study workload so ``--cores`` can exceed the
+    three paper applications.
 ``serve [--host --port --jobs --workers --queue-size --run-dir]``
     Run the search service: a long-lived asyncio HTTP job queue over
     the same ``Study`` machinery, with one shared persistent
@@ -173,6 +179,35 @@ def cmd_strategies(_args: argparse.Namespace) -> None:
     )
     print(
         "\nregister your own with @repro.sched.strategies.register_strategy"
+    )
+
+
+def cmd_allocators(_args: argparse.Namespace) -> None:
+    from .multicore.allocators import (
+        allocator_description,
+        available_allocators,
+        get_allocator,
+    )
+
+    rows = []
+    for name in available_allocators():
+        allocator = get_allocator(name)
+        rows.append(
+            [
+                name,
+                allocator.options_type.__name__,
+                allocator_description(allocator),
+            ]
+        )
+    print(
+        render_table(
+            ["allocator", "options", "description"],
+            rows,
+            title="registered partition allocators",
+        )
+    )
+    print(
+        "\nregister your own with @repro.multicore.register_allocator"
     )
 
 
@@ -470,6 +505,7 @@ def cmd_batch(args: argparse.Namespace) -> None:
         platform=_platform_from_args(args, shared=args.shared_cache),
         jitter_platform=args.jitter_platform,
         shared_cache=args.shared_cache,
+        allocator=args.allocator,
         engine_options=_engine_options(args),
         run_dir=args.run_dir,
     )
@@ -519,6 +555,8 @@ def cmd_multicore(args: argparse.Namespace) -> None:
         max_count_per_core=args.max_count_per_core,
         platform=_platform_from_args(args, shared=args.shared_cache),
         shared_cache=args.shared_cache,
+        allocator=args.allocator,
+        n_apps=args.apps,
         engine_options=_engine_options(args),
         run_dir=args.run_dir,
     )
@@ -562,6 +600,14 @@ def cmd_multicore(args: argparse.Namespace) -> None:
         )
     )
     print(f"\nP_all = {report.overall:.4f}  cores used: {len(cores)}")
+    if report.allocator is not None:
+        n_partitions = report.search_stats.get("n_partitions")
+        streamed = (
+            f" ({n_partitions} partition(s) evaluated)"
+            if n_partitions
+            else ""
+        )
+        print(f"allocator: {report.allocator}{streamed}")
     stats = report.engine_stats
     print(
         f"engine: {stats['n_requested']} requested = "
@@ -617,6 +663,7 @@ def _submit_spec(args: argparse.Namespace):
         n_cores=args.cores,
         max_count_per_core=args.max_count_per_core,
         shared_cache=args.shared_cache,
+        allocator=args.allocator,
         suite_size=args.suite_size if args.suite_size is not None else 4,
         platform=platform.fingerprint() if platform is not None else None,
         eval_backend=args.eval_backend,
@@ -780,6 +827,8 @@ def main(argv: list[str] | None = None) -> int:
 
     sub.add_parser("strategies", help="list registered search strategies")
 
+    sub.add_parser("allocators", help="list registered partition allocators")
+
     sub.add_parser("models", help="list registered WCET models")
 
     sub.add_parser("experiments", help="list registered experiments")
@@ -863,6 +912,7 @@ def main(argv: list[str] | None = None) -> int:
         help="multicore scenarios way-partition one shared cache "
         "(needs --cores >= 2)",
     )
+    _add_allocator_argument(batch)
     _add_search_arguments(batch)
 
     multicore = sub.add_parser(
@@ -885,6 +935,15 @@ def main(argv: list[str] | None = None) -> int:
         "is co-optimized with the partition (default geometry: 32 sets "
         "x 4 ways, the paper capacity)",
     )
+    multicore.add_argument(
+        "--apps",
+        type=int,
+        default=None,
+        help="replicate the case-study workload to this many applications "
+        "(round-robin copies, re-normalized weights) so --cores can "
+        "exceed the three paper applications",
+    )
+    _add_allocator_argument(multicore)
     _add_search_arguments(multicore)
 
     serve = sub.add_parser(
@@ -962,6 +1021,7 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="way-partition one shared cache (needs --cores >= 2)",
     )
+    _add_allocator_argument(submit)
     submit.add_argument(
         "--suite-size",
         type=int,
@@ -1022,6 +1082,7 @@ def main(argv: list[str] | None = None) -> int:
         "info": cmd_info,
         "evaluate": cmd_evaluate,
         "strategies": cmd_strategies,
+        "allocators": cmd_allocators,
         "models": cmd_models,
         "experiments": cmd_experiments,
         "lint": cmd_lint,
@@ -1129,6 +1190,15 @@ def _add_platform_arguments(parser: argparse.ArgumentParser) -> None:
         type=float,
         default=None,
         help="processor clock in MHz (default: 20)",
+    )
+
+
+def _add_allocator_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--allocator",
+        default=None,
+        help="registered partition allocator for multicore co-designs "
+        "(see `python -m repro allocators`); default: exhaustive",
     )
 
 

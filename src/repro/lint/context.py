@@ -77,7 +77,7 @@ class LintConfig:
         "Platform",
         "CacheConfig",
     )
-    determinism_dirs: tuple[str, ...] = ("control", "wcet", "sched")
+    determinism_dirs: tuple[str, ...] = ("control", "wcet", "sched", "multicore")
     determinism_allowed: tuple[tuple[str, str], ...] = (
         # EngineStats / RunReport wall times: observability only.
         ("sched/engine/batch.py", "time.perf_counter"),

@@ -1,8 +1,8 @@
 """RPL003 — registry contracts.
 
-The repo's extensibility story is four look-alike registries (search
-strategies, WCET models, experiments, lint checkers), each with the
-same two promises:
+The repo's extensibility story is five look-alike registries (search
+strategies, WCET models, experiments, lint checkers, partition
+allocators), each with the same two promises:
 
 1. a registered plugin structurally satisfies its protocol, so it
    fails at *registration*, not deep inside a study run;
@@ -47,6 +47,7 @@ CONTRACTS: dict[str, Contract] = {
     "register_wcet_model": Contract(("name",), ("analyze",)),
     "register_experiment": Contract(("name", "supports_out"), ("build", "render")),
     "register_checker": Contract(("name", "code"), ("check",)),
+    "register_allocator": Contract(("name", "options_type"), ("partitions",)),
 }
 
 _BAD_RAISES = {"ValueError", "KeyError", "LookupError", "IndexError"}

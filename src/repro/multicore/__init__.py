@@ -13,8 +13,27 @@ set-associative cache (after Sun et al.'s cache-partitioning /
 task-scheduling co-optimization): each core gets a slice of the ways,
 WCETs are re-analyzed per slice, and the sweep jointly optimizes
 partition × way allocation × per-core schedules.
+
+Which partitions the sweep evaluates is pluggable: *partition
+allocators* (:mod:`repro.multicore.allocators`, the fifth registry)
+stream partitions lazily — ``exhaustive`` reproduces the paper's full
+sweep, ``greedy`` and ``scored`` are cache-sensitivity-aware heuristics
+that scale the co-design to many-core problems.
 """
 
+from .allocators import (
+    AllocationProblem,
+    PartitionAllocator,
+    allocation_problem,
+    available_allocators,
+    canonical_partition,
+    check_partition,
+    get_allocator,
+    partition_neighbors,
+    register_allocator,
+    replicate_apps,
+    unregister_allocator,
+)
 from .partition import (
     BlockSearchEngine,
     CoreAssignment,
@@ -25,10 +44,21 @@ from .partition import (
 )
 
 __all__ = [
+    "AllocationProblem",
     "BlockSearchEngine",
     "CoreAssignment",
     "MulticoreEvaluation",
     "MulticoreProblem",
+    "PartitionAllocator",
+    "allocation_problem",
+    "available_allocators",
+    "canonical_partition",
+    "check_partition",
     "enumerate_partitions",
+    "get_allocator",
+    "partition_neighbors",
+    "register_allocator",
+    "replicate_apps",
+    "unregister_allocator",
     "way_allocations",
 ]

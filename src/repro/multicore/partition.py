@@ -36,6 +36,7 @@ Two multicore models are supported:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from itertools import islice
 from pathlib import Path
 from typing import Iterator
 
@@ -49,6 +50,12 @@ from ..sched.feasibility import enumerate_idle_feasible, idle_feasible
 from ..sched.schedule import PeriodicSchedule
 from ..sched.strategies import StrategySpec, get_strategy
 from ..units import Clock
+
+#: How many partitions one lazily-drawn chunk of the sweep scores at
+#: once.  Large enough that small problems (the 2-core case study) still
+#: fan out as a single engine batch; small enough that even an
+#: exhaustive many-core stream never materializes.
+PARTITION_CHUNK = 64
 
 
 class BlockSearchEngine:
@@ -110,13 +117,19 @@ class CoreAssignment:
 
 @dataclass
 class MulticoreEvaluation:
-    """Outcome of evaluating one partition + per-core schedules."""
+    """Outcome of evaluating one partition + per-core schedules.
+
+    ``n_partitions`` counts the partitions the sweep actually drew from
+    its allocator — under heuristic allocators this is the denominator
+    of the speedup over the exhaustive partition count.
+    """
 
     cores: tuple[CoreAssignment, ...]
     settling: dict[int, float]
     performances: dict[int, float]
     overall: float
     feasible: bool
+    n_partitions: int = 0
 
     @property
     def n_cores_used(self) -> int:
@@ -184,8 +197,12 @@ class MulticoreProblem:
     least as many ways as cores that could be used
     (``min(n_cores, len(apps))``).
 
-    ``on_event`` receives the shared engine's typed progress events
-    (:mod:`repro.sched.engine.events`) while the sweep runs.
+    ``allocator`` names the registered partition allocator the sweep
+    draws its partitions from (default ``"exhaustive"``; see
+    :mod:`repro.multicore.allocators`), ``allocator_options`` its
+    options dataclass.  ``on_event`` receives the shared engine's typed
+    progress events (:mod:`repro.sched.engine.events`) while the sweep
+    runs.
     """
 
     def __init__(
@@ -201,9 +218,19 @@ class MulticoreProblem:
         shared_cache: bool = False,
         on_event=None,
         eval_backend: str = "vectorized",
+        allocator: str | None = None,
+        allocator_options: object | None = None,
     ) -> None:
+        from .allocators import get_allocator, resolve_allocator_options
+
         if n_cores < 1:
-            raise ScheduleError(f"need at least one core, got {n_cores}")
+            raise ConfigurationError(f"need at least one core, got {n_cores}")
+        if n_cores > len(apps):
+            raise ConfigurationError(
+                f"{n_cores} cores for {len(apps)} applications: every extra "
+                "core beyond n_apps can only stay empty, so n_cores must be "
+                f"between 1 and {len(apps)}"
+            )
         if max_count_per_core < 1:
             raise ScheduleError(
                 f"max_count_per_core must be >= 1, got {max_count_per_core}"
@@ -213,6 +240,11 @@ class MulticoreProblem:
         self.n_cores = n_cores
         self.design_options = design_options or DesignOptions()
         self.shared_cache = bool(shared_cache)
+        self.allocator_name = allocator or "exhaustive"
+        self.allocator = get_allocator(self.allocator_name)
+        self.allocator_options = resolve_allocator_options(
+            self.allocator, allocator_options
+        )
         # A lone application on a core never violates its idle bound
         # (Delta = 0), so its schedule space is unbounded; burst lengths
         # are capped where the cache-reuse benefit has long saturated.
@@ -410,86 +442,148 @@ class MulticoreProblem:
         over every allocation of the cache's ways to its cores, so the
         result jointly optimizes partition, way allocation and per-core
         schedules.
+
+        Partitions are drawn lazily from the problem's *allocator*
+        (``MulticoreProblem(allocator=...)``) in chunks of
+        :data:`PARTITION_CHUNK`, so memory stays flat even under the
+        ``exhaustive`` allocator; heuristic allocators with a
+        ``patience`` option additionally stop the sweep after that many
+        consecutively non-improving partitions.
         """
+        from .allocators import allocation_problem, check_partition
+
         strat = get_strategy(strategy)
-        partitions = list(
-            enumerate_partitions(len(self.apps), self.n_cores)
+        stream = self.allocator.partitions(
+            allocation_problem(self.apps, self.platform, self.n_cores),
+            self.allocator_options,
         )
-        if self.shared_cache:
-            candidates = [
-                (partition, alloc)
-                for partition in partitions
-                for alloc in way_allocations(self.total_ways, len(partition))
+        full_space = bool(getattr(strat, "evaluates_full_space", False))
+        covers_all = bool(getattr(self.allocator, "exhaustive", False))
+        patience = 0 if covers_all else int(
+            getattr(self.allocator_options, "patience", 0) or 0
+        )
+
+        best: MulticoreEvaluation | None = None
+        best_per_block: dict[
+            tuple[tuple[int, ...], int | None],
+            tuple[float, ScheduleEvaluation] | None,
+        ] = {}
+        n_partitions = 0
+        since_improved = 0
+        stopped = False
+        while not stopped:
+            chunk = [
+                check_partition(partition, len(self.apps), self.n_cores)
+                for partition in islice(stream, PARTITION_CHUNK)
             ]
-        else:
-            candidates = [
-                (partition, (None,) * len(partition)) for partition in partitions
-            ]
-        if not candidates:
+            if not chunk:
+                break
+            self._evaluate_chunk_blocks(
+                chunk, strat, n_starts, seed, options, best_per_block, full_space
+            )
+            for partition in chunk:
+                n_partitions += 1
+                improved = False
+                for alloc in self._allocations_for(partition):
+                    candidate = self._score_candidate(
+                        partition, alloc, best_per_block
+                    )
+                    if candidate is None:
+                        continue
+                    if best is None or candidate.overall > best.overall:
+                        best = candidate
+                        improved = True
+                since_improved = 0 if improved else since_improved + 1
+                if patience and since_improved >= patience and best is not None:
+                    stopped = True
+                    break
+        if best is None:
             raise SearchError("no feasible multicore assignment exists")
+        best.n_partitions = n_partitions
+        return best
 
-        blocks: list[tuple[tuple[int, ...], int | None]] = []
-        seen: set[tuple[tuple[int, ...], int | None]] = set()
-        for partition, alloc in candidates:
-            for block, ways in zip(partition, alloc):
-                if (block, ways) not in seen:
-                    seen.add((block, ways))
-                    blocks.append((block, ways))
+    def _allocations_for(
+        self, partition: tuple[tuple[int, ...], ...]
+    ) -> Iterator[tuple[int | None, ...]]:
+        """A partition's way-allocation sweep (a fresh lazy iterator)."""
+        if self.shared_cache:
+            return way_allocations(self.total_ways, len(partition))
+        return iter(((None,) * len(partition),))
 
-        if getattr(strat, "evaluates_full_space", False):
+    def _evaluate_chunk_blocks(
+        self,
+        chunk: list[tuple[tuple[int, ...], ...]],
+        strat,
+        n_starts: int,
+        seed: int,
+        options: object | None,
+        best_per_block: dict,
+        full_space: bool,
+    ) -> None:
+        """Solve the chunk's not-yet-seen blocks into ``best_per_block``.
+
+        Full-space strategies batch every new block's complete schedule
+        space through the engine as *one* submission (so a small sweep
+        still fans out as a single batch, exactly as before); other
+        strategies run per block through a :class:`BlockSearchEngine`.
+        """
+        new_blocks: list[tuple[tuple[int, ...], int | None]] = []
+        pending: set[tuple[tuple[int, ...], int | None]] = set()
+        for partition in chunk:
+            for alloc in self._allocations_for(partition):
+                for block, ways in zip(partition, alloc):
+                    key = (block, ways)
+                    if key not in best_per_block and key not in pending:
+                        pending.add(key)
+                        new_blocks.append(key)
+        if not new_blocks:
+            return
+        if full_space:
             pairs = [
                 (Block(block, ways), schedule)
-                for block, ways in blocks
+                for block, ways in new_blocks
                 for schedule in self.core_schedule_space(block, ways)
             ]
             evaluations = self.engine.evaluate_pairs(pairs)
-
-            per_block: dict[tuple[tuple[int, ...], int | None], list[ScheduleEvaluation]] = {
-                key: [] for key in blocks
-            }
+            per_block: dict[
+                tuple[tuple[int, ...], int | None], list[ScheduleEvaluation]
+            ] = {key: [] for key in new_blocks}
             for (spec, _schedule), evaluation in zip(pairs, evaluations):
                 per_block[(spec.indices, spec.ways)].append(evaluation)
-            best_per_block = {
-                key: self._best_in_block(key[0], results)
-                for key, results in per_block.items()
-            }
+            for key, results in per_block.items():
+                best_per_block[key] = self._best_in_block(key[0], results)
         else:
-            best_per_block = {
-                (block, ways): self._search_block(
+            for block, ways in new_blocks:
+                best_per_block[(block, ways)] = self._search_block(
                     strat, block, n_starts, seed, options, ways=ways
                 )
-                for block, ways in blocks
-            }
 
-        best: MulticoreEvaluation | None = None
-        for partition, alloc in candidates:
-            cores = []
-            settling: dict[int, float] = {}
-            performances: dict[int, float] = {}
-            overall = 0.0
-            feasible = True
-            for block, ways in zip(partition, alloc):
-                block_best = best_per_block[(block, ways)]
-                if block_best is None:
-                    feasible = False
-                    break
-                value, evaluation = block_best
-                cores.append(CoreAssignment(block, evaluation.schedule, ways=ways))
-                for global_index, app_eval in zip(block, evaluation.apps):
-                    settling[global_index] = app_eval.settling
-                    performances[global_index] = app_eval.performance
-                overall += value
-            if not feasible:
-                continue
-            candidate = MulticoreEvaluation(
-                cores=tuple(cores),
-                settling=settling,
-                performances=performances,
-                overall=overall,
-                feasible=True,
-            )
-            if best is None or candidate.overall > best.overall:
-                best = candidate
-        if best is None:
-            raise SearchError("no feasible multicore assignment exists")
-        return best
+    def _score_candidate(
+        self,
+        partition: tuple[tuple[int, ...], ...],
+        alloc: tuple[int | None, ...],
+        best_per_block: dict,
+    ) -> MulticoreEvaluation | None:
+        """Recombine one (partition, way allocation) from the per-block
+        optima; ``None`` when any core is infeasible."""
+        cores = []
+        settling: dict[int, float] = {}
+        performances: dict[int, float] = {}
+        overall = 0.0
+        for block, ways in zip(partition, alloc):
+            block_best = best_per_block[(block, ways)]
+            if block_best is None:
+                return None
+            value, evaluation = block_best
+            cores.append(CoreAssignment(block, evaluation.schedule, ways=ways))
+            for global_index, app_eval in zip(block, evaluation.apps):
+                settling[global_index] = app_eval.settling
+                performances[global_index] = app_eval.performance
+            overall += value
+        return MulticoreEvaluation(
+            cores=tuple(cores),
+            settling=settling,
+            performances=performances,
+            overall=overall,
+            feasible=True,
+        )

@@ -25,7 +25,7 @@ The subsystem behind ``--workers`` / ``--cache-dir``:
   :mod:`repro.apps`, which itself builds on :mod:`repro.sched`).
 """
 
-from .backends import ProcessPoolBackend, SerialBackend
+from .backends import AffinityRouter, ProcessPoolBackend, SerialBackend
 from .engine import EngineOptions, EngineStats, SearchEngine
 from .events import BatchCompleted, BatchSubmitted, EngineEvent
 from .keys import (
@@ -39,6 +39,7 @@ from .serialize import evaluation_from_dict, evaluation_to_dict
 from .store import PersistentCache
 
 __all__ = [
+    "AffinityRouter",
     "BatchCompleted",
     "BatchSubmitted",
     "Block",

@@ -21,11 +21,71 @@ serial run with either backend, just sooner.
 
 from __future__ import annotations
 
+import zlib
 from concurrent.futures import ProcessPoolExecutor
 
 from ...errors import SearchError
 from ..evaluator import ScheduleEvaluation, ScheduleEvaluator
 from ..schedule import PeriodicSchedule
+
+
+class AffinityRouter:
+    """Deterministic digest-keyed chunk routing with fair-share stealing.
+
+    Worker processes keep per-block evaluators (and their design memos)
+    alive across tasks, so a chunk of evaluations is cheapest on the
+    worker that already computed for the same sub-problem.  The router
+    pins every chunk to its *home* worker — a stable hash of the
+    sub-problem digest — unless that worker's planned share of the
+    batch is already full and another worker is idler, in which case
+    the chunk is *stolen* by the least-loaded worker (work-stealing
+    fallback, so affinity never serializes a lopsided batch).
+
+    Routing is a pure function of the submitted chunks, so a parallel
+    run stays deterministic; ``hits``/``steals`` are cumulative
+    counters the engine surfaces through
+    :class:`~.engine.EngineStats`.
+    """
+
+    def __init__(self, workers: int) -> None:
+        if workers < 1:
+            raise SearchError(f"affinity router needs >= 1 worker, got {workers}")
+        self.workers = workers
+        #: Per-worker count of chunks that landed on their home worker.
+        self.hits: list[int] = [0] * workers
+        #: Chunks redirected off their home worker to balance the batch.
+        self.steals = 0
+
+    @property
+    def total_hits(self) -> int:
+        return sum(self.hits)
+
+    def home(self, digest: str) -> int:
+        """The worker a sub-problem's chunks are pinned to."""
+        return zlib.crc32(digest.encode("utf-8")) % self.workers
+
+    def assign(self, chunks: list[tuple[str, int]]) -> list[int]:
+        """Plan one batch: a worker index per ``(digest, n_tasks)`` chunk.
+
+        A chunk goes home while the home worker's planned load is below
+        its fair share (``ceil(total / workers)``); past that, the
+        least-loaded worker steals it.
+        """
+        total = sum(n for _digest, n in chunks)
+        fair = -(-total // self.workers)
+        loads = [0] * self.workers
+        plan: list[int] = []
+        for digest, n_tasks in chunks:
+            home = self.home(digest)
+            if loads[home] >= fair and min(loads) < loads[home]:
+                worker = min(range(self.workers), key=lambda w: (loads[w], w))
+                self.steals += 1
+            else:
+                worker = home
+                self.hits[home] += 1
+            loads[worker] += n_tasks
+            plan.append(worker)
+        return plan
 
 #: Per-process evaluator, created by :func:`_init_worker`.
 _WORKER_EVALUATOR: ScheduleEvaluator | None = None

@@ -56,6 +56,12 @@ class Scenario:
     platform at the scenario's clock); it flows into the engine's
     persistent-cache keys and the run report.
 
+    ``allocator`` names the registered partition allocator a multicore
+    scenario draws its partitions from (``None`` = ``"exhaustive"``;
+    see :mod:`repro.multicore.allocators`), ``allocator_options`` its
+    options dataclass; both are meaningless — and rejected — for
+    single-core scenarios.
+
     ``method=`` is the deprecated spelling of ``strategy=``.
     """
 
@@ -72,6 +78,8 @@ class Scenario:
     max_count_per_core: int = 6
     platform: Platform | None = None
     shared_cache: bool = False
+    allocator: str | None = None
+    allocator_options: object | None = None
     method: InitVar[str | None] = None
 
     def __post_init__(self, method: str | None) -> None:
@@ -84,10 +92,29 @@ class Scenario:
             if self.strategy is None:
                 self.strategy = method
         if self.n_cores < 1:
-            raise SearchError(f"need at least one core, got {self.n_cores}")
+            raise ConfigurationError(
+                f"need at least one core, got {self.n_cores}"
+            )
+        if self.n_cores > len(self.apps):
+            raise ConfigurationError(
+                f"scenario {self.name!r}: {self.n_cores} cores for "
+                f"{len(self.apps)} applications — n_cores must be between 1 "
+                f"and n_apps"
+            )
         if self.shared_cache and self.n_cores < 2:
             raise ConfigurationError(
                 "shared_cache=True is a multicore co-design; it needs n_cores >= 2"
+            )
+        if self.n_cores > 1:
+            # Imported lazily: repro.multicore builds on repro.sched.
+            from ...multicore.allocators import get_allocator
+
+            self.allocator = self.allocator or "exhaustive"
+            get_allocator(self.allocator)  # fail fast on unknown names
+        elif self.allocator is not None:
+            raise ConfigurationError(
+                "partition allocators apply to multicore scenarios only "
+                f"(n_cores >= 2); scenario {self.name!r} has n_cores=1"
             )
         if self.strategy is None:
             self.strategy = "hybrid" if self.n_cores == 1 else "exhaustive"
@@ -210,6 +237,8 @@ def _run_multicore_scenario(
         shared_cache=scenario.shared_cache,
         on_event=on_event,
         eval_backend=options.eval_backend,
+        allocator=scenario.allocator,
+        allocator_options=scenario.allocator_options,
     ) as problem:
         started = time.perf_counter()
         evaluation = problem.optimize(
@@ -259,6 +288,8 @@ def synthesize_scenarios(
     platform: Platform | None = None,
     jitter_platform: bool = False,
     shared_cache: bool = False,
+    allocator: str | None = None,
+    allocator_options: object | None = None,
     method: str | None = None,
 ) -> list[Scenario]:
     """Deterministic random workloads derived from the case study.
@@ -279,10 +310,15 @@ def synthesize_scenarios(
     application sets, but each is co-designed over partitions onto that
     many cores instead of searched on one shared core
     (``shared_cache=True`` co-optimizes the way allocation of the
-    platform's shared cache).  The synthesized applications are
-    identical for every ``n_cores``, so single-core and multicore
-    sweeps of one seed share sub-problem digests (and therefore
-    persistent-cache entries) wherever blocks coincide.
+    platform's shared cache, ``allocator``/``allocator_options`` pick
+    the registered partition allocator).  A scenario that drew fewer
+    applications than ``n_cores`` is clamped to one core per
+    application — the suite stays runnable while explicit
+    ``MulticoreProblem``/CLI invocations fail fast on the same
+    mismatch.  The synthesized applications are identical for every
+    ``n_cores``, so single-core and multicore sweeps of one seed share
+    sub-problem digests (and therefore persistent-cache entries)
+    wherever blocks coincide.
 
     Every scenario jitters the calibrated control programs (loop trip
     counts and body sizes, re-analyzed through the cache/WCET pipeline),
@@ -373,6 +409,11 @@ def synthesize_scenarios(
                     program=program,
                 )
             )
+        scenario_cores = min(n_cores, len(apps))
+        # Multicore-only options are dropped only when the *clamp*
+        # reduced the scenario to one core; an explicitly requested
+        # single-core suite still fails fast in Scenario validation.
+        clamped_single = n_cores > 1 and scenario_cores == 1
         scenarios.append(
             Scenario(
                 name=f"synth-{index:03d}",
@@ -381,9 +422,13 @@ def synthesize_scenarios(
                 design_options=design_options,
                 strategy=strategy,
                 seed=seed + index,
-                n_cores=n_cores,
+                n_cores=scenario_cores,
                 platform=scenario_platform,
-                shared_cache=shared_cache,
+                shared_cache=shared_cache and not clamped_single,
+                allocator=None if clamped_single else allocator,
+                allocator_options=(
+                    None if clamped_single else allocator_options
+                ),
             )
         )
     return scenarios

@@ -89,6 +89,13 @@ class EngineStats:
     n_computed`` holds at all times (``n_duplicates`` counts repeats of
     a miss *within* one batch: they are deduplicated before the backend
     and served from the memo once the first copy is computed).
+
+    The affinity counters are routing telemetry from the partitioned
+    pool's cache-affinity dispatch — chunks that landed on (vs. were
+    stolen from) the worker process already holding their sub-problem's
+    warm state.  They count *dispatched chunks*, not requested
+    evaluations, so they sit outside the accounting identity and stay
+    zero on serial and single-problem engines.
     """
 
     n_requested: int = 0
@@ -98,6 +105,9 @@ class EngineStats:
     n_computed: int = 0
     serial_fallback: bool = False
     batch_sizes: list[int] = field(default_factory=list)
+    n_affinity_hits: int = 0
+    n_affinity_steals: int = 0
+    worker_affinity_hits: list[int] = field(default_factory=list)
 
     @property
     def accounted(self) -> int:
@@ -127,6 +137,9 @@ class EngineStats:
             "n_batches": len(self.batch_sizes),
             "max_batch": max(self.batch_sizes, default=0),
             "serial_fallback": self.serial_fallback,
+            "n_affinity_hits": self.n_affinity_hits,
+            "n_affinity_steals": self.n_affinity_steals,
+            "worker_affinity_hits": list(self.worker_affinity_hits),
         }
 
 

@@ -123,6 +123,11 @@ class BatchCompleted(EngineEvent):
     one appears).  For the partitioned engine the value is the
     block-local objective of the best sub-problem evaluation — a
     progress signal, not the partition objective.
+
+    The affinity counters mirror
+    :class:`~.engine.EngineStats`' cache-affinity routing telemetry
+    (dispatched chunks, *outside* the accounting identity); they stay
+    at their zero defaults on serial and single-problem engines.
     """
 
     n_batch: int
@@ -132,6 +137,16 @@ class BatchCompleted(EngineEvent):
     n_duplicates: int
     n_computed: int
     best_overall: float | None
+    n_affinity_hits: int = 0
+    n_affinity_steals: int = 0
+    worker_affinity_hits: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        # JSON decodes the tuple as a list; normalize so the wire
+        # round-trip stays an identity.
+        object.__setattr__(
+            self, "worker_affinity_hits", tuple(self.worker_affinity_hits)
+        )
 
 
 def batch_completed(stats, n_batch: int, best_overall: float | None) -> BatchCompleted:
@@ -145,6 +160,9 @@ def batch_completed(stats, n_batch: int, best_overall: float | None) -> BatchCom
         n_duplicates=stats.n_duplicates,
         n_computed=stats.n_computed,
         best_overall=best_overall,
+        n_affinity_hits=stats.n_affinity_hits,
+        n_affinity_steals=stats.n_affinity_steals,
+        worker_affinity_hits=tuple(stats.worker_affinity_hits),
     )
 
 

@@ -47,6 +47,7 @@ from ...platform import Platform, default_platform
 from ...units import Clock
 from ..evaluator import ScheduleEvaluation, ScheduleEvaluator
 from ..schedule import PeriodicSchedule
+from .backends import AffinityRouter
 from .engine import EngineStats
 from .events import BatchSubmitted, batch_completed, best_feasible_overall
 from .keys import evaluation_key, problem_digest
@@ -191,7 +192,17 @@ class PartitionedSerialBackend:
 
 
 class PartitionedPoolBackend:
-    """Fan (block, schedule) tasks out to a pool of worker processes."""
+    """Fan (block, schedule) tasks out to a pool of worker processes.
+
+    Dispatch is *cache-affinity-aware*: the pool is a set of pinnable
+    single-process executors and an :class:`~.backends.AffinityRouter`
+    keys every chunk on its sub-problem digest, so a block's
+    evaluations land on the worker whose long-lived evaluator already
+    designed that block's controllers (with fair-share work stealing
+    when a batch is lopsided).  Routing only changes *where* a chunk
+    runs, never what it computes, so results stay identical to the
+    serial path.
+    """
 
     name = "process-pool"
 
@@ -203,26 +214,46 @@ class PartitionedPoolBackend:
         platform,
         workers: int,
         eval_backend: str = "vectorized",
+        digest_for=None,
     ) -> None:
         if workers < 2:
             raise SearchError(f"process pool needs >= 2 workers, got {workers}")
         self.workers = workers
+        self.affinity = AffinityRouter(workers)
+        self._digest_for = digest_for
+        self._digests: dict[tuple[tuple[int, ...], int | None], str] = {}
         self._initargs = (
             list(apps), clock, design_options, platform, eval_backend
         )
-        self._executor: ProcessPoolExecutor | None = None
+        self._executors: list[ProcessPoolExecutor] | None = None
 
-    def _ensure_executor(self) -> ProcessPoolExecutor:
-        if self._executor is None:
-            self._executor = ProcessPoolExecutor(
-                max_workers=self.workers,
-                initializer=_init_partition_worker,
-                initargs=self._initargs,
-            )
-        return self._executor
+    def _ensure_executors(self) -> list[ProcessPoolExecutor]:
+        if self._executors is None:
+            self._executors = [
+                ProcessPoolExecutor(
+                    max_workers=1,
+                    initializer=_init_partition_worker,
+                    initargs=self._initargs,
+                )
+                for _ in range(self.workers)
+            ]
+        return self._executors
+
+    def _digest(self, key: tuple[tuple[int, ...], int | None]) -> str:
+        """The routing digest of one block (sub-problem digest when the
+        engine provided a resolver, a stable textual key otherwise)."""
+        digest = self._digests.get(key)
+        if digest is None:
+            indices, ways = key
+            if self._digest_for is not None:
+                digest = self._digest_for(indices, ways)
+            else:
+                digest = f"{indices!r}|{ways!r}"
+            self._digests[key] = digest
+        return digest
 
     def map(self, tasks: list) -> list[ScheduleEvaluation]:
-        executor = self._ensure_executor()
+        executors = self._ensure_executors()
         # Chunks never span blocks (each lands on one worker evaluator),
         # and each block's tasks are split so the whole batch still
         # spreads across the pool.
@@ -237,18 +268,24 @@ class PartitionedPoolBackend:
                 chunks.append(
                     (part, (key, [tasks[i][1].counts for i in part]))
                 )
+        plan = self.affinity.assign(
+            [(self._digest(key), len(part)) for part, (key, _counts) in chunks]
+        )
+        futures = [
+            executors[worker].submit(_evaluate_block_chunk, payload)
+            for (_part, payload), worker in zip(chunks, plan)
+        ]
         results: list[ScheduleEvaluation | None] = [None] * len(tasks)
-        for (positions, _), batch in zip(
-            chunks, executor.map(_evaluate_block_chunk, [c[1] for c in chunks])
-        ):
-            for i, evaluation in zip(positions, batch):
+        for (positions, _payload), future in zip(chunks, futures):
+            for i, evaluation in zip(positions, future.result()):
                 results[i] = evaluation
         return results
 
     def close(self) -> None:
-        if self._executor is not None:
-            self._executor.shutdown(wait=True)
-            self._executor = None
+        if self._executors is not None:
+            for executor in self._executors:
+                executor.shutdown(wait=True)
+            self._executors = None
 
 
 @dataclass
@@ -296,6 +333,7 @@ class PartitionedSearchEngine:
                     self.platform,
                     self.workers,
                     eval_backend=self.eval_backend,
+                    digest_for=self.digest_for,
                 )
             )
         else:
@@ -461,6 +499,14 @@ class PartitionedSearchEngine:
             self._backend = PartitionedSerialBackend(self._evaluator_for_block)
             self.stats.serial_fallback = True
             evaluations = self._backend.map(pending)
+        router: AffinityRouter | None = getattr(self._backend, "affinity", None)
+        if router is not None:
+            # Routing telemetry, outside the request-accounting buckets:
+            # how many chunks landed on (vs. were stolen from) the
+            # worker already holding their block's warm state.
+            self.stats.n_affinity_hits = router.total_hits
+            self.stats.n_affinity_steals = router.steals
+            self.stats.worker_affinity_hits = list(router.hits)
         self.stats.n_computed += len(evaluations)
         entries = []
         for (spec, _schedule), evaluation in zip(pending, evaluations):

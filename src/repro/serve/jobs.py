@@ -58,7 +58,9 @@ class JobSpec:
     ``kind="suite"`` sweeps a deterministic synthesized workload suite
     of ``suite_size`` scenarios (the CLI's ``batch`` command).
     ``platform`` is a :meth:`~repro.platform.Platform.fingerprint`
-    dict (``None`` = the paper platform).  ``resume=False`` forces
+    dict (``None`` = the paper platform).  ``allocator`` names the
+    partition allocator of a multicore job (``None`` = the problem's
+    default, exhaustive enumeration).  ``resume=False`` forces
     recomputation even when a matching report is persisted in the
     server's shared run directory.
     """
@@ -71,6 +73,7 @@ class JobSpec:
     n_cores: int = 1
     max_count_per_core: int = 6
     shared_cache: bool = False
+    allocator: str | None = None
     suite_size: int = 4
     platform: dict | None = None
     eval_backend: str = "vectorized"
@@ -181,6 +184,16 @@ class JobSpec:
                 "shared_cache requires n_cores >= 2 "
                 "(one core cannot partition a shared cache)"
             )
+        if self.allocator is not None:
+            if self.n_cores < 2:
+                raise ConfigurationError(
+                    "allocator requires n_cores >= 2 "
+                    "(partition allocators apply to multicore jobs only)"
+                )
+            # Lazily imported: repro.multicore builds on repro.sched.
+            from ..multicore.allocators import get_allocator
+
+            get_allocator(self.allocator)  # raises with the registry
         if self.kind == "suite":
             if self.suite_size < 1:
                 raise ConfigurationError(
@@ -252,6 +265,7 @@ class JobSpec:
                 n_cores=self.n_cores,
                 platform=platform,
                 shared_cache=self.shared_cache,
+                allocator=self.allocator,
                 engine_options=engine_options,
                 run_dir=run_dir,
             )
@@ -270,6 +284,7 @@ class JobSpec:
             max_count_per_core=self.max_count_per_core,
             platform=platform,
             shared_cache=self.shared_cache,
+            allocator=self.allocator,
             engine_options=engine_options,
             run_dir=run_dir,
         )

@@ -25,6 +25,8 @@ from ..sched.strategies import options_as_dict
 #: Bump when the report layout changes incompatibly.
 #: v2: reports record the platform (cache geometry, clock, WCET model)
 #: and the shared-cache flag; multicore cores carry their way allocation.
+#: (Still v2: the allocator fields below are additive with defaults, so
+#: v2 artifacts written before them round-trip unchanged.)
 SCHEMA_VERSION = 2
 
 
@@ -99,6 +101,8 @@ class RunReport:
     wall_time: float
     created_at: float
     search_stats: dict = field(default_factory=dict)
+    allocator: str | None = None
+    allocator_options: dict = field(default_factory=dict)
     schema_version: int = SCHEMA_VERSION
 
     # ------------------------------------------------------------------
@@ -133,7 +137,10 @@ class RunReport:
                 for index in sorted(evaluation.settling)
             ]
             feasible = evaluation.feasible
-            search_stats: dict = {}
+            search_stats: dict = {
+                "allocator": getattr(scenario, "allocator", None),
+                "n_partitions": int(getattr(evaluation, "n_partitions", 0)),
+            }
         else:
             best = outcome.result.best
             best_schedule = list(best.schedule.counts)
@@ -176,6 +183,10 @@ class RunReport:
             wall_time=float(outcome.wall_time),
             created_at=time.time(),
             search_stats=search_stats,
+            allocator=getattr(scenario, "allocator", None),
+            allocator_options=_json_safe(
+                options_as_dict(getattr(scenario, "allocator_options", None))
+            ),
         )
 
     # ------------------------------------------------------------------
@@ -222,6 +233,12 @@ class RunReport:
             wall_time=float(data["wall_time"]),
             created_at=float(data["created_at"]),
             search_stats=dict(data.get("search_stats", {})),
+            allocator=(
+                str(data["allocator"])
+                if data.get("allocator") is not None
+                else None
+            ),
+            allocator_options=dict(data.get("allocator_options", {})),
             schema_version=int(data.get("schema_version", SCHEMA_VERSION)),
         )
 

@@ -95,6 +95,9 @@ class Study:
         max_count_per_core: int = 6,
         platform: Platform | None = None,
         shared_cache: bool = False,
+        allocator: str | None = None,
+        allocator_options: object | None = None,
+        n_apps: int | None = None,
         engine_options: EngineOptions | None = None,
         run_dir: str | Path | None = None,
         name: str = "casestudy",
@@ -109,14 +112,27 @@ class Study:
         platform (cache geometry, clock, WCET model); the WCETs are
         re-analyzed under it.  ``shared_cache=True`` makes the
         multicore co-design way-partition that platform's shared cache.
+
+        ``allocator`` selects the partition allocator of a multicore
+        co-design (see :mod:`repro.multicore.allocators`).  ``n_apps``
+        replicates the case-study workload up to that many applications
+        (round-robin copies with re-normalized weights) so many-core
+        runs — where ``n_cores`` must not exceed the application
+        count — have enough work to partition.
         """
         # Imported lazily: repro.apps builds on repro.sched.
         from ..apps import build_case_study
 
         case = build_case_study(platform=platform)
+        apps = case.apps
+        if n_apps is not None:
+            # Lazily imported: repro.multicore builds on repro.sched.
+            from ..multicore.allocators import replicate_apps
+
+            apps = replicate_apps(apps, n_apps)
         scenario = Scenario(
             name=name,
-            apps=case.apps,
+            apps=apps,
             clock=case.clock,
             design_options=design_options,
             strategy=strategy,
@@ -128,6 +144,8 @@ class Study:
             max_count_per_core=max_count_per_core,
             platform=platform,
             shared_cache=shared_cache,
+            allocator=allocator,
+            allocator_options=allocator_options,
         )
         return cls([scenario], engine_options=engine_options, run_dir=run_dir)
 
@@ -143,6 +161,8 @@ class Study:
         platform: Platform | None = None,
         jitter_platform: bool = False,
         shared_cache: bool = False,
+        allocator: str | None = None,
+        allocator_options: object | None = None,
         engine_options: EngineOptions | None = None,
         run_dir: str | Path | None = None,
     ) -> "Study":
@@ -151,6 +171,9 @@ class Study:
         ``platform``/``jitter_platform``/``shared_cache`` open the
         platform axis of the synthesis — see
         :func:`~repro.sched.engine.batch.synthesize_scenarios`.
+        ``allocator`` selects the partition allocator of the multicore
+        scenarios (ignored by scenarios the synthesis clamps down to a
+        single core).
         """
         scenarios = synthesize_scenarios(
             suite_size,
@@ -162,6 +185,8 @@ class Study:
             platform=platform,
             jitter_platform=jitter_platform,
             shared_cache=shared_cache,
+            allocator=allocator,
+            allocator_options=allocator_options,
         )
         return cls(scenarios, engine_options=engine_options, run_dir=run_dir)
 
@@ -184,8 +209,9 @@ class Study:
 
         The filename carries every run input that is not already in the
         name/strategy/seed/cores prefix — starts, strategy options,
-        ``n_starts``, the per-core cap, the platform and the
-        shared-cache flag — as a short digest, so differently-configured
+        ``n_starts``, the per-core cap, the platform, the shared-cache
+        flag and the partition allocator (name plus its options) — as a
+        short digest, so differently-configured
         runs of one scenario never collide on (and thrash) a single
         artifact.  The *raw* scenario name is part of the digest too:
         the human-readable prefix is slugged for the filesystem, so
@@ -205,6 +231,8 @@ class Study:
                 scenario.max_count_per_core,
                 scenario_platform_fingerprint(scenario),
                 scenario.shared_cache,
+                scenario.allocator,
+                _json_safe(options_as_dict(scenario.allocator_options)),
             ],
             sort_keys=True,
         )
@@ -220,8 +248,9 @@ class Study:
 
         Every search input is compared — scenario name, problem digest,
         strategy and its options, seed, starts, core count, per-core
-        cap, platform and shared-cache flag — so a stale artifact can
-        never shadow a differently-configured run.
+        cap, platform, shared-cache flag, and the partition allocator
+        with its options — so a stale artifact can never shadow a
+        differently-configured run.
         """
         return (
             report.schema_version == RunReport.schema_version
@@ -235,6 +264,9 @@ class Study:
             and report.max_count_per_core == scenario.max_count_per_core
             and report.platform == scenario_platform_fingerprint(scenario)
             and report.shared_cache == scenario.shared_cache
+            and report.allocator == scenario.allocator
+            and report.allocator_options
+            == _json_safe(options_as_dict(scenario.allocator_options))
             and report.starts
             == (
                 [list(s.counts) for s in scenario.starts]

@@ -1,9 +1,11 @@
-"""RPL003 fixture: a protocol-violating plugin and leaky accessors.
+"""RPL003 fixture: protocol-violating plugins and leaky accessors.
 
-``register_strategy`` is a local stand-in (never the real registry, so
-importing this file registers nothing); the checker keys on the
-decorator *name*.  ``HalfStrategy`` is missing ``options_type`` and
-``run``; ``get_plugin`` leaks ``KeyError`` twice over.
+``register_strategy`` / ``register_allocator`` are local stand-ins
+(never the real registries, so importing this file registers nothing);
+the checker keys on the decorator *name*.  ``HalfStrategy`` is missing
+``options_type`` and ``run``; ``HalfAllocator`` is missing
+``options_type`` and ``partitions``; ``get_plugin`` leaks ``KeyError``
+twice over.
 """
 
 
@@ -11,9 +13,18 @@ def register_strategy(cls: type) -> type:
     return cls
 
 
+def register_allocator(cls: type) -> type:
+    return cls
+
+
 @register_strategy
 class HalfStrategy:
     name = "half"
+
+
+@register_allocator
+class HalfAllocator:
+    name = "half-alloc"
 
 
 _REGISTRY = {"half": HalfStrategy}

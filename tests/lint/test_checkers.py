@@ -149,11 +149,14 @@ class TestRPL003:
         messages = "\n".join(f.message for f in findings)
         assert "'options_type'" in messages
         assert "'run'" in messages
+        assert "'partitions'" in messages
         assert "raises KeyError" in messages
         assert "_REGISTRY[...]" in messages
-        assert len(findings) == 4
+        assert len(findings) == 6
         class_line = line_of(plugins, "class HalfStrategy")
         assert sum(1 for f in findings if f.line == class_line) == 2
+        allocator_line = line_of(plugins, "class HalfAllocator")
+        assert sum(1 for f in findings if f.line == allocator_line) == 2
 
 
 class TestRPL004:

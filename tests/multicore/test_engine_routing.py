@@ -123,6 +123,45 @@ class TestEnginePathsIdentical:
         assert snapshot(parallel_result) == snapshot(cold_result)
 
 
+class TestAffinityDispatch:
+    def test_parallel_run_identical_with_consistent_counters(
+        self, three_apps, case_study, tiny_design_options, cold_run
+    ):
+        """Affinity routing changes where chunks run, never the result;
+        its telemetry stays consistent and outside the accounting
+        identity."""
+        cold_result, _stats, _spaces = cold_run
+        with make_problem(
+            three_apps, case_study.clock, tiny_design_options, workers=2
+        ) as problem:
+            result = problem.optimize()
+            stats = problem.engine.stats
+        assert snapshot(result) == snapshot(cold_result)
+        dispatched = stats.n_affinity_hits + stats.n_affinity_steals
+        assert dispatched >= 1
+        assert len(stats.worker_affinity_hits) == 2
+        assert sum(stats.worker_affinity_hits) == stats.n_affinity_hits
+        # Routing telemetry never perturbs the request accounting.
+        assert stats.n_requested == (
+            stats.n_memo_hits
+            + stats.n_disk_hits
+            + stats.n_duplicates
+            + stats.n_computed
+        )
+        as_dict = stats.as_dict()
+        assert as_dict["n_affinity_hits"] == stats.n_affinity_hits
+        assert as_dict["n_affinity_steals"] == stats.n_affinity_steals
+        assert as_dict["worker_affinity_hits"] == list(
+            stats.worker_affinity_hits
+        )
+
+    def test_serial_engine_reports_zero_affinity(self, cold_run):
+        _result, stats, _spaces = cold_run
+        assert stats.n_affinity_hits == 0
+        assert stats.n_affinity_steals == 0
+        assert list(stats.worker_affinity_hits) == []
+
+
 class TestCrossPartitionReuse:
     def test_three_core_sweep_fully_disk_served_from_two_core_run(
         self, three_apps, case_study, tiny_design_options, cache_dir, cold_run

@@ -28,6 +28,53 @@ class TestEnumeratePartitions:
     def test_validation(self):
         with pytest.raises(ScheduleError):
             list(enumerate_partitions(0, 1))
+        with pytest.raises(ScheduleError):
+            list(enumerate_partitions(1, 0))
+
+    def test_single_app(self):
+        assert list(enumerate_partitions(1, 1)) == [((0,),)]
+        assert list(enumerate_partitions(1, 3)) == [((0,),)]
+
+    def test_single_core_degenerates_to_one_block(self):
+        assert list(enumerate_partitions(4, 1)) == [((0, 1, 2, 3),)]
+
+    def test_lazy_streaming(self):
+        """The enumeration is a generator: drawing the first partitions
+        of an astronomically large space (Bell(30) > 8 * 10^23) must
+        not materialize anything."""
+        from itertools import islice
+
+        stream = enumerate_partitions(30, 30)
+        head = list(islice(stream, 3))
+        assert len(head) == 3
+        assert head[0] == (tuple(range(30)),)
+
+
+class TestWayAllocations:
+    def test_all_ways_assigned_at_least_one_each(self):
+        from repro.multicore import way_allocations
+
+        allocations = list(way_allocations(4, 2))
+        assert allocations == [(1, 3), (2, 2), (3, 1)]
+        for allocation in allocations:
+            assert sum(allocation) == 4
+            assert min(allocation) >= 1
+
+    def test_exact_fit_single_allocation(self):
+        from repro.multicore import way_allocations
+
+        assert list(way_allocations(3, 3)) == [(1, 1, 1)]
+
+    def test_single_block_takes_everything(self):
+        from repro.multicore import way_allocations
+
+        assert list(way_allocations(5, 1)) == [(5,)]
+
+    def test_fewer_ways_than_blocks_yields_nothing(self):
+        from repro.multicore import way_allocations
+
+        assert list(way_allocations(2, 3)) == []
+        assert list(way_allocations(4, 0)) == []
 
 
 class TestMulticoreProblem:
@@ -69,8 +116,28 @@ class TestMulticoreProblem:
         assert result.feasible
 
     def test_validation(self, case_study):
-        with pytest.raises(ScheduleError):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
             MulticoreProblem(case_study.apps, case_study.clock, 0)
+
+    def test_more_cores_than_apps_fails_fast(self, case_study):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError) as excinfo:
+            MulticoreProblem(
+                case_study.apps, case_study.clock, len(case_study.apps) + 1
+            )
+        assert str(len(case_study.apps)) in str(excinfo.value)
+
+    def test_unknown_allocator_rejected(self, case_study):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError) as excinfo:
+            MulticoreProblem(
+                case_study.apps, case_study.clock, 2, allocator="oracle"
+            )
+        assert "greedy" in str(excinfo.value)
 
     def test_unknown_strategy_rejected(self, problem):
         from repro.errors import ConfigurationError

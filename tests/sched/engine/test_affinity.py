@@ -1,0 +1,85 @@
+"""Cache-affinity chunk routing: the AffinityRouter's plan invariants.
+
+The router only decides *where* a chunk of evaluations runs — results
+must never depend on it (the engine identity tests pin that); these
+tests pin the plan itself: deterministic digest homing, fair-share
+work stealing, and counter bookkeeping.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SearchError
+from repro.sched.engine import AffinityRouter
+
+
+def chunks_of(n: int, digest: str = "block", tasks: int = 4):
+    return [(f"{digest}-{i}", tasks) for i in range(n)]
+
+
+class TestHome:
+    def test_deterministic(self):
+        router = AffinityRouter(4)
+        assert router.home("abc") == router.home("abc")
+        assert 0 <= router.home("abc") < 4
+
+    def test_same_digest_same_home_across_routers(self):
+        assert AffinityRouter(4).home("abc") == AffinityRouter(4).home("abc")
+
+    def test_spreads_over_workers(self):
+        router = AffinityRouter(4)
+        homes = {router.home(f"digest-{i}") for i in range(64)}
+        assert homes == {0, 1, 2, 3}
+
+    def test_rejects_zero_workers(self):
+        with pytest.raises(SearchError):
+            AffinityRouter(0)
+
+
+class TestAssign:
+    def test_same_digest_chunks_land_together_until_fair_share(self):
+        router = AffinityRouter(4)
+        plan = router.assign([("hot", 1), ("hot", 1)] + chunks_of(6))
+        # Fair share is 8/4 = 2 tasks: both "hot" chunks fit at home.
+        assert plan[0] == plan[1] == router.home("hot")
+        assert router.hits[router.home("hot")] >= 2
+
+    def test_overloaded_home_is_stolen_from(self):
+        router = AffinityRouter(2)
+        plan = router.assign([("hot", 4)] * 4)
+        # One worker cannot hold all 16 tasks of a 2-worker fair split.
+        assert set(plan) == {0, 1}
+        assert router.steals > 0
+        assert router.total_hits + router.steals == 4
+
+    def test_plan_is_deterministic(self):
+        first = AffinityRouter(3)
+        second = AffinityRouter(3)
+        batch = chunks_of(9, tasks=3)
+        assert first.assign(batch) == second.assign(batch)
+
+    def test_counters_accumulate_across_batches(self):
+        router = AffinityRouter(2)
+        router.assign(chunks_of(4))
+        router.assign(chunks_of(4))
+        assert router.total_hits + router.steals == 8
+        assert sum(router.hits) == router.total_hits
+        assert len(router.hits) == 2
+
+    def test_single_worker_takes_everything_home(self):
+        router = AffinityRouter(1)
+        plan = router.assign(chunks_of(5))
+        assert plan == [0] * 5
+        assert router.steals == 0
+        assert router.total_hits == 5
+
+    def test_loads_balanced_within_a_chunk(self):
+        """No worker ends more than one chunk above the fair share."""
+        router = AffinityRouter(3)
+        batch = chunks_of(12, tasks=2)
+        plan = router.assign(batch)
+        loads = [0] * 3
+        for worker, (_digest, n_tasks) in zip(plan, batch):
+            loads[worker] += n_tasks
+        assert max(loads) - min(loads) <= max(n for _d, n in batch)

@@ -173,13 +173,38 @@ class TestSynthesis:
 
     def test_bad_core_count_rejected(self, tiny_design_options):
         scenario = synthesize_scenarios(1, design_options=tiny_design_options)[0]
-        with pytest.raises(SearchError):
+        with pytest.raises(ConfigurationError):
             Scenario(
                 name="bad",
                 apps=scenario.apps,
                 clock=scenario.clock,
                 n_cores=0,
             )
+        with pytest.raises(ConfigurationError):
+            Scenario(
+                name="bad",
+                apps=scenario.apps,
+                clock=scenario.clock,
+                n_cores=len(scenario.apps) + 1,
+            )
+
+    def test_allocator_rejected_on_single_core(self, tiny_design_options):
+        scenario = synthesize_scenarios(1, design_options=tiny_design_options)[0]
+        with pytest.raises(ConfigurationError):
+            Scenario(
+                name="bad",
+                apps=scenario.apps,
+                clock=scenario.clock,
+                allocator="greedy",
+            )
+
+    def test_multicore_scenario_defaults_exhaustive_allocator(
+        self, tiny_design_options
+    ):
+        scenario = synthesize_scenarios(
+            1, design_options=tiny_design_options, n_cores=2
+        )[0]
+        assert scenario.allocator == "exhaustive"
 
     def test_multicore_synthesis_shares_apps_with_single_core(
         self, tiny_design_options

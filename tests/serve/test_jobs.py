@@ -21,6 +21,7 @@ class TestJobSpecRoundTrip:
             n_cores=2,
             max_count_per_core=4,
             shared_cache=True,
+            allocator="greedy",
             platform={
                 "cache": {
                     "n_sets": 32,
@@ -108,6 +109,19 @@ class TestJobSpecValidation:
             JobSpec(shared_cache=True).validate()
         assert "n_cores" in str(exc.value)
         JobSpec(shared_cache=True, n_cores=2).validate()
+
+    def test_unknown_allocator_names_registry(self):
+        with pytest.raises(ConfigurationError) as exc:
+            JobSpec(allocator="oracle", n_cores=2).validate()
+        message = str(exc.value)
+        assert "oracle" in message
+        assert "greedy" in message and "exhaustive" in message
+
+    def test_allocator_needs_cores(self):
+        with pytest.raises(ConfigurationError) as exc:
+            JobSpec(allocator="greedy").validate()
+        assert "n_cores" in str(exc.value)
+        JobSpec(allocator="greedy", n_cores=2).validate()
 
     def test_suite_forbids_starts(self):
         with pytest.raises(ConfigurationError):

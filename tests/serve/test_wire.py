@@ -45,6 +45,18 @@ def _engine_events():
             n_computed=3,
             best_overall=None,
         ),
+        BatchCompleted(
+            n_batch=4,
+            n_requested=10,
+            n_memo_hits=2,
+            n_disk_hits=1,
+            n_duplicates=0,
+            n_computed=7,
+            best_overall=0.5,
+            n_affinity_hits=3,
+            n_affinity_steals=1,
+            worker_affinity_hits=(2, 1),
+        ),
     ]
 
 

@@ -90,6 +90,10 @@ def multicore_report() -> RunReport:
         ],
         wall_time=33.0,
         created_at=1700000001.75,
+        search_stats={"allocator": "greedy", "n_partitions": 3},
+        allocator="greedy",
+        allocator_options={"max_partitions": 64, "refine_rounds": 4,
+                           "patience": 0},
     )
 
 
@@ -106,6 +110,22 @@ class TestRoundTrip:
         loaded = RunReport.from_json(report.to_json())
         assert loaded.engine_stats == report.engine_stats
         assert loaded.search_stats == report.search_stats
+
+    def test_allocator_fields_survive(self):
+        report = multicore_report()
+        loaded = RunReport.from_json(report.to_json())
+        assert loaded.allocator == "greedy"
+        assert loaded.allocator_options["max_partitions"] == 64
+        assert loaded.search_stats["n_partitions"] == 3
+
+    def test_pre_allocator_artifact_loads_with_defaults(self):
+        """v2 artifacts written before the allocator fields existed
+        still load (additive fields, same schema version)."""
+        data = single_core_report().to_dict()
+        del data["allocator"], data["allocator_options"]
+        loaded = RunReport.from_dict(data)
+        assert loaded.allocator is None
+        assert loaded.allocator_options == {}
 
     def test_multicore_partition_fields_survive(self):
         report = multicore_report()
@@ -134,7 +154,7 @@ class TestSchema:
         "n_apps", "problem", "n_space",
         "backend", "engine_stats", "best_schedule", "cores", "overall",
         "feasible", "apps", "wall_time", "created_at", "search_stats",
-        "schema_version",
+        "allocator", "allocator_options", "schema_version",
     }
 
     def test_stable_key_set(self):
