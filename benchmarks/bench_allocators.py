@@ -139,3 +139,81 @@ def test_heuristics_stream_fraction_of_partitions_at_8_cores(
             f"(need >= {MIN_SPEEDUP:.0f}x)"
         )
     bench_json("allocators_speedup", record)
+
+
+#: Core counts of the gap/partition curve (apps tiled to match).
+CURVE_CORES = (2, 4, 8)
+#: Exhaustive ground truth is computed only while it stays cheap.
+CURVE_EXHAUSTIVE_LIMIT = 60
+
+
+def test_gap_and_partition_curve_per_core_count(
+    case_study, design_options, bench_json
+):
+    """Optimality gap and partition counts as the machine grows.
+
+    For each core count the heuristics' partition consumption is
+    recorded next to the exhaustive enumeration size; where exhaustive
+    optimization is still cheap (2 and 4 cores) the heuristics must
+    match its optimum exactly, extending the zero-gap guarantee from a
+    point check into a curve.
+    """
+    curve: dict = {}
+    print()
+    for n_cores in CURVE_CORES:
+        n_apps = max(len(case_study.apps), n_cores)
+        apps = replicate_apps(case_study.apps, n_apps)
+        max_count = MAX_COUNT if n_cores <= 2 else MANY_MAX_COUNT
+        exhaustive_count = sum(
+            1 for _ in enumerate_partitions(n_apps, n_cores)
+        )
+        point: dict = {
+            "n_apps": n_apps,
+            "exhaustive_partitions": exhaustive_count,
+            "allocators": {},
+        }
+        ground_truth = None
+        if exhaustive_count <= CURVE_EXHAUSTIVE_LIMIT:
+            ground_truth, _ = _optimize(
+                apps, case_study.clock, n_cores, design_options,
+                "exhaustive", max_count,
+            )
+            assert ground_truth.feasible
+            point["exhaustive_overall"] = ground_truth.overall
+        for allocator in ("greedy", "scored"):
+            result, elapsed = _optimize(
+                apps, case_study.clock, n_cores, design_options,
+                allocator, max_count,
+            )
+            assert result.feasible, (
+                f"{allocator} found no feasible co-design at {n_cores} cores"
+            )
+            entry = {
+                "n_partitions": result.n_partitions,
+                "overall": result.overall,
+                "seconds": elapsed,
+            }
+            if ground_truth is not None:
+                entry["gap"] = ground_truth.overall - result.overall
+                assert result.overall == ground_truth.overall, (
+                    f"{allocator} missed the {n_cores}-core optimum: "
+                    f"{result.overall!r} != {ground_truth.overall!r}"
+                )
+            point["allocators"][allocator] = entry
+            gap = entry.get("gap")
+            print(
+                f"{n_cores} cores / {n_apps} apps {allocator:>8}: "
+                f"{result.n_partitions}/{exhaustive_count} partitions, "
+                f"P_all = {result.overall:.4f}"
+                + (f", gap = {gap:.1e}" if gap is not None else "")
+            )
+        curve[str(n_cores)] = point
+    # The curve must stay sub-exhaustive once enumeration explodes.
+    eight = curve["8"]
+    for allocator, entry in eight["allocators"].items():
+        ratio = eight["exhaustive_partitions"] / entry["n_partitions"]
+        assert ratio >= MIN_SPEEDUP, (
+            f"{allocator} at 8 cores streamed {entry['n_partitions']} "
+            f"partitions (only {ratio:.1f}x fewer than exhaustive)"
+        )
+    bench_json("allocators_curve", {"cores": curve})

@@ -1,0 +1,111 @@
+"""Benchmark — warm-cache online re-optimization vs cold co-design.
+
+The feedback loop's value proposition is that an adaptation is *not* a
+fresh co-design: it re-invokes the ``online`` strategy through the same
+warm :class:`~repro.sched.engine.SearchEngine` the static search ran
+on, so candidates resolve to memo hits instead of PSO controller
+designs.  This benchmark gates that claim on the recovery adaptation
+(nominal demands, incumbent ``(1, 1, 1)``, static optimum ``(2, 2, 2)``
+— the adaptation with the most candidates on the case study):
+
+* **identical results** — the same adaptation on a cold and on a warm
+  engine must return the same schedule with bit-identical overall
+  performance and the same evaluation count (the search itself is
+  cache-oblivious);
+* **>= 5x latency floor** — on the warm engine every candidate is a
+  memo hit, so the re-optimization must complete at least
+  ``MIN_SPEEDUP`` times faster than the cold run that paid full
+  controller design per candidate.  The margin is orders of magnitude
+  in practice, so the gate is stable on any machine.
+
+Run:  python -m pytest benchmarks/bench_online_adaptation.py -s -q
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.sched import PeriodicSchedule, SearchEngine
+from repro.sched.feasibility import enumerate_idle_feasible
+from repro.sched.strategies import StrategySpec, get_strategy
+from repro.sim import demand_feasible
+
+#: Wall-clock speedup the warm-cache adaptation must deliver.
+MIN_SPEEDUP = 5.0
+
+
+def _recovery_spec(case) -> StrategySpec:
+    """The spec the feedback loop builds at recovery: demands back to
+    nominal, the overload incumbent and the static optimum as starts."""
+    nominal = tuple(1.0 for _ in case.apps)
+    return StrategySpec(
+        starts=(PeriodicSchedule.of(1, 1, 1), PeriodicSchedule.of(2, 2, 2)),
+        feasible=lambda schedule: demand_feasible(
+            schedule, case.apps, case.clock, nominal
+        ),
+    )
+
+
+def _run_adaptation(engine, space, spec):
+    started = time.perf_counter()
+    result = get_strategy("online").run(engine, space, spec)
+    return result, time.perf_counter() - started
+
+
+def test_warm_adaptation_matches_cold_and_beats_latency_floor(
+    case_study, design_options, bench_json
+):
+    space = enumerate_idle_feasible(case_study.apps, case_study.clock)
+    spec = _recovery_spec(case_study)
+    engine = SearchEngine(case_study.evaluator(design_options))
+
+    # Cold: every candidate pays a full PSO controller design.
+    cold_result, cold_seconds = _run_adaptation(engine, space, spec)
+    cold_designs = engine.stats.n_computed
+
+    # Warm: the identical re-optimization on the now-warm engine — what
+    # every simulated adaptation costs after the static search already
+    # visited the candidates.
+    warm_result, warm_seconds = _run_adaptation(engine, space, spec)
+    warm_designs = engine.stats.n_computed - cold_designs
+
+    assert (
+        warm_result.best.schedule.counts == cold_result.best.schedule.counts
+    ), "warm and cold adaptations disagree on the schedule"
+    assert warm_result.best.overall == cold_result.best.overall, (
+        "warm and cold adaptations disagree on performance: "
+        f"{warm_result.best.overall!r} != {cold_result.best.overall!r}"
+    )
+    assert warm_result.n_evaluations == cold_result.n_evaluations
+    assert warm_designs == 0, (
+        f"warm adaptation still computed {warm_designs} designs"
+    )
+
+    speedup = cold_seconds / warm_seconds if warm_seconds > 0 else float("inf")
+    print(
+        f"\nrecovery adaptation to {warm_result.best.schedule.counts} "
+        f"({cold_result.n_evaluations} candidates):"
+        f"\n  cold: {cold_seconds * 1e3:8.1f} ms ({cold_designs} designs)"
+        f"\n  warm: {warm_seconds * 1e3:8.1f} ms (0 designs, "
+        f"{engine.stats.n_memo_hits} memo hits)"
+        f"\n  speedup: {speedup:.1f}x (floor {MIN_SPEEDUP:.0f}x)"
+    )
+    bench_json(
+        "online_adaptation",
+        {
+            "schedule": list(warm_result.best.schedule.counts),
+            "overall": warm_result.best.overall,
+            "n_evaluations": warm_result.n_evaluations,
+            "cold_seconds": cold_seconds,
+            "warm_seconds": warm_seconds,
+            "cold_designs": cold_designs,
+            "warm_designs": warm_designs,
+            "speedup": speedup,
+            "min_speedup": MIN_SPEEDUP,
+        },
+    )
+    assert speedup >= MIN_SPEEDUP, (
+        f"warm adaptation only {speedup:.1f}x faster than cold "
+        f"(need >= {MIN_SPEEDUP:.0f}x): warm {warm_seconds:.3f} s, "
+        f"cold {cold_seconds:.3f} s"
+    )

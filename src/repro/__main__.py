@@ -29,10 +29,20 @@ Commands
     Run a schedule-space search on the case study and print the result.
 ``timeline --schedule 2,2,2``
     Render the schedule's timing diagram (paper Figs. 2/4).
+``simulate [--stress 1.46] [--horizon 1.0] [--no-adapt]``
+    Simulate feedback scheduling on the case study: a load transient
+    plays through the discrete-event simulator (:mod:`repro.sim`) and
+    the feedback loop re-optimizes on every load change through the
+    ``online`` strategy (``--adapt-strategy`` picks another,
+    ``--no-adapt`` holds the static optimum).  Shares the search flag
+    set; ``--json`` prints the SimReport, which is byte-identical
+    across reruns with the same seed/scenario/platform.
 ``batch [--suite-size 4] [--strategy hybrid] [--cores K]``
     Sweep a suite of synthesized scenarios through the search engine
     (``--cores >= 2`` makes every scenario a multicore co-design,
-    ``--jitter-platform`` draws a fresh cache/clock per scenario).
+    ``--jitter-platform`` draws a fresh cache/clock per scenario,
+    ``--dynamic`` gives every scenario a synthesized load transient
+    simulated after the search).
 ``multicore [--cores 2] [--strategy exhaustive] [--shared-cache]``
     Partition the case study across cores and jointly optimize the
     partition and the per-core schedules — private caches by default,
@@ -493,6 +503,95 @@ def cmd_search(args: argparse.Namespace) -> None:
     )
 
 
+def cmd_simulate(args: argparse.Namespace) -> None:
+    from .sim import SimReport, load_transient
+    from .study import Study
+
+    platform = _platform_from_args(args)
+    case = build_case_study(platform=platform)
+    profile = load_transient(
+        len(case.apps),
+        horizon=args.horizon,
+        stress=args.stress,
+        disturb_at=args.disturb_at,
+        recover_at=args.recover_at,
+        adapt=not args.no_adapt,
+        adapt_strategy=args.adapt_strategy,
+    )
+    study = Study.from_case_study(
+        design_options_for_profile(),
+        strategy=_resolve_strategy(args),
+        platform=platform,
+        dynamic=profile,
+        engine_options=_engine_options(args),
+        run_dir=args.run_dir,
+        name="casestudy-sim",
+    )
+    report = _run_study(study, args)[0]
+    sim = SimReport.from_dict(report.sim)
+    if args.json:
+        # The SimReport is the simulation artifact: wall-clock-free, so
+        # reruns with the same seed/scenario/platform are byte-identical
+        # (the enclosing RunReport persists under --run-dir).
+        print(sim.to_json())
+        return
+    timeline_rows = []
+    for entry in sim.timeline:
+        kind = entry["event"]
+        if kind == "ScheduleSwitch":
+            detail = (
+                f"-> {tuple(entry['counts'])} ({entry['reason']})"
+            )
+        elif kind == "LoadDisturbance":
+            detail = "demands " + str(tuple(entry["demands"]))
+        elif kind == "PlantModeChange":
+            detail = f"{entry['app']} x{entry['factor']:g}"
+        else:
+            detail = entry.get("app", "")
+        timeline_rows.append([f"{entry['time']:.4f}", kind, detail])
+    print(
+        render_table(
+            ["t (s)", "event", "detail"],
+            timeline_rows,
+            title=f"simulated timeline (strategy {sim.strategy}, "
+            f"adapt={'on' if sim.adapt else 'off'})",
+        )
+    )
+    segment_rows = [
+        [
+            f"{segment['start']:.4f}-{segment['end']:.4f}",
+            _format_schedule_counts(segment["schedule"]),
+            "(" + ", ".join(f"{d:g}" for d in segment["demands"]) + ")",
+            "yes" if segment["feasible"] else "no",
+            f"{segment['cost']:.4f}",
+        ]
+        for segment in sim.segments
+    ]
+    print()
+    print(
+        render_table(
+            ["interval (s)", "schedule", "demands", "feasible", "cost"],
+            segment_rows,
+            title="piecewise-constant segments",
+        )
+    )
+    print(
+        f"\nmean cost = {sim.mean_cost:.4f} over {sim.horizon:g} s"
+        f"  adaptations: {sim.n_adaptations}"
+        + (
+            f" (strategy {sim.adapt_strategy})"
+            if sim.adapt
+            else " (adaptation disabled)"
+        )
+    )
+    stats = report.engine_stats
+    print(
+        f"engine: {stats['n_requested']} requested = "
+        f"{stats['n_computed']} computed + {stats['n_memo_hits']} memo + "
+        f"{stats['n_disk_hits']} disk + {stats['n_duplicates']} duplicate"
+    )
+
+
 def cmd_batch(args: argparse.Namespace) -> None:
     from .study import Study
 
@@ -506,6 +605,7 @@ def cmd_batch(args: argparse.Namespace) -> None:
         jitter_platform=args.jitter_platform,
         shared_cache=args.shared_cache,
         allocator=args.allocator,
+        dynamic=args.dynamic,
         engine_options=_engine_options(args),
         run_dir=args.run_dir,
     )
@@ -517,25 +617,35 @@ def cmd_batch(args: argparse.Namespace) -> None:
             )
         )
         return
+    dynamic = any(report.sim is not None for report in reports)
     rows = []
     for report in reports:
         stats = report.engine_stats
-        rows.append(
-            [
-                report.scenario,
-                str(report.n_apps),
-                str(report.n_space),
-                _format_report_schedule(report),
-                f"{report.overall:.4f}",
-                str(stats["n_computed"]),
-                str(stats["n_disk_hits"]),
-                f"{report.wall_time:.2f} s",
-            ]
-        )
+        row = [
+            report.scenario,
+            str(report.n_apps),
+            str(report.n_space),
+            _format_report_schedule(report),
+            f"{report.overall:.4f}",
+            str(stats["n_computed"]),
+            str(stats["n_disk_hits"]),
+            f"{report.wall_time:.2f} s",
+        ]
+        if dynamic:
+            sim = report.sim or {}
+            row.append(
+                f"{sim['mean_cost']:.4f} ({len(sim['adaptations'])} adapt)"
+                if sim
+                else "-"
+            )
+        rows.append(row)
+    headers = ["scenario", "apps", "space", "best schedule", "P_all",
+               "computed", "disk hits", "wall time"]
+    if dynamic:
+        headers.append("sim mean cost")
     print(
         render_table(
-            ["scenario", "apps", "space", "best schedule", "P_all",
-             "computed", "disk hits", "wall time"],
+            headers,
             rows,
             title=f"batch {reports[0].strategy} search "
                   f"({reports[0].backend} backend, {args.workers} workers)",
@@ -739,6 +849,8 @@ def _render_watch_event(event) -> str:
         ScenarioProgress,
         ScenarioResumed,
         ScenarioStarted,
+        SimulationFinished,
+        SimulationProgress,
     )
 
     if isinstance(event, ScenarioStarted):
@@ -763,6 +875,17 @@ def _render_watch_event(event) -> str:
                 f"scenario {event.scenario}: batch of {engine.n_batch} submitted"
             )
         return f"scenario {event.scenario}: {type(engine).__name__}"
+    if isinstance(event, SimulationProgress):
+        sim = event.sim
+        return (
+            f"scenario {event.scenario}: t={sim.time:.4f} "
+            f"{type(sim).__name__}"
+        )
+    if isinstance(event, SimulationFinished):
+        return (
+            f"scenario {event.scenario} simulated: mean cost "
+            f"{event.mean_cost:.4f}, {event.n_adaptations} adaptation(s)"
+        )
     if isinstance(event, ScenarioResumed):
         return (
             f"scenario {event.scenario} resumed from disk "
@@ -888,6 +1011,50 @@ def main(argv: list[str] | None = None) -> int:
     timeline = sub.add_parser("timeline", help="render a schedule timeline")
     timeline.add_argument("--schedule", required=True, help="e.g. 2,2,2")
 
+    simulate = sub.add_parser(
+        "simulate",
+        help="simulate feedback scheduling under a load transient",
+    )
+    simulate.add_argument(
+        "--horizon",
+        type=float,
+        default=1.0,
+        help="simulated duration in seconds",
+    )
+    simulate.add_argument(
+        "--stress",
+        type=float,
+        default=1.46,
+        help="demand factor of the overload burst (1.0 = nominal; the "
+        "default pushes the case study's static optimum past its "
+        "scaled idle budget)",
+    )
+    simulate.add_argument(
+        "--disturb-at",
+        type=float,
+        default=None,
+        help="overload onset in seconds (default: 25%% of the horizon)",
+    )
+    simulate.add_argument(
+        "--recover-at",
+        type=float,
+        default=None,
+        help="recovery instant in seconds (default: 70%% of the horizon)",
+    )
+    simulate.add_argument(
+        "--adapt-strategy",
+        default=None,
+        help="registered strategy the feedback loop re-invokes on load "
+        "changes (default: online)",
+    )
+    simulate.add_argument(
+        "--no-adapt",
+        action="store_true",
+        help="hold the static optimum for the whole horizon (the "
+        "baseline the feedback experiment compares against)",
+    )
+    _add_search_arguments(simulate)
+
     batch = sub.add_parser(
         "batch", help="sweep a suite of synthesized scenarios"
     )
@@ -911,6 +1078,12 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="multicore scenarios way-partition one shared cache "
         "(needs --cores >= 2)",
+    )
+    batch.add_argument(
+        "--dynamic",
+        action="store_true",
+        help="draw a load-transient profile per scenario and simulate "
+        "the feedback loop after each search (single-core only)",
     )
     _add_allocator_argument(batch)
     _add_search_arguments(batch)
@@ -1089,6 +1262,7 @@ def main(argv: list[str] | None = None) -> int:
         "experiment": cmd_experiment,
         "search": cmd_search,
         "timeline": cmd_timeline,
+        "simulate": cmd_simulate,
         "batch": cmd_batch,
         "multicore": cmd_multicore,
         "serve": cmd_serve,

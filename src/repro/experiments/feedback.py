@@ -1,0 +1,275 @@
+"""Experiment E8 — feedback scheduling under a load transient.
+
+The paper's co-design is a one-shot offline optimization for nominal
+load.  This experiment asks what that choice costs once the load moves:
+the case study runs through the discrete-event simulator
+(:mod:`repro.sim`) under the canonical load transient — nominal demand,
+an overload burst that pushes the static optimum past its scaled idle
+budget, then recovery — twice:
+
+* **static**: the offline optimum stays in place for the whole horizon
+  (``adapt=False``), paying full cost wherever the overload makes it
+  infeasible;
+* **adaptive**: the feedback loop re-optimizes on every load change
+  through the registered ``online`` strategy (warm engine, so each
+  adaptation is cache hits, not fresh co-design) and switches schedules
+  after the simulated adaptation latency.
+
+The gap between the two time-averaged costs is what feedback
+scheduling buys on this workload.  Both simulations are deterministic
+and wall-clock-free, so reruns — and ``--run-dir`` resumes — are
+byte-identical.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+
+from ..apps.casestudy import CaseStudy, build_case_study
+from ..control.design import DesignOptions
+from ..core.report import render_table
+from ..errors import ConfigurationError
+from ..platform import Platform
+from ..sched.engine import EngineOptions
+from ..sched.engine.batch import Scenario, run_scenario
+from ..sim.profiles import load_transient
+from ..sim.report import SimReport
+from ..study.report import RunReport
+from .profiles import design_options_for_profile
+from .registry import ExperimentRequest, register_experiment
+from .report import ExperimentReport, new_report
+
+
+@dataclass
+class FeedbackSummary:
+    """Adaptive feedback scheduling next to the static baseline."""
+
+    app_names: list[str]
+    stress: float
+    horizon: float
+    strategy: str
+    adapt_strategy: str
+    static_schedule: list[int]
+    static_overall: float
+    static_sim: SimReport
+    adaptive_sim: SimReport
+    engine_summary: str = ""
+    backend: str = "serial"
+    static_wall: float = 0.0
+    adaptive_wall: float = 0.0
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def static_cost(self) -> float:
+        """Time-averaged cost of holding the offline optimum."""
+        return self.static_sim.mean_cost
+
+    @property
+    def adaptive_cost(self) -> float:
+        """Time-averaged cost with the feedback loop adapting."""
+        return self.adaptive_sim.mean_cost
+
+    @property
+    def improvement(self) -> float:
+        """Cost the feedback loop saves (static minus adaptive)."""
+        return self.static_cost - self.adaptive_cost
+
+    def render(self) -> str:
+        rows = []
+        for record in self.adaptive_sim.adaptations:
+            to = record.get("to")
+            rows.append(
+                [
+                    f"{record['at']:.3f}",
+                    "(" + ", ".join(f"{d:g}" for d in record["demands"]) + ")",
+                    str(tuple(record["from"])),
+                    str(tuple(to)) if to is not None else "failed",
+                    "yes" if record.get("switched") else "no",
+                    f"{record['latency'] * 1e3:.2f}",
+                    str(record["engine"].get("n_requested", 0)),
+                ]
+            )
+        adaptation_table = render_table(
+            ["t (s)", "demands", "from", "to", "switched",
+             "latency (ms)", "requested"],
+            rows,
+            title=(
+                f"adaptations ({self.adapt_strategy} strategy, "
+                f"stress x{self.stress:g})"
+            ),
+        )
+        return (
+            adaptation_table
+            + f"\n\nstatic   optimum {tuple(self.static_schedule)}"
+            f" (P_all = {self.static_overall:.4f})"
+            + f"\nstatic   mean cost = {self.static_cost:.4f}"
+            " (schedule held for the whole horizon)"
+            + f"\nadaptive mean cost = {self.adaptive_cost:.4f}"
+            f" ({self.adaptive_sim.n_adaptations} adaptations)"
+            + f"\nfeedback-scheduling gain: {self.improvement:+.4f}"
+            + (f"\nengine: {self.engine_summary}" if self.engine_summary else "")
+        )
+
+
+def run(
+    case: CaseStudy | None = None,
+    design_options: DesignOptions | None = None,
+    platform: Platform | None = None,
+    stress: float = 1.46,
+    horizon: float = 1.0,
+    strategy: str | None = None,
+    adapt_strategy: str | None = None,
+    workers: int = 0,
+    cache_dir=None,
+    on_event=None,
+    on_sim_event=None,
+) -> FeedbackSummary:
+    """Run the static-vs-adaptive comparison on the case study.
+
+    Both runs simulate the *same* load transient; only ``adapt``
+    differs.  ``strategy`` picks the offline search (default
+    ``hybrid``), ``adapt_strategy`` the re-optimization the feedback
+    loop invokes (default ``online``).  With a ``cache_dir`` the two
+    runs share persistent evaluations, and the adaptive run's
+    re-optimizations hit the warm engine either way.
+    """
+    case = case or build_case_study(platform=platform)
+    options = design_options or design_options_for_profile()
+    profile = load_transient(
+        len(case.apps),
+        horizon=horizon,
+        stress=stress,
+        adapt_strategy=adapt_strategy,
+    )
+    engine_options = EngineOptions(workers=workers, cache_dir=cache_dir)
+
+    def scenario(name: str, adapt: bool) -> Scenario:
+        return Scenario(
+            name=name,
+            apps=case.apps,
+            clock=case.clock,
+            design_options=options,
+            strategy=strategy,
+            platform=platform,
+            dynamic=replace(profile, adapt=adapt),
+        )
+
+    static_scenario = scenario("casestudy-static", adapt=False)
+    adaptive_scenario = scenario("casestudy-adaptive", adapt=True)
+    started = time.perf_counter()
+    static_outcome = run_scenario(
+        static_scenario, engine_options, on_event=on_event,
+        on_sim_event=on_sim_event,
+    )
+    static_wall = time.perf_counter() - started
+    started = time.perf_counter()
+    adaptive_outcome = run_scenario(
+        adaptive_scenario, engine_options, on_event=on_event,
+        on_sim_event=on_sim_event,
+    )
+    adaptive_wall = time.perf_counter() - started
+    best = adaptive_outcome.result.best
+    summary = FeedbackSummary(
+        app_names=[app.name for app in case.apps],
+        stress=stress,
+        horizon=horizon,
+        strategy=adaptive_outcome.strategy,
+        adapt_strategy=adaptive_outcome.sim.adapt_strategy,
+        static_schedule=list(best.schedule.counts),
+        static_overall=float(best.overall),
+        static_sim=static_outcome.sim,
+        adaptive_sim=adaptive_outcome.sim,
+        engine_summary=(
+            f"static: {static_outcome.engine_stats.get('n_requested', 0)} "
+            f"requested / {static_outcome.engine_stats.get('n_computed', 0)} "
+            f"computed; adaptive: "
+            f"{adaptive_outcome.engine_stats.get('n_requested', 0)} requested "
+            f"/ {adaptive_outcome.engine_stats.get('n_computed', 0)} computed"
+        ),
+        backend=adaptive_outcome.backend,
+        static_wall=static_wall,
+        adaptive_wall=adaptive_wall,
+    )
+    summary.extra["scenarios"] = (static_scenario, static_outcome,
+                                  adaptive_scenario, adaptive_outcome)
+    return summary
+
+
+@register_experiment
+class FeedbackExperiment:
+    """Feedback scheduling vs the static optimum under a load transient."""
+
+    name = "feedback"
+    supports_out = False
+    supports_strategy = True  # offline search the simulation starts from
+
+    def build(self, request: ExperimentRequest) -> ExperimentReport:
+        summary = run(
+            design_options=request.design_options,
+            platform=request.platform,
+            strategy=request.strategy,
+            workers=request.workers,
+            cache_dir=request.cache_dir,
+            on_event=request.on_event,
+        )
+        static_scenario, static_outcome, adaptive_scenario, adaptive_outcome = (
+            summary.extra.pop("scenarios")
+        )
+        data = {
+            "app_names": list(summary.app_names),
+            "stress": float(summary.stress),
+            "horizon": float(summary.horizon),
+            "strategy": summary.strategy,
+            "adapt_strategy": summary.adapt_strategy,
+            "static_schedule": list(summary.static_schedule),
+            "static_overall": float(summary.static_overall),
+            "static_cost": float(summary.static_cost),
+            "adaptive_cost": float(summary.adaptive_cost),
+            "improvement": float(summary.improvement),
+            "n_adaptations": int(summary.adaptive_sim.n_adaptations),
+            "static_sim": summary.static_sim.to_dict(),
+            "adaptive_sim": summary.adaptive_sim.to_dict(),
+            "engine_summary": summary.engine_summary,
+            "backend": summary.backend,
+            "static_wall": float(summary.static_wall),
+            "adaptive_wall": float(summary.adaptive_wall),
+        }
+        run_reports = [
+            RunReport.from_outcome(static_scenario, static_outcome),
+            RunReport.from_outcome(adaptive_scenario, adaptive_outcome),
+        ]
+        return new_report(
+            self.name,
+            data=data,
+            run_reports=run_reports,
+            platform=request.platform,
+        )
+
+    def render(self, report: ExperimentReport) -> str:
+        return self.result_from(report).render()
+
+    @staticmethod
+    def result_from(report: ExperimentReport) -> FeedbackSummary:
+        """Rebuild the summary from a (possibly resumed) report."""
+        data = report.data
+        try:
+            return FeedbackSummary(
+                app_names=list(data["app_names"]),
+                stress=float(data["stress"]),
+                horizon=float(data["horizon"]),
+                strategy=str(data["strategy"]),
+                adapt_strategy=str(data["adapt_strategy"]),
+                static_schedule=[int(m) for m in data["static_schedule"]],
+                static_overall=float(data["static_overall"]),
+                static_sim=SimReport.from_dict(data["static_sim"]),
+                adaptive_sim=SimReport.from_dict(data["adaptive_sim"]),
+                engine_summary=str(data.get("engine_summary", "")),
+                backend=str(data.get("backend", "serial")),
+                static_wall=float(data.get("static_wall", 0.0)),
+                adaptive_wall=float(data.get("adaptive_wall", 0.0)),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigurationError(
+                f"invalid feedback experiment report: {exc}"
+            ) from exc

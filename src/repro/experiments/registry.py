@@ -13,10 +13,11 @@ registered experiments — the exact contract of the search-strategy
 (:mod:`repro.sched.strategies`) and WCET-model
 (:mod:`repro.wcet.models`) registries.
 
-Seven experiments are builtin, one per paper artifact: ``table1``,
-``table2``, ``table3``, ``fig6``, ``search``, ``multicore`` and
-``shared_cache`` (each registered by its module under
-:mod:`repro.experiments`).
+Eight experiments are builtin: one per paper artifact — ``table1``,
+``table2``, ``table3``, ``fig6``, ``search``, ``multicore``,
+``shared_cache`` — plus ``feedback``, the runtime feedback-scheduling
+comparison built on :mod:`repro.sim` (each registered by its module
+under :mod:`repro.experiments`).
 
 Rendering is split from running: :meth:`ExperimentSpec.build` produces
 the report, :meth:`ExperimentSpec.render` turns a report — fresh or
@@ -219,6 +220,7 @@ def _ensure_builtins() -> None:
     apps/control stack, which itself imports this package.
     """
     from . import (  # noqa: F401
+        feedback,
         fig6,
         multicore,
         search,

@@ -77,7 +77,13 @@ class LintConfig:
         "Platform",
         "CacheConfig",
     )
-    determinism_dirs: tuple[str, ...] = ("control", "wcet", "sched", "multicore")
+    determinism_dirs: tuple[str, ...] = (
+        "control",
+        "wcet",
+        "sched",
+        "multicore",
+        "sim",
+    )
     determinism_allowed: tuple[tuple[str, str], ...] = (
         # EngineStats / RunReport wall times: observability only.
         ("sched/engine/batch.py", "time.perf_counter"),

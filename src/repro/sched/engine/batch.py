@@ -62,6 +62,14 @@ class Scenario:
     options dataclass; both are meaningless — and rejected — for
     single-core scenarios.
 
+    ``dynamic`` makes the scenario a *feedback-scheduling* one: after
+    the static search, the attached
+    :class:`~repro.sim.profiles.DynamicProfile` is simulated through
+    :class:`~repro.sim.loop.FeedbackLoop` on the scenario's (still
+    warm) engine, and the outcome carries the resulting
+    :class:`~repro.sim.report.SimReport`.  Dynamic scenarios are
+    single-core only.
+
     ``method=`` is the deprecated spelling of ``strategy=``.
     """
 
@@ -80,6 +88,7 @@ class Scenario:
     shared_cache: bool = False
     allocator: str | None = None
     allocator_options: object | None = None
+    dynamic: object | None = None
     method: InitVar[str | None] = None
 
     def __post_init__(self, method: str | None) -> None:
@@ -119,6 +128,21 @@ class Scenario:
         if self.strategy is None:
             self.strategy = "hybrid" if self.n_cores == 1 else "exhaustive"
         get_strategy(self.strategy)  # fail fast on unknown names
+        if self.dynamic is not None:
+            # Imported lazily: repro.sim builds on repro.sched.
+            from ...sim.profiles import DynamicProfile
+
+            if not isinstance(self.dynamic, DynamicProfile):
+                raise ConfigurationError(
+                    f"scenario {self.name!r}: dynamic= takes a "
+                    f"DynamicProfile, got {type(self.dynamic).__name__}"
+                )
+            if self.n_cores > 1:
+                raise ConfigurationError(
+                    f"scenario {self.name!r}: feedback-scheduling "
+                    "simulation is single-core only (n_cores=1)"
+                )
+            self.dynamic.check_apps(len(self.apps))
 
 
 @dataclass
@@ -139,6 +163,9 @@ class ScenarioOutcome:
     n_apps: int = 0
     n_cores: int = 1
     multicore: "MulticoreEvaluation | None" = None
+    #: The feedback-scheduling simulation report of a dynamic scenario
+    #: (:class:`~repro.sim.report.SimReport`), ``None`` otherwise.
+    sim: "SimReport | None" = None
 
     @property
     def method(self) -> str:
@@ -166,6 +193,7 @@ def run_scenario(
     scenario: Scenario,
     engine_options: EngineOptions | None = None,
     on_event=None,
+    on_sim_event=None,
 ) -> ScenarioOutcome:
     """Run one scenario through a fresh engine.
 
@@ -177,6 +205,9 @@ def run_scenario(
     ``on_event`` receives the engine's typed progress events
     (:mod:`repro.sched.engine.events`) while the search runs; the
     ``Study`` facade wraps them into scenario-tagged study events.
+    ``on_sim_event`` receives the runtime
+    :class:`~repro.sim.events.SimEvent`\\ s of a dynamic scenario's
+    feedback-scheduling simulation (ignored for static scenarios).
     """
     options = engine_options or EngineOptions()
     strategy = get_strategy(scenario.strategy)
@@ -204,6 +235,23 @@ def run_scenario(
             options=scenario.options,
         )
         result = strategy.run(engine, space, spec)
+        sim_report = None
+        if scenario.dynamic is not None:
+            # Imported lazily: repro.sim builds on repro.sched.  The
+            # simulation runs on the scenario's still-warm engine, so
+            # re-optimizations hit the memo the static search filled.
+            from ...sim.loop import FeedbackLoop
+
+            sim_report = FeedbackLoop(
+                engine,
+                space,
+                scenario.dynamic,
+                result.best,
+                strategy.name,
+                base_spec=spec,
+                scenario=scenario.name,
+                on_sim_event=on_sim_event,
+            ).run()
         wall_time = time.perf_counter() - started
         return ScenarioOutcome(
             name=scenario.name,
@@ -214,6 +262,7 @@ def run_scenario(
             engine_stats=engine.stats.as_dict(),
             backend=engine.backend_name,
             n_apps=len(scenario.apps),
+            sim=sim_report,
         )
 
 
@@ -290,12 +339,23 @@ def synthesize_scenarios(
     shared_cache: bool = False,
     allocator: str | None = None,
     allocator_options: object | None = None,
+    dynamic: bool = False,
     method: str | None = None,
 ) -> list[Scenario]:
     """Deterministic random workloads derived from the case study.
 
     ``strategy`` names a registered search strategy (``None`` = the
     run-type default); ``method=`` is its deprecated spelling.
+
+    ``dynamic=True`` attaches a seeded random
+    :class:`~repro.sim.profiles.DynamicProfile` (load transient plus a
+    plant mode change; see :func:`repro.sim.profiles.synthesize_profile`)
+    to every scenario, so the suite runs the feedback-scheduling
+    simulation after each static search.  Dynamic suites are
+    single-core only; each profile is drawn from its own
+    ``(seed, index)``-derived stream — the main stream advances exactly
+    as in a static suite, so a ``dynamic=True`` suite synthesizes
+    bit-identical applications to the static suite of the same seed.
 
     ``platform`` is the execution platform every scenario is analyzed
     on — cache geometry, clock and WCET model (``None`` = the paper
@@ -349,6 +409,11 @@ def synthesize_scenarios(
             strategy = method
     if n_scenarios < 1:
         raise SearchError(f"need at least one scenario, got {n_scenarios}")
+    if dynamic and n_cores > 1:
+        raise ConfigurationError(
+            "dynamic=True synthesizes feedback-scheduling scenarios, "
+            f"which are single-core only; got n_cores={n_cores}"
+        )
     plant_builders = {
         "C1": servo_position_plant,
         "C2": dc_motor_speed_plant,
@@ -414,6 +479,17 @@ def synthesize_scenarios(
         # reduced the scenario to one core; an explicitly requested
         # single-core suite still fails fast in Scenario validation.
         clamped_single = n_cores > 1 and scenario_cores == 1
+        profile = None
+        if dynamic:
+            # Imported lazily: repro.sim builds on repro.sched.
+            from ...sim.profiles import synthesize_profile
+
+            # Drawn from a per-scenario derived stream, not `rng`: the
+            # main stream must advance exactly as in a static suite so
+            # dynamic=True synthesizes bit-identical applications.
+            profile = synthesize_profile(
+                np.random.default_rng((seed, index)), n_apps
+            )
         scenarios.append(
             Scenario(
                 name=f"synth-{index:03d}",
@@ -429,6 +505,7 @@ def synthesize_scenarios(
                 allocator_options=(
                     None if clamped_single else allocator_options
                 ),
+                dynamic=profile,
             )
         )
     return scenarios

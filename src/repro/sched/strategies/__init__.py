@@ -68,6 +68,7 @@ from .builtin import (
     InterleavedOptions,
     InterleavedStrategy,
 )
+from .online import OnlineOptions, OnlineStrategy
 
 __all__ = [
     "AnnealingStrategy",
@@ -76,6 +77,8 @@ __all__ = [
     "HybridStrategy",
     "InterleavedOptions",
     "InterleavedStrategy",
+    "OnlineOptions",
+    "OnlineStrategy",
     "SearchStrategy",
     "StrategySpec",
     "available_strategies",

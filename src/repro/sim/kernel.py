@@ -1,0 +1,91 @@
+"""Discrete-event simulation kernel: a clock and a ``heapq`` queue.
+
+The kernel is deliberately tiny and dependency-free (stdlib ``heapq``
+only): a :class:`SimClock` that can only move forward and an
+:class:`EventQueue` ordered by ``(time, insertion order)``, so two
+events scheduled for the same instant are processed exactly in the
+order they were scheduled — the tie-break that keeps every simulation
+replay byte-identical.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterator
+
+from ..errors import ConfigurationError
+from .events import SimEvent
+
+
+class SimClock:
+    """Monotonic simulated time (seconds).
+
+    The clock starts at zero and only advances; rewinding raises
+    :class:`~repro.errors.ConfigurationError` — a simulation that tries
+    to process events out of order is broken, and silently accepting it
+    would corrupt every time-integrated statistic downstream.
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance(self, to: float) -> float:
+        """Move the clock forward to ``to`` (idempotent at ``now``)."""
+        if to < self._now:
+            raise ConfigurationError(
+                f"simulated time cannot rewind: now={self._now!r}, "
+                f"requested {to!r}"
+            )
+        self._now = to
+        return self._now
+
+
+class EventQueue:
+    """Priority queue of :class:`~repro.sim.events.SimEvent`\\ s.
+
+    Events pop in ``(event.time, insertion order)`` order.  The
+    insertion-order tie-break makes simultaneous events deterministic
+    without comparing event payloads (heterogeneous dataclasses do not
+    order), which is what keeps replays of one scenario byte-identical.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, SimEvent]] = []
+        self._sequence = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def push(self, event: SimEvent) -> None:
+        """Schedule one event at its own ``time``."""
+        if event.time < 0.0:
+            raise ConfigurationError(
+                f"cannot schedule an event before t=0: {event!r}"
+            )
+        heapq.heappush(self._heap, (event.time, self._sequence, event))
+        self._sequence += 1
+
+    def peek(self) -> SimEvent:
+        """The next event without removing it (queue must be non-empty)."""
+        if not self._heap:
+            raise ConfigurationError("the event queue is empty")
+        return self._heap[0][2]
+
+    def pop(self) -> SimEvent:
+        """Remove and return the next event (queue must be non-empty)."""
+        if not self._heap:
+            raise ConfigurationError("the event queue is empty")
+        return heapq.heappop(self._heap)[2]
+
+    def drain(self) -> Iterator[SimEvent]:
+        """Pop events until the queue is empty (new pushes are honored)."""
+        while self._heap:
+            yield self.pop()

@@ -1,0 +1,337 @@
+"""The feedback loop: detect load changes, re-optimize, switch.
+
+:class:`FeedbackLoop` drives one discrete-event simulation of a
+single-core scenario: the :class:`~repro.sim.profiles.DynamicProfile`'s
+runtime events play through the :mod:`~repro.sim.kernel` queue, load
+changes tighten the idle-time constraint (eq. (4) scaled by the demand
+vector), and — when the profile adapts — every load change re-invokes a
+registered search strategy *through the same warm*
+:class:`~repro.sched.engine.SearchEngine` the static search ran on, so
+re-optimizations are served from the memo and persistent cache wherever
+the candidate schedules were already designed.
+
+Adaptation latency is *simulated*: a base detection/distribution delay
+plus a per-requested-evaluation cost.  Requested counts are identical
+whether the cache is cold or warm (hits request the same work), so the
+timeline, the switches and the whole :class:`~repro.sim.report.SimReport`
+are byte-identical across cache states — only the engine-stats
+bookkeeping shows where evaluations actually came from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Any, Callable, Sequence
+
+from ..errors import SearchError
+from ..sched.feasibility import max_sampling_periods
+from ..sched.schedule import PeriodicSchedule
+from ..sched.strategies import StrategySpec, get_strategy
+from .events import (
+    LoadDisturbance,
+    PlantModeChange,
+    ScheduleSwitch,
+    SimEvent,
+    TaskArrival,
+)
+from .kernel import EventQueue, SimClock
+from .profiles import DynamicProfile
+from .report import SimReport, json_safe
+
+
+def demand_feasible(
+    schedule: PeriodicSchedule,
+    apps: Sequence[Any],
+    clock: Any,
+    demands: Sequence[float],
+) -> bool:
+    """Eq. (4) under runtime load: idle budgets scaled by the demands.
+
+    Application ``i``'s longest sampling period must not exceed
+    ``max_idle_i / demands[i]`` — at nominal demand (``1.0``
+    everywhere) this is exactly :func:`~repro.sched.feasibility
+    .idle_feasible`.
+    """
+    wcets = [app.wcets for app in apps]
+    periods = max_sampling_periods(schedule, wcets, clock)
+    return all(
+        period <= app.max_idle / demand + 1e-15
+        for period, app, demand in zip(periods, apps, demands)
+    )
+
+
+class FeedbackLoop:
+    """One simulated run of the online feedback-scheduling loop.
+
+    Parameters
+    ----------
+    engine:
+        The (warm) :class:`~repro.sched.engine.SearchEngine` — or any
+        duck-compatible evaluator — the static search ran on;
+        re-optimizations evaluate through it.
+    space:
+        The enumerated idle-feasible schedule space of the scenario.
+    profile:
+        The :class:`~repro.sim.profiles.DynamicProfile` to simulate.
+    initial:
+        The static optimum's
+        :class:`~repro.sched.evaluator.ScheduleEvaluation` (the
+        schedule active at ``t = 0``).
+    strategy_name:
+        Name of the strategy that produced ``initial`` (report field).
+    base_spec:
+        The scenario's :class:`~repro.sched.strategies.StrategySpec`;
+        re-optimizations reuse its seed/options with the incumbent and
+        the static optimum as explicit starts and the demand-scaled
+        feasibility predicate.
+    scenario:
+        Scenario name recorded in the report.
+    on_sim_event:
+        Optional callback receiving every processed
+        :class:`~repro.sim.events.SimEvent` live (the ``Study`` facade
+        wraps them into
+        :class:`~repro.study.events.SimulationProgress`).
+    """
+
+    def __init__(
+        self,
+        engine: Any,
+        space: Sequence[PeriodicSchedule],
+        profile: DynamicProfile,
+        initial: Any,
+        strategy_name: str,
+        base_spec: StrategySpec | None = None,
+        scenario: str = "sim",
+        on_sim_event: Callable[[SimEvent], None] | None = None,
+    ) -> None:
+        self.engine = engine
+        self.space = list(space)
+        self.profile = profile
+        self.initial = initial
+        self.strategy_name = strategy_name
+        self.base_spec = base_spec or StrategySpec()
+        self.scenario = scenario
+        self.on_sim_event = on_sim_event
+        self.adapt_strategy_name = profile.adapt_strategy or "online"
+        self._adapt_strategy = get_strategy(self.adapt_strategy_name)
+        profile.check_apps(len(engine.apps))
+
+    # ------------------------------------------------------------------
+    # Simulation
+    # ------------------------------------------------------------------
+    def run(self) -> SimReport:
+        """Play the profile through the event queue; one report out."""
+        apps = self.engine.apps
+        names = [app.name for app in apps]
+        clock = SimClock()
+        queue = EventQueue()
+        queue.push(
+            ScheduleSwitch(
+                time=0.0,
+                counts=tuple(self.initial.schedule.counts),
+                overall=float(self.initial.overall),
+                reason="initial",
+            )
+        )
+        for time, index in self.profile.arrivals:
+            queue.push(TaskArrival(time=time, app=names[index]))
+        for time, demands in self.profile.disturbances:
+            queue.push(LoadDisturbance(time=time, demands=demands))
+        for time, index, factor in self.profile.mode_changes:
+            queue.push(PlantModeChange(time=time, app=names[index], factor=factor))
+
+        demands: tuple[float, ...] = tuple(1.0 for _ in apps)
+        active = self.initial
+        timeline: list[dict] = []
+        segments: list[dict] = []
+        traces: list[list[dict]] = [[] for _ in apps]
+        adaptations: list[dict] = []
+        segment_start = 0.0
+
+        def close_segment(end: float) -> None:
+            nonlocal segment_start
+            if end <= segment_start:
+                return
+            segments.append(
+                self._segment(segment_start, end, active, demands, traces)
+            )
+            segment_start = end
+
+        for event in queue.drain():
+            if event.time >= self.profile.horizon:
+                continue  # a switch completing past the horizon
+            clock.advance(event.time)
+            timeline.append(json_safe(event.to_dict()))
+            if self.on_sim_event is not None:
+                self.on_sim_event(event)
+            if isinstance(event, TaskArrival):
+                continue
+            if isinstance(event, ScheduleSwitch):
+                close_segment(event.time)
+                active = self.engine.evaluate(PeriodicSchedule(event.counts))
+                continue
+            if isinstance(event, LoadDisturbance):
+                close_segment(event.time)
+                demands = event.demands
+            elif isinstance(event, PlantModeChange):
+                close_segment(event.time)
+                index = names.index(event.app)
+                demands = tuple(
+                    d * event.factor if i == index else d
+                    for i, d in enumerate(demands)
+                )
+            if self.profile.adapt:
+                self._adapt(event.time, active, demands, queue, adaptations)
+        close_segment(self.profile.horizon)
+
+        total = sum(s["cost"] * (s["end"] - s["start"]) for s in segments)
+        return SimReport(
+            scenario=self.scenario,
+            horizon=self.profile.horizon,
+            n_apps=len(apps),
+            app_names=names,
+            strategy=self.strategy_name,
+            adapt=self.profile.adapt,
+            adapt_strategy=self.adapt_strategy_name,
+            profile=self.profile.to_dict(),
+            initial_schedule=list(self.initial.schedule.counts),
+            initial_overall=float(self.initial.overall),
+            timeline=timeline,
+            segments=segments,
+            apps=[
+                {"name": name, "trace": trace}
+                for name, trace in zip(names, traces)
+            ],
+            adaptations=adaptations,
+            mean_cost=total / self.profile.horizon,
+            engine_stats=dict(self.engine.stats.as_dict()),
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _segment(
+        self,
+        start: float,
+        end: float,
+        active: Any,
+        demands: tuple[float, ...],
+        traces: list[list[dict]],
+    ) -> dict:
+        """Close one piecewise-constant segment, extending the traces."""
+        apps = self.engine.apps
+        load_ok = demand_feasible(
+            active.schedule, apps, self.engine.clock, demands
+        )
+        feasible = bool(load_ok and active.feasible)
+        cost = 1.0 - float(active.overall) if feasible else 1.0
+        for trace, app_eval in zip(traces, active.apps):
+            trace.append(
+                {
+                    "start": start,
+                    "end": end,
+                    "settling": float(app_eval.settling),
+                    "performance": float(app_eval.performance),
+                }
+            )
+        return {
+            "start": start,
+            "end": end,
+            "schedule": list(active.schedule.counts),
+            "demands": list(demands),
+            "load_feasible": bool(load_ok),
+            "feasible": feasible,
+            "cost": cost,
+        }
+
+    def _adapt(
+        self,
+        at: float,
+        active: Any,
+        demands: tuple[float, ...],
+        queue: EventQueue,
+        adaptations: list[dict],
+    ) -> None:
+        """Re-optimize after a load change; schedule the switch."""
+        apps = self.engine.apps
+        hw_clock = self.engine.clock
+        predicate = lambda schedule: demand_feasible(
+            schedule, apps, hw_clock, demands
+        )
+        starts: list[PeriodicSchedule] = [active.schedule]
+        if self.initial.schedule.counts != active.schedule.counts:
+            starts.append(self.initial.schedule)
+        spec = replace(
+            self.base_spec, starts=tuple(starts), feasible=predicate
+        )
+        before = self._counters()
+        record: dict = {
+            "at": at,
+            "from": list(active.schedule.counts),
+            "demands": list(demands),
+        }
+        try:
+            result = self._adapt_strategy.run(self.engine, self.space, spec)
+        except SearchError as exc:
+            record.update(
+                ok=False,
+                error=str(exc),
+                to=None,
+                overall=None,
+                switched=False,
+                latency=self.profile.adapt_base_latency,
+                completed_at=at + self.profile.adapt_base_latency,
+                engine={"n_requested": self._delta(before)["n_requested"]},
+            )
+            adaptations.append(record)
+            return
+        delta = self._delta(before)
+        latency = (
+            self.profile.adapt_base_latency
+            + self.profile.adapt_eval_latency * delta["n_requested"]
+        )
+        completed = at + latency
+        candidate = result.best
+        switched = candidate.schedule.counts != active.schedule.counts and (
+            not predicate(active.schedule)
+            or candidate.overall > active.overall
+        )
+        record.update(
+            ok=True,
+            error=None,
+            to=list(candidate.schedule.counts),
+            overall=float(candidate.overall),
+            switched=bool(switched),
+            latency=latency,
+            completed_at=completed,
+            # Only the cache-independent counter goes into the report:
+            # how many requests split into memo/disk hits vs fresh
+            # computes depends on cache state, and the report must stay
+            # byte-identical cold or warm (the split stays visible in
+            # the report-level ``engine_stats``).
+            engine={"n_requested": delta["n_requested"]},
+        )
+        adaptations.append(record)
+        if switched:
+            queue.push(
+                ScheduleSwitch(
+                    time=completed,
+                    counts=tuple(candidate.schedule.counts),
+                    overall=float(candidate.overall),
+                    reason="adaptation",
+                )
+            )
+
+    def _counters(self) -> dict:
+        stats = self.engine.stats
+        return {
+            "n_requested": int(stats.n_requested),
+            "n_memo_hits": int(stats.n_memo_hits),
+            "n_disk_hits": int(stats.n_disk_hits),
+            "n_duplicates": int(stats.n_duplicates),
+            "n_computed": int(stats.n_computed),
+        }
+
+    def _delta(self, before: dict) -> dict:
+        after = self._counters()
+        return {key: after[key] - before[key] for key in after}

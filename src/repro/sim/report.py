@@ -1,0 +1,131 @@
+"""Structured, JSON-round-tripping simulation reports.
+
+A :class:`SimReport` is the artifact of one feedback-scheduling
+simulation: the runtime timeline (every processed
+:class:`~repro.sim.events.SimEvent`), the piecewise-constant schedule
+segments with their time-integrated cost, per-application
+settling/performance traces, every adaptation with its simulated
+latency and engine-stats snapshot, and the final engine accounting.
+
+Deliberately **no wall-clock fields**: every time in the report is
+*simulated* time, and adaptation latencies are a deterministic function
+of requested-evaluation counts (cache-independent), so rerunning one
+simulation with the same seed, scenario and platform produces a
+byte-identical report — cold or warm cache.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Any
+
+from ..errors import ConfigurationError
+
+#: Bump when the report layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+
+def json_safe(value: Any) -> Any:
+    """Recursively canonicalize to what ``json.loads`` would produce.
+
+    Tuples become lists and mappings plain dicts, so a report built
+    from in-memory values equals its own JSON round trip — the
+    identity the byte-identity checks (and run-dir resume) rely on.
+    """
+    if isinstance(value, dict):
+        return {key: json_safe(entry) for key, entry in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [json_safe(entry) for entry in value]
+    return value
+
+
+@dataclass
+class SimReport:
+    """Structured outcome of one simulation (JSON round-trippable).
+
+    ``timeline`` holds the processed runtime events in order (tagged
+    :meth:`SimEvent.to_dict <repro.sim.events.SimEvent.to_dict>`
+    encodings); ``segments`` the piecewise-constant activity between
+    them (``start``/``end``/``schedule``/``demands``/``feasible``/
+    ``cost`` — cost is ``1 - P_all`` on feasible segments, ``1.0``
+    where the active schedule violates the load-scaled idle constraint
+    or its settling deadlines); ``apps`` the per-application
+    settling/performance trace per segment; ``adaptations`` one record
+    per re-optimization (trigger time, completion time, simulated
+    latency, schedules and the cache-independent requested-evaluation
+    count — the memo/disk/computed split lives only in the report-level
+    ``engine_stats``, which is why the rest of the report is
+    byte-identical cold or warm).  ``mean_cost`` is the time-integrated
+    segment cost divided by the horizon.
+    """
+
+    scenario: str
+    horizon: float
+    n_apps: int
+    app_names: list[str]
+    strategy: str
+    adapt: bool
+    adapt_strategy: str
+    profile: dict
+    initial_schedule: list[int]
+    initial_overall: float
+    timeline: list[dict]
+    segments: list[dict]
+    apps: list[dict]
+    adaptations: list[dict]
+    mean_cost: float
+    engine_stats: dict = field(default_factory=dict)
+    schema_version: int = SCHEMA_VERSION
+
+    @property
+    def n_adaptations(self) -> int:
+        """Completed re-optimizations (failed attempts included)."""
+        return len(self.adaptations)
+
+    # ------------------------------------------------------------------
+    # Round-tripping
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SimReport":
+        if not isinstance(data, dict):
+            raise ConfigurationError(
+                f"sim report payload must be an object, got {type(data).__name__}"
+            )
+        try:
+            return cls(
+                scenario=str(data["scenario"]),
+                horizon=float(data["horizon"]),
+                n_apps=int(data["n_apps"]),
+                app_names=[str(name) for name in data["app_names"]],
+                strategy=str(data["strategy"]),
+                adapt=bool(data["adapt"]),
+                adapt_strategy=str(data["adapt_strategy"]),
+                profile=dict(data["profile"]),
+                initial_schedule=[int(m) for m in data["initial_schedule"]],
+                initial_overall=float(data["initial_overall"]),
+                timeline=[json_safe(dict(entry)) for entry in data["timeline"]],
+                segments=[json_safe(dict(entry)) for entry in data["segments"]],
+                apps=[json_safe(dict(entry)) for entry in data["apps"]],
+                adaptations=[
+                    json_safe(dict(entry)) for entry in data["adaptations"]
+                ],
+                mean_cost=float(data["mean_cost"]),
+                engine_stats=dict(data.get("engine_stats", {})),
+                schema_version=int(data.get("schema_version", SCHEMA_VERSION)),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigurationError(f"invalid sim report payload: {exc}") from exc
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """Stable JSON form (sorted keys; ``Infinity`` allowed for the
+        non-finite settling of infeasible designs)."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SimReport":
+        """Inverse of :meth:`to_json` (identity round-trip)."""
+        return cls.from_dict(json.loads(text))

@@ -33,6 +33,8 @@ from .events import (
     ScenarioProgress,
     ScenarioResumed,
     ScenarioStarted,
+    SimulationFinished,
+    SimulationProgress,
     StudyEvent,
 )
 from .report import RunReport, scenario_digest
@@ -44,6 +46,8 @@ __all__ = [
     "ScenarioProgress",
     "ScenarioResumed",
     "ScenarioStarted",
+    "SimulationFinished",
+    "SimulationProgress",
     "Study",
     "StudyEvent",
     "scenario_digest",

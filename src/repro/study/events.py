@@ -14,6 +14,11 @@ stream of these events per study:
 * :class:`ScenarioResumed` when a persisted
   :class:`~repro.study.RunReport` answered the scenario from disk
   (no search ran);
+* :class:`SimulationProgress` for every runtime
+  :class:`~repro.sim.events.SimEvent` a dynamic scenario's
+  feedback-scheduling simulation processes;
+* :class:`SimulationFinished` once such a simulation's
+  :class:`~repro.sim.report.SimReport` exists;
 * :class:`ScenarioFinished` once a scenario's report exists, carrying
   the report and the study's *running throughput* (cumulative computed
   evaluations per cumulative search second).
@@ -40,6 +45,8 @@ from typing import Any
 
 from ..errors import ConfigurationError
 from ..sched.engine.events import EngineEvent
+from ..sim.events import SimEvent
+from ..sim.report import SimReport
 from .report import RunReport
 
 #: Concrete event classes by name (``to_dict``'s ``"event"`` tag);
@@ -154,6 +161,57 @@ class ScenarioResumed(StudyEvent):
     def _from_payload(cls, payload: dict) -> "ScenarioResumed":
         payload = dict(payload)
         payload["report"] = RunReport.from_dict(payload["report"])
+        return cls(**payload)
+
+
+@dataclass(frozen=True)
+class SimulationProgress(StudyEvent):
+    """One runtime simulation event, tagged with its scenario.
+
+    Emitted while a dynamic scenario's feedback-scheduling simulation
+    runs (:class:`~repro.sim.loop.FeedbackLoop` processing its
+    timeline); ``sim`` is the processed
+    :class:`~repro.sim.events.SimEvent`.
+    """
+
+    sim: SimEvent
+
+    def _payload(self) -> dict:
+        data = asdict(self)
+        # asdict would flatten the sim event into an untagged dict; its
+        # own encoding keeps the concrete class name.
+        data["sim"] = self.sim.to_dict()
+        return data
+
+    @classmethod
+    def _from_payload(cls, payload: dict) -> "SimulationProgress":
+        payload = dict(payload)
+        payload["sim"] = SimEvent.from_dict(payload["sim"])
+        return cls(**payload)
+
+
+@dataclass(frozen=True)
+class SimulationFinished(StudyEvent):
+    """A dynamic scenario's feedback-scheduling simulation completed.
+
+    Carries the full :class:`~repro.sim.report.SimReport` plus the two
+    headline numbers (time-averaged cost and adaptation count) so wire
+    consumers can render a summary without decoding the report.
+    """
+
+    report: SimReport
+    mean_cost: float
+    n_adaptations: int
+
+    def _payload(self) -> dict:
+        data = asdict(self)
+        data["report"] = self.report.to_dict()
+        return data
+
+    @classmethod
+    def _from_payload(cls, payload: dict) -> "SimulationFinished":
+        payload = dict(payload)
+        payload["report"] = SimReport.from_dict(payload["report"])
         return cls(**payload)
 
 

@@ -103,6 +103,15 @@ class RunReport:
     search_stats: dict = field(default_factory=dict)
     allocator: str | None = None
     allocator_options: dict = field(default_factory=dict)
+    #: The dynamic profile of a feedback-scheduling scenario
+    #: (:meth:`DynamicProfile.to_dict
+    #: <repro.sim.profiles.DynamicProfile.to_dict>`) and its simulation
+    #: outcome (:meth:`SimReport.to_dict
+    #: <repro.sim.report.SimReport.to_dict>`); ``None`` for static
+    #: runs.  Additive with defaults, so pre-simulation v2 artifacts
+    #: round-trip unchanged.
+    dynamic: dict | None = None
+    sim: dict | None = None
     schema_version: int = SCHEMA_VERSION
 
     # ------------------------------------------------------------------
@@ -187,6 +196,16 @@ class RunReport:
             allocator_options=_json_safe(
                 options_as_dict(getattr(scenario, "allocator_options", None))
             ),
+            dynamic=(
+                scenario.dynamic.to_dict()
+                if getattr(scenario, "dynamic", None) is not None
+                else None
+            ),
+            sim=(
+                outcome.sim.to_dict()
+                if getattr(outcome, "sim", None) is not None
+                else None
+            ),
         )
 
     # ------------------------------------------------------------------
@@ -239,6 +258,12 @@ class RunReport:
                 else None
             ),
             allocator_options=dict(data.get("allocator_options", {})),
+            dynamic=(
+                dict(data["dynamic"])
+                if data.get("dynamic") is not None
+                else None
+            ),
+            sim=dict(data["sim"]) if data.get("sim") is not None else None,
             schema_version=int(data.get("schema_version", SCHEMA_VERSION)),
         )
 

@@ -34,11 +34,14 @@ from ..sched.engine import EngineOptions
 from ..sched.engine.batch import Scenario, run_scenario, synthesize_scenarios
 from ..sched.schedule import PeriodicSchedule
 from ..sched.strategies import options_as_dict
+from ..sim.report import SimReport
 from .events import (
     ScenarioFinished,
     ScenarioProgress,
     ScenarioResumed,
     ScenarioStarted,
+    SimulationFinished,
+    SimulationProgress,
     StudyEvent,
 )
 from .report import (
@@ -98,6 +101,7 @@ class Study:
         allocator: str | None = None,
         allocator_options: object | None = None,
         n_apps: int | None = None,
+        dynamic: object | None = None,
         engine_options: EngineOptions | None = None,
         run_dir: str | Path | None = None,
         name: str = "casestudy",
@@ -119,6 +123,13 @@ class Study:
         (round-robin copies with re-normalized weights) so many-core
         runs — where ``n_cores`` must not exceed the application
         count — have enough work to partition.
+
+        ``dynamic`` attaches a
+        :class:`~repro.sim.profiles.DynamicProfile`: after the static
+        search the feedback-scheduling simulation runs on the same warm
+        engine and the report carries its
+        :class:`~repro.sim.report.SimReport` (the CLI's ``simulate``
+        command; single-core only).
         """
         # Imported lazily: repro.apps builds on repro.sched.
         from ..apps import build_case_study
@@ -146,6 +157,7 @@ class Study:
             shared_cache=shared_cache,
             allocator=allocator,
             allocator_options=allocator_options,
+            dynamic=dynamic,
         )
         return cls([scenario], engine_options=engine_options, run_dir=run_dir)
 
@@ -163,6 +175,7 @@ class Study:
         shared_cache: bool = False,
         allocator: str | None = None,
         allocator_options: object | None = None,
+        dynamic: bool = False,
         engine_options: EngineOptions | None = None,
         run_dir: str | Path | None = None,
     ) -> "Study":
@@ -173,7 +186,10 @@ class Study:
         :func:`~repro.sched.engine.batch.synthesize_scenarios`.
         ``allocator`` selects the partition allocator of the multicore
         scenarios (ignored by scenarios the synthesis clamps down to a
-        single core).
+        single core).  ``dynamic=True`` attaches a seeded random
+        :class:`~repro.sim.profiles.DynamicProfile` to every scenario,
+        so each static search is followed by a feedback-scheduling
+        simulation on the same warm engine (single-core suites only).
         """
         scenarios = synthesize_scenarios(
             suite_size,
@@ -187,6 +203,7 @@ class Study:
             shared_cache=shared_cache,
             allocator=allocator,
             allocator_options=allocator_options,
+            dynamic=dynamic,
         )
         return cls(scenarios, engine_options=engine_options, run_dir=run_dir)
 
@@ -220,22 +237,25 @@ class Study:
         """
         if self.run_dir is None:
             return None
-        spec = json.dumps(
-            [
-                scenario.name,
-                [list(s.counts) for s in scenario.starts]
-                if scenario.starts
-                else None,
-                _json_safe(options_as_dict(scenario.options)),
-                scenario.n_starts,
-                scenario.max_count_per_core,
-                scenario_platform_fingerprint(scenario),
-                scenario.shared_cache,
-                scenario.allocator,
-                _json_safe(options_as_dict(scenario.allocator_options)),
-            ],
-            sort_keys=True,
-        )
+        spec_fields: list = [
+            scenario.name,
+            [list(s.counts) for s in scenario.starts]
+            if scenario.starts
+            else None,
+            _json_safe(options_as_dict(scenario.options)),
+            scenario.n_starts,
+            scenario.max_count_per_core,
+            scenario_platform_fingerprint(scenario),
+            scenario.shared_cache,
+            scenario.allocator,
+            _json_safe(options_as_dict(scenario.allocator_options)),
+        ]
+        if scenario.dynamic is not None:
+            # Appended only for dynamic scenarios, so every static
+            # artifact written before simulations existed keeps its
+            # historical digest (and stays resumable).
+            spec_fields.append(scenario.dynamic.to_dict())
+        spec = json.dumps(spec_fields, sort_keys=True)
         tag = hashlib.sha256(spec.encode()).hexdigest()[:8]
         filename = (
             f"{_slug(scenario.name)}--{_slug(scenario.strategy)}"
@@ -267,6 +287,12 @@ class Study:
             and report.allocator == scenario.allocator
             and report.allocator_options
             == _json_safe(options_as_dict(scenario.allocator_options))
+            and report.dynamic
+            == (
+                scenario.dynamic.to_dict()
+                if scenario.dynamic is not None
+                else None
+            )
             and report.starts
             == (
                 [list(s.counts) for s in scenario.starts]
@@ -286,19 +312,28 @@ class Study:
         return report if self._resumable(scenario, report) else None
 
     def _run_one(
-        self, scenario: Scenario, resume: bool, on_engine_event=None
+        self,
+        scenario: Scenario,
+        resume: bool,
+        on_engine_event=None,
+        on_sim_event=None,
     ) -> tuple[RunReport, bool, float]:
         """Run (or resume) one scenario.
 
         Returns ``(report, resumed, wall_time)``; ``on_engine_event``
-        receives the engine's progress events while the search runs.
+        receives the engine's progress events while the search runs,
+        ``on_sim_event`` the runtime events of a dynamic scenario's
+        feedback-scheduling simulation.
         """
         report = self._load_existing(scenario) if resume else None
         if report is not None:
             return report, True, 0.0
         started = time.perf_counter()
         outcome = run_scenario(
-            scenario, self.engine_options, on_event=on_engine_event
+            scenario,
+            self.engine_options,
+            on_event=on_engine_event,
+            on_sim_event=on_sim_event,
         )
         wall_time = time.perf_counter() - started
         report = RunReport.from_outcome(scenario, outcome)
@@ -364,17 +399,36 @@ class Study:
                 scenario=scenario.name,
             )
             buffered: list = []
+            buffered_sim: list = []
             if live_emit is not None:
                 engine_cb = lambda event, common=common: live_emit(
                     ScenarioProgress(engine=event, **common)
                 )
+                sim_cb = lambda event, common=common: live_emit(
+                    SimulationProgress(sim=event, **common)
+                )
             else:
                 engine_cb = buffered.append
+                sim_cb = buffered_sim.append
             report, resumed, wall_time = self._run_one(
-                scenario, resume, on_engine_event=engine_cb
+                scenario, resume, on_engine_event=engine_cb, on_sim_event=sim_cb
             )
             for engine_event in buffered:
                 yield ScenarioProgress(engine=engine_event, **common)
+            for sim_event in buffered_sim:
+                yield SimulationProgress(sim=sim_event, **common)
+            if not resumed and report.sim is not None:
+                sim_report = SimReport.from_dict(report.sim)
+                sim_finished = SimulationFinished(
+                    report=sim_report,
+                    mean_cost=sim_report.mean_cost,
+                    n_adaptations=sim_report.n_adaptations,
+                    **common,
+                )
+                if live_emit is not None:
+                    live_emit(sim_finished)
+                else:
+                    yield sim_finished
             if not resumed:
                 n_computed_total += int(
                     report.engine_stats.get("n_computed", 0)

@@ -17,6 +17,7 @@ from repro.experiments.registry import render_experiment
 
 
 ALL_EXPERIMENTS = (
+    "feedback",
     "fig6",
     "multicore",
     "search",
@@ -212,6 +213,25 @@ class TestRoundTripDesignHeavy:
         (embedded,) = report.run_reports
         assert embedded.n_cores == 2 and embedded.cores
         assert embedded.overall == report.data["best"]["overall"]
+
+    def test_feedback_embeds_both_simulations(self, tiny_design_options):
+        report = run_experiment("feedback", _request(tiny_design_options))
+        assert ExperimentReport.from_json(report.to_json()) == report
+        # Adapting can never lose: the static optimum stays reachable.
+        assert report.data["adaptive_cost"] <= report.data["static_cost"]
+        static, adaptive = report.run_reports
+        assert static.scenario == "casestudy-static"
+        assert adaptive.scenario == "casestudy-adaptive"
+        assert static.sim is not None and not static.sim["adapt"]
+        assert adaptive.sim is not None and adaptive.sim["adapt"]
+        assert static.dynamic is not None and adaptive.dynamic is not None
+        assert report.data["static_sim"] == static.sim
+        assert report.data["adaptive_sim"] == adaptive.sim
+        rendered = render_experiment("feedback", report)
+        assert "feedback-scheduling gain" in rendered
+        assert rendered == render_experiment(
+            "feedback", ExperimentReport.from_json(report.to_json())
+        )
 
     def test_shared_cache(self, tiny_design_options, tmp_path):
         request = _request(tiny_design_options, max_count_per_core=2)

@@ -1,0 +1,155 @@
+"""The ``online`` strategy: warm-started greedy runtime re-optimization."""
+
+import pytest
+
+from repro.errors import SearchError
+from repro.sched.schedule import PeriodicSchedule
+from repro.sched.strategies import OnlineOptions, StrategySpec, get_strategy
+
+from ..fakes import FakeEvaluator, box_feasible, concave_peak
+
+
+def small_space(limit: int = 4) -> list[PeriodicSchedule]:
+    return [
+        PeriodicSchedule.of(a, b)
+        for a in range(1, limit + 1)
+        for b in range(1, limit + 1)
+    ]
+
+
+def run_online(evaluator, space, spec):
+    return get_strategy("online").run(evaluator, space, spec)
+
+
+class TestSearch:
+    def test_climbs_to_the_peak_from_a_warm_start(self):
+        evaluator = FakeEvaluator(concave_peak((3, 2)))
+        result = run_online(
+            evaluator,
+            small_space(),
+            StrategySpec(
+                starts=(PeriodicSchedule.of(1, 1),),
+                feasible=lambda s: box_feasible(4)(s.counts),
+            ),
+        )
+        assert result.best_schedule.counts == (3, 2)
+        assert len(result.traces) == 1
+        assert result.traces[0].n_evaluations == result.n_evaluations
+
+    def test_stays_put_when_already_optimal(self):
+        evaluator = FakeEvaluator(concave_peak((2, 2)))
+        result = run_online(
+            evaluator,
+            small_space(),
+            StrategySpec(
+                starts=(PeriodicSchedule.of(2, 2),),
+                feasible=lambda s: box_feasible(4)(s.counts),
+            ),
+        )
+        assert result.best_schedule.counts == (2, 2)
+        # The incumbent plus its ring of neighbors, nothing further out.
+        assert result.n_evaluations <= 1 + len(
+            PeriodicSchedule.of(2, 2).neighbors()
+        )
+
+    def test_max_rounds_zero_evaluates_seeds_only(self):
+        evaluator = FakeEvaluator(concave_peak((4, 4)))
+        result = run_online(
+            evaluator,
+            small_space(),
+            StrategySpec(
+                starts=(PeriodicSchedule.of(1, 1),),
+                options=OnlineOptions(max_rounds=0),
+                feasible=lambda s: box_feasible(4)(s.counts),
+            ),
+        )
+        assert result.best_schedule.counts == (1, 1)
+        assert result.n_evaluations == 1
+
+    def test_random_starts_deterministic_in_seed(self):
+        runs = [
+            run_online(
+                FakeEvaluator(concave_peak((2, 3))),
+                small_space(),
+                StrategySpec(
+                    seed=11,
+                    n_starts=2,
+                    feasible=lambda s: box_feasible(4)(s.counts),
+                ),
+            )
+            for _ in range(2)
+        ]
+        assert runs[0].best_schedule.counts == runs[1].best_schedule.counts
+        assert runs[0].n_evaluations == runs[1].n_evaluations
+
+
+class TestFeasibilityProjection:
+    def test_infeasible_start_projects_onto_the_allowed_region(self):
+        # Runtime load shrinks the box to counts <= 2; the incumbent
+        # (4, 4) is outside and must be projected, not evaluated.
+        evaluator = FakeEvaluator(concave_peak((4, 4)))
+        result = run_online(
+            evaluator,
+            small_space(),
+            StrategySpec(
+                starts=(PeriodicSchedule.of(4, 4),),
+                feasible=lambda s: box_feasible(2)(s.counts),
+            ),
+        )
+        assert result.best_schedule.counts == (2, 2)
+        assert all(max(counts) <= 2 for counts in evaluator.calls)
+
+    def test_search_never_leaves_the_feasible_region(self):
+        evaluator = FakeEvaluator(concave_peak((1, 4)))
+        run_online(
+            evaluator,
+            small_space(),
+            StrategySpec(
+                starts=(PeriodicSchedule.of(3, 3),),
+                feasible=lambda s: box_feasible(3)(s.counts),
+            ),
+        )
+        assert all(max(counts) <= 3 for counts in evaluator.calls)
+
+    def test_empty_feasible_region_raises(self):
+        with pytest.raises(SearchError) as exc:
+            run_online(
+                FakeEvaluator(concave_peak((2, 2))),
+                small_space(),
+                StrategySpec(feasible=lambda s: False),
+            )
+        assert "feasibility" in str(exc.value)
+
+    def test_no_deadline_feasible_schedule_raises(self):
+        # The load predicate admits schedules but every evaluation
+        # reports infeasible settling: no schedule is adoptable.
+        evaluator = FakeEvaluator(
+            concave_peak((2, 2)), feasible=lambda counts: False
+        )
+        with pytest.raises(SearchError) as exc:
+            run_online(
+                evaluator,
+                small_space(),
+                StrategySpec(
+                    starts=(PeriodicSchedule.of(2, 2),),
+                    feasible=lambda s: box_feasible(4)(s.counts),
+                ),
+            )
+        assert "deadline-feasible" in str(exc.value)
+
+    def test_best_is_deadline_feasible_even_off_the_climb_path(self):
+        # Only (1, 1) passes the evaluator's deadline check, while the
+        # landscape pulls the climb toward (4, 4): the returned best
+        # must be the feasible one, not the incumbent.
+        evaluator = FakeEvaluator(
+            concave_peak((4, 4)), feasible=lambda counts: counts == (1, 1)
+        )
+        result = run_online(
+            evaluator,
+            small_space(),
+            StrategySpec(
+                starts=(PeriodicSchedule.of(1, 1),),
+                feasible=lambda s: box_feasible(4)(s.counts),
+            ),
+        )
+        assert result.best_schedule.counts == (1, 1)

@@ -15,11 +15,15 @@ from repro.serve.wire import (
     format_ndjson,
     format_sse,
 )
+from repro.sim.events import LoadDisturbance, ScheduleSwitch, SimEvent, TaskArrival
+from repro.sim.report import SimReport
 from repro.study.events import (
     ScenarioFinished,
     ScenarioProgress,
     ScenarioResumed,
     ScenarioStarted,
+    SimulationFinished,
+    SimulationProgress,
     StudyEvent,
 )
 
@@ -131,9 +135,107 @@ class TestStudyEventRoundTrip:
         assert "ScenarioFinished" in str(exc.value)
 
 
+def _sim_report() -> SimReport:
+    return SimReport(
+        scenario="casestudy-sim",
+        horizon=1.0,
+        n_apps=2,
+        app_names=["C1", "C2"],
+        strategy="hybrid",
+        adapt=True,
+        adapt_strategy="online",
+        profile={"horizon": 1.0, "adapt": True},
+        initial_schedule=[2, 2],
+        initial_overall=0.65,
+        timeline=[
+            {"event": "ScheduleSwitch", "time": 0.0, "counts": [2, 2],
+             "overall": 0.65, "reason": "initial"},
+        ],
+        segments=[
+            {"start": 0.0, "end": 1.0, "schedule": [2, 2],
+             "demands": [1.0, 1.0], "load_feasible": True,
+             "feasible": True, "cost": 0.35},
+        ],
+        apps=[{"name": "C1", "trace": []}, {"name": "C2", "trace": []}],
+        adaptations=[
+            {"at": 0.25, "from": [2, 2], "to": [1, 1], "ok": True,
+             "switched": True, "latency": 0.0058, "completed_at": 0.2558,
+             "engine": {"n_requested": 8}},
+        ],
+        mean_cost=0.35,
+        engine_stats={"n_requested": 76, "n_computed": 33},
+    )
+
+
+def _simulation_events():
+    common = dict(index=0, n_scenarios=1, scenario="casestudy-sim")
+    return [
+        SimulationProgress(
+            sim=TaskArrival(time=0.0, app="C1"), **common
+        ),
+        SimulationProgress(
+            sim=LoadDisturbance(time=0.25, demands=(1.46, 1.46)), **common
+        ),
+        SimulationProgress(
+            sim=ScheduleSwitch(
+                time=0.2558, counts=(1, 1), overall=0.55,
+                reason="adaptation",
+            ),
+            **common,
+        ),
+        SimulationFinished(
+            report=_sim_report(), mean_cost=0.35, n_adaptations=1, **common
+        ),
+    ]
+
+
+class TestSimulationEventRoundTrip:
+    def test_json_identity(self):
+        for event in _simulation_events():
+            assert StudyEvent.from_json(event.to_json()) == event
+
+    def test_nested_sim_event_keeps_its_tag(self):
+        progress = _simulation_events()[1]
+        data = json.loads(progress.to_json())
+        assert data["event"] == "SimulationProgress"
+        assert data["sim"]["event"] == "LoadDisturbance"
+        rebuilt = StudyEvent.from_dict(data)
+        assert isinstance(rebuilt, SimulationProgress)
+        assert isinstance(rebuilt.sim, LoadDisturbance)
+        assert isinstance(rebuilt.sim.demands, tuple)
+
+    def test_nested_sim_report_round_trips(self):
+        finished = _simulation_events()[-1]
+        rebuilt = StudyEvent.from_json(finished.to_json())
+        assert isinstance(rebuilt, SimulationFinished)
+        assert isinstance(rebuilt.report, SimReport)
+        assert rebuilt.report == _sim_report()
+
+    def test_decode_event_dispatches_simulation_events(self):
+        for event in _simulation_events():
+            assert decode_event(json.loads(event.to_json())) == event
+
+    def test_malformed_nested_sim_event_fails(self):
+        data = json.loads(_simulation_events()[0].to_json())
+        data["sim"] = {"event": "HeatDeath", "time": 0.1}
+        with pytest.raises(ConfigurationError) as exc:
+            StudyEvent.from_dict(data)
+        assert "HeatDeath" in str(exc.value)
+
+    def test_sim_event_base_registry_unpolluted(self):
+        # The sim-event registry is separate from the engine/study ones.
+        with pytest.raises(ConfigurationError):
+            SimEvent.from_dict({"event": "ScenarioStarted"})
+
+
 class TestMessages:
     def test_event_message_round_trip(self, synthetic_report):
-        for event in _study_events(synthetic_report) + _engine_events():
+        events = (
+            _study_events(synthetic_report)
+            + _engine_events()
+            + _simulation_events()
+        )
+        for event in events:
             message = EventMessage(job="job-000001", seq=4, event=event)
             assert decode_message(json.loads(message.to_json())) == message
 

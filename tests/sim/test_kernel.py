@@ -1,0 +1,72 @@
+"""The discrete-event kernel: monotonic clock, deterministic queue."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim import EventQueue, SimClock, TaskArrival
+
+
+class TestSimClock:
+    def test_starts_at_zero_and_advances(self):
+        clock = SimClock()
+        assert clock.now == 0.0
+        assert clock.advance(0.25) == 0.25
+        assert clock.now == 0.25
+
+    def test_advance_is_idempotent_at_now(self):
+        clock = SimClock()
+        clock.advance(0.5)
+        assert clock.advance(0.5) == 0.5
+
+    def test_rewind_raises(self):
+        clock = SimClock()
+        clock.advance(1.0)
+        with pytest.raises(ConfigurationError):
+            clock.advance(0.999)
+
+
+class TestEventQueue:
+    def test_pops_in_time_order(self):
+        queue = EventQueue()
+        queue.push(TaskArrival(time=0.7, app="C3"))
+        queue.push(TaskArrival(time=0.2, app="C1"))
+        queue.push(TaskArrival(time=0.5, app="C2"))
+        assert [event.app for event in queue.drain()] == ["C1", "C2", "C3"]
+
+    def test_simultaneous_events_pop_in_insertion_order(self):
+        queue = EventQueue()
+        for name in ("C1", "C2", "C3"):
+            queue.push(TaskArrival(time=0.25, app=name))
+        assert [event.app for event in queue.drain()] == ["C1", "C2", "C3"]
+
+    def test_rejects_negative_time(self):
+        queue = EventQueue()
+        with pytest.raises(ConfigurationError):
+            queue.push(TaskArrival(time=-0.1, app="C1"))
+
+    def test_len_bool_and_peek(self):
+        queue = EventQueue()
+        assert not queue and len(queue) == 0
+        queue.push(TaskArrival(time=0.1, app="C1"))
+        assert queue and len(queue) == 1
+        assert queue.peek().app == "C1"
+        assert len(queue) == 1  # peek does not consume
+        assert queue.pop().app == "C1"
+        assert not queue
+
+    def test_peek_and_pop_on_empty_raise(self):
+        queue = EventQueue()
+        with pytest.raises(ConfigurationError):
+            queue.peek()
+        with pytest.raises(ConfigurationError):
+            queue.pop()
+
+    def test_drain_honors_pushes_made_mid_drain(self):
+        queue = EventQueue()
+        queue.push(TaskArrival(time=0.1, app="first"))
+        seen = []
+        for event in queue.drain():
+            seen.append(event.app)
+            if event.app == "first":
+                queue.push(TaskArrival(time=0.2, app="second"))
+        assert seen == ["first", "second"]

@@ -1,0 +1,167 @@
+"""The feedback loop on the case study (fake engine, real idle budgets)."""
+
+import pytest
+
+from repro.sched.feasibility import enumerate_idle_feasible, idle_feasible
+from repro.sim import FeedbackLoop, demand_feasible, load_transient
+
+from .fakes import FakeSimEngine
+
+
+@pytest.fixture(scope="module")
+def case():
+    from repro.apps import build_case_study
+
+    return build_case_study()
+
+
+@pytest.fixture(scope="module")
+def space(case):
+    return enumerate_idle_feasible(case.apps, case.clock)
+
+
+def fresh_loop(case, space, profile, engine=None):
+    engine = engine or FakeSimEngine(case.apps, case.clock)
+    initial = engine.evaluate(_of(2, 2, 2))
+    return FeedbackLoop(
+        engine,
+        space,
+        profile,
+        initial,
+        strategy_name="hybrid",
+        scenario="casestudy-sim",
+    )
+
+
+def _of(*counts):
+    from repro.sched.schedule import PeriodicSchedule
+
+    return PeriodicSchedule.of(*counts)
+
+
+class TestDemandFeasible:
+    def test_nominal_demand_equals_idle_feasible(self, case, space):
+        nominal = (1.0,) * len(case.apps)
+        for schedule in space:
+            assert demand_feasible(
+                schedule, case.apps, case.clock, nominal
+            ) == idle_feasible(schedule, case.apps, case.clock)
+
+    def test_default_stress_excludes_static_optimum(self, case):
+        # The calibration load_transient's default stress relies on:
+        # (2, 2, 2) violates the scaled budget while (1, 1, 1) holds.
+        stressed = (1.46,) * len(case.apps)
+        assert not demand_feasible(_of(2, 2, 2), case.apps, case.clock, stressed)
+        assert demand_feasible(_of(1, 1, 1), case.apps, case.clock, stressed)
+
+    def test_higher_demand_never_relaxes(self, case, space):
+        mild = (1.2,) * len(case.apps)
+        harsh = (1.5,) * len(case.apps)
+        for schedule in space:
+            if demand_feasible(schedule, case.apps, case.clock, harsh):
+                assert demand_feasible(schedule, case.apps, case.clock, mild)
+
+
+class TestStaticRun:
+    def test_no_adaptations_and_overload_costs_full(self, case, space):
+        profile = load_transient(len(case.apps), adapt=False)
+        report = fresh_loop(case, space, profile).run()
+        assert report.n_adaptations == 0
+        assert not report.adapt
+        # nominal | overload | nominal — three segments, one schedule.
+        assert [s["schedule"] for s in report.segments] == [[2, 2, 2]] * 3
+        assert [s["feasible"] for s in report.segments] == [True, False, True]
+        assert report.segments[1]["cost"] == 1.0
+        expected = (
+            report.segments[0]["cost"] * 0.25
+            + 1.0 * 0.45
+            + report.segments[2]["cost"] * 0.30
+        )
+        assert report.mean_cost == pytest.approx(expected)
+
+
+class TestAdaptiveRun:
+    @pytest.fixture(scope="class")
+    def adaptive(self, case, space):
+        profile = load_transient(len(case.apps), adapt=True)
+        return fresh_loop(case, space, profile).run()
+
+    def test_adapts_on_both_load_changes(self, adaptive):
+        assert adaptive.n_adaptations == 2
+        first, second = adaptive.adaptations
+        assert first["switched"] and first["to"] == [1, 1, 1]
+        assert second["switched"] and second["to"] == [2, 2, 2]
+
+    def test_switch_completes_after_simulated_latency(self, adaptive):
+        for record in adaptive.adaptations:
+            assert record["completed_at"] == pytest.approx(
+                record["at"] + record["latency"]
+            )
+            assert record["latency"] >= 0.005  # the base latency floor
+
+    def test_adaptive_beats_static(self, case, space, adaptive):
+        static = fresh_loop(
+            case, space, load_transient(len(case.apps), adapt=False)
+        ).run()
+        assert adaptive.mean_cost < static.mean_cost
+
+    def test_timeline_is_time_ordered(self, adaptive):
+        times = [entry["time"] for entry in adaptive.timeline]
+        assert times == sorted(times)
+
+    def test_segments_tile_the_horizon(self, adaptive):
+        assert adaptive.segments[0]["start"] == 0.0
+        assert adaptive.segments[-1]["end"] == adaptive.horizon
+        for before, after in zip(adaptive.segments, adaptive.segments[1:]):
+            assert before["end"] == after["start"]
+
+    def test_per_app_traces_cover_every_segment(self, adaptive):
+        assert [a["name"] for a in adaptive.apps] == adaptive.app_names
+        for app in adaptive.apps:
+            assert len(app["trace"]) == len(adaptive.segments)
+
+    def test_report_round_trips(self, adaptive):
+        from repro.sim import SimReport
+
+        assert SimReport.from_json(adaptive.to_json()) == adaptive
+
+
+class TestByteIdentity:
+    def test_cold_and_warm_engines_agree(self, case, space):
+        profile = load_transient(len(case.apps))
+        cold = fresh_loop(case, space, profile).run()
+        warm_engine = FakeSimEngine(case.apps, case.clock)
+        for schedule in space:  # pre-warm the memo
+            warm_engine.evaluate(schedule)
+        warm = fresh_loop(case, space, profile, engine=warm_engine).run()
+        # Identical simulations apart from the engine bookkeeping: the
+        # warm engine serves memo hits where the cold one computed.
+        cold_data, warm_data = cold.to_dict(), warm.to_dict()
+        cold_data.pop("engine_stats")
+        warm_data.pop("engine_stats")
+        assert cold_data == warm_data
+        assert warm.engine_stats["n_memo_hits"] > cold.engine_stats["n_memo_hits"]
+
+    def test_rerun_is_byte_identical(self, case, space):
+        profile = load_transient(len(case.apps))
+        one = fresh_loop(case, space, profile).run()
+        two = fresh_loop(case, space, profile).run()
+        assert one.to_json() == two.to_json()
+
+
+class TestHorizonClipping:
+    def test_switch_past_horizon_is_dropped(self, case, space):
+        # Recovery so close to the end that the adaptation completes
+        # after the horizon: the switch must not appear in the timeline.
+        profile = load_transient(
+            len(case.apps), disturb_at=0.25, recover_at=0.999
+        )
+        report = fresh_loop(case, space, profile).run()
+        switches = [
+            entry for entry in report.timeline
+            if entry["event"] == "ScheduleSwitch"
+        ]
+        assert all(entry["time"] < report.horizon for entry in switches)
+        # The second adaptation still ran — only its switch fell off.
+        assert report.n_adaptations == 2
+        assert report.adaptations[-1]["completed_at"] >= report.horizon

@@ -1,0 +1,115 @@
+"""Dynamic profiles: validation, round trips, canonical builders."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim import DynamicProfile, load_transient, synthesize_profile
+
+
+class TestValidation:
+    def test_horizon_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            DynamicProfile(horizon=0.0)
+
+    def test_events_must_fall_inside_horizon(self):
+        with pytest.raises(ConfigurationError):
+            DynamicProfile(horizon=1.0, arrivals=((1.0, 0),))
+        with pytest.raises(ConfigurationError):
+            DynamicProfile(horizon=1.0, disturbances=((-0.1, (1.0,)),))
+
+    def test_demands_must_be_positive_and_non_empty(self):
+        with pytest.raises(ConfigurationError):
+            DynamicProfile(horizon=1.0, disturbances=((0.5, ()),))
+        with pytest.raises(ConfigurationError):
+            DynamicProfile(horizon=1.0, disturbances=((0.5, (1.0, -2.0)),))
+
+    def test_mode_change_factor_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            DynamicProfile(horizon=1.0, mode_changes=((0.5, 0, 0.0),))
+
+    def test_latencies_must_be_non_negative(self):
+        with pytest.raises(ConfigurationError):
+            DynamicProfile(horizon=1.0, adapt_base_latency=-1e-3)
+
+    def test_unknown_adapt_strategy_fails_fast(self):
+        with pytest.raises(ConfigurationError) as exc:
+            DynamicProfile(horizon=1.0, adapt_strategy="psychic")
+        assert "psychic" in str(exc.value)
+
+    def test_check_apps_rejects_mismatched_widths(self):
+        profile = DynamicProfile(
+            horizon=1.0,
+            arrivals=((0.0, 2),),
+            disturbances=((0.5, (1.2, 1.2)),),
+        )
+        with pytest.raises(ConfigurationError):
+            profile.check_apps(3)  # demand vector is 2 wide
+        with pytest.raises(ConfigurationError):
+            DynamicProfile(horizon=1.0, arrivals=((0.0, 5),)).check_apps(3)
+        with pytest.raises(ConfigurationError):
+            DynamicProfile(
+                horizon=1.0, mode_changes=((0.5, 4, 1.1),)
+            ).check_apps(3)
+
+
+class TestRoundTrip:
+    def test_dict_identity(self):
+        profile = load_transient(3)
+        assert DynamicProfile.from_dict(profile.to_dict()) == profile
+
+    def test_unknown_fields_rejected(self):
+        data = load_transient(2).to_dict()
+        data["surprise"] = True
+        with pytest.raises(ConfigurationError):
+            DynamicProfile.from_dict(data)
+
+    def test_post_init_normalizes_sequences(self):
+        profile = DynamicProfile(
+            horizon=1.0,
+            arrivals=[[0.0, 0]],
+            disturbances=[[0.5, [1.2]]],
+            mode_changes=[[0.25, 0, 1.1]],
+        )
+        assert profile.arrivals == ((0.0, 0),)
+        assert profile.disturbances == ((0.5, (1.2,)),)
+        assert profile.mode_changes == ((0.25, 0, 1.1),)
+        assert profile.n_events == 3
+
+
+class TestLoadTransient:
+    def test_default_shape(self):
+        profile = load_transient(3, horizon=2.0)
+        assert profile.horizon == 2.0
+        assert len(profile.arrivals) == 3
+        (t_up, stressed), (t_down, nominal) = profile.disturbances
+        assert t_up == pytest.approx(0.5)  # 25 % of the horizon
+        assert t_down == pytest.approx(1.4)  # 70 %
+        assert stressed == (1.46,) * 3
+        assert nominal == (1.0,) * 3
+        assert profile.adapt
+
+    def test_ordering_constraints(self):
+        with pytest.raises(ConfigurationError):
+            load_transient(2, disturb_at=0.8, recover_at=0.4)
+        with pytest.raises(ConfigurationError):
+            load_transient(2, recover_at=1.0)  # must end before the horizon
+        with pytest.raises(ConfigurationError):
+            load_transient(0)
+        with pytest.raises(ConfigurationError):
+            load_transient(2, stress=0.0)
+
+
+class TestSynthesizeProfile:
+    def test_deterministic_per_seed(self):
+        draws = [
+            synthesize_profile(np.random.default_rng(42), 3) for _ in range(2)
+        ]
+        assert draws[0] == draws[1]
+
+    def test_valid_for_its_app_count(self):
+        profile = synthesize_profile(np.random.default_rng(7), 4)
+        profile.check_apps(4)  # does not raise
+        assert len(profile.arrivals) == 4
+        assert len(profile.disturbances) == 2
+        assert len(profile.mode_changes) == 1

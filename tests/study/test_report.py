@@ -154,7 +154,8 @@ class TestSchema:
         "n_apps", "problem", "n_space",
         "backend", "engine_stats", "best_schedule", "cores", "overall",
         "feasible", "apps", "wall_time", "created_at", "search_stats",
-        "allocator", "allocator_options", "schema_version",
+        "allocator", "allocator_options", "dynamic", "sim",
+        "schema_version",
     }
 
     def test_stable_key_set(self):
